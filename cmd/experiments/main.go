@@ -1,0 +1,129 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -all                # every figure, full windows
+//	experiments -fig 8,11 -quick    # selected figures, reduced windows
+//	experiments -all -markdown      # EXPERIMENTS.md-style output
+//
+// Figure ids: 8, 9, 10, 11, 12, 13, 15, 16, t3 (Table III), and the
+// ablations aiq (IQ kinds), apred (predictors), atab (table organisation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	pubsim "repro"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(*pubsim.Runner) (string, error)
+}
+
+var showCharts bool
+
+type charter interface{ Chart() string }
+
+func wrap[T interface{ Table() string }](f func(*pubsim.Runner) (T, error)) func(*pubsim.Runner) (string, error) {
+	return func(r *pubsim.Runner) (string, error) {
+		res, err := f(r)
+		if err != nil {
+			return "", err
+		}
+		out := res.Table()
+		if showCharts {
+			if c, ok := any(res).(charter); ok {
+				out += "\n" + c.Chart()
+			}
+		}
+		return out, nil
+	}
+}
+
+var all = []experiment{
+	{"wchar", "Workload characterisation (base machine + slice profile)", wrap(pubsim.Characterize)},
+	{"8", "Speedup of PUBS over the base (Fig. 8)", wrap(pubsim.Fig8)},
+	{"9", "Speedup vs branch MPKI correlation (Fig. 9)", wrap(pubsim.Fig9)},
+	{"10", "Priority-entry sensitivity (Fig. 10)", wrap(pubsim.Fig10)},
+	{"11", "Confidence-counter-width sensitivity (Fig. 11)", wrap(pubsim.Fig11)},
+	{"12", "Mode-switch effectiveness (Fig. 12)", wrap(pubsim.Fig12)},
+	{"t3", "Hardware cost (Table III)", func(*pubsim.Runner) (string, error) { return pubsim.Table3().Table(), nil }},
+	{"13", "Enlarged-predictor comparison (Fig. 13)", wrap(pubsim.Fig13)},
+	{"15", "Age-matrix comparison (Fig. 15)", wrap(pubsim.Fig15)},
+	{"16", "Processor-size scaling (Fig. 16)", wrap(pubsim.Fig16)},
+	{"aiq", "Ablation: IQ organisations", wrap(pubsim.AblationIQKinds)},
+	{"xdist", "Extension: distributed IQ (§III-C2)", wrap(pubsim.ExtDistributed)},
+	{"xflex", "Extension: idealized flexible select (§III-C1)", wrap(pubsim.ExtFlexible)},
+	{"xnrg", "Extension: energy per instruction (activity model)", wrap(pubsim.ExtEnergy)},
+	{"xwp", "Extension: wrong-path pollution of the PUBS tables", wrap(pubsim.ExtWrongPath)},
+	{"apred", "Ablation: alternative predictors", wrap(pubsim.AblationPredictors)},
+	{"atab", "Ablation: PUBS table organisation", wrap(pubsim.AblationTables)},
+}
+
+func main() {
+	var (
+		figs     = flag.String("fig", "", "comma-separated experiment ids (default: none)")
+		runAll   = flag.Bool("all", false, "run every experiment")
+		quick    = flag.Bool("quick", false, "reduced simulation windows")
+		warmup   = flag.Uint64("warmup", 0, "override warm-up instructions")
+		measure  = flag.Uint64("insts", 0, "override measured instructions")
+		par      = flag.Int("parallel", 0, "concurrent simulations (default GOMAXPROCS)")
+		markdown = flag.Bool("markdown", false, "wrap output in Markdown sections/code fences")
+		charts   = flag.Bool("charts", false, "append terminal charts to figures that have them")
+	)
+	flag.Parse()
+	showCharts = *charts
+
+	want := map[string]bool{}
+	if !*runAll {
+		for _, id := range strings.Split(*figs, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				want[id] = true
+			}
+		}
+		if len(want) == 0 {
+			fmt.Fprintln(os.Stderr, "experiments: nothing to run; use -all or -fig (ids: wchar 8 9 10 11 12 t3 13 15 16 aiq apred atab xdist xflex xnrg xwp)")
+			os.Exit(2)
+		}
+	}
+
+	opts := pubsim.DefaultOptions()
+	if *quick {
+		opts = pubsim.QuickOptions()
+	}
+	if *warmup > 0 {
+		opts.Warmup = *warmup
+	}
+	if *measure > 0 {
+		opts.Measure = *measure
+	}
+	opts.Parallelism = *par
+	runner := pubsim.NewRunner(opts)
+
+	if *markdown {
+		fmt.Printf("Simulation windows: %d warm-up + %d measured instructions per run.\n\n",
+			runner.Options().Warmup, runner.Options().Measure)
+	}
+	for _, e := range all {
+		if !*runAll && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		table, err := e.run(runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		if *markdown {
+			fmt.Printf("## %s\n\n```\n%s```\n\n", e.desc, table)
+		} else {
+			fmt.Printf("=== %s (%.1fs) ===\n%s\n", e.desc, time.Since(start).Seconds(), table)
+		}
+	}
+}

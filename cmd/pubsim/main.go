@@ -1,0 +1,160 @@
+// Command pubsim runs one simulation and prints its statistics.
+//
+// Usage:
+//
+//	pubsim -workload chess -machine pubs -warmup 300000 -insts 1000000
+//
+// Machines: base, pubs, age, pubs+age, or base-<size>/pubs-<size> for the
+// Fig. 16 scaled models (small/medium/large/huge).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	pubsim "repro"
+)
+
+func main() {
+	var (
+		wl        = flag.String("workload", "chess", "benchmark name (see -list)")
+		machine   = flag.String("machine", "pubs", "base | pubs | age | pubs+age | {base,pubs}-{small,medium,large,huge}")
+		warmup    = flag.Uint64("warmup", 300_000, "warm-up instructions (counters reset afterwards)")
+		insts     = flag.Uint64("insts", 1_000_000, "measured instructions")
+		priority  = flag.Int("priority", 6, "PUBS priority entries")
+		bits      = flag.Int("bits", 6, "PUBS confidence counter bits")
+		noStall   = flag.Bool("nostall", false, "use the non-stall dispatch policy")
+		noSwitch  = flag.Bool("noswitch", false, "disable the MPKI mode switch")
+		blind     = flag.Bool("blind", false, "estimate every branch unconfident (no conf_tab)")
+		flexible  = flag.Bool("flexible", false, "idealized flexible-priority select (§III-C1) instead of priority entries")
+		distrib   = flag.Bool("distributed", false, "distributed per-FU-pool issue queues (§III-C2)")
+		wrongp    = flag.Bool("wrongpath", false, "model wrong-path pollution of the PUBS tables")
+		profile   = flag.Bool("profile", false, "print IQ occupancy and the worst mispredicting branches")
+		pipetrace = flag.Int64("pipetrace", 0, "print a stage-by-stage trace of the first N committed instructions")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range pubsim.Workloads() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	cfg, err := buildConfig(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.Profile = *profile
+	cfg.DistributedIQ = *distrib
+	cfg.WrongPathDecode = *wrongp
+	if cfg.PUBS.Enable {
+		cfg.PUBS.PriorityEntries = *priority
+		cfg.PUBS.ConfCounterBits = *bits
+		cfg.PUBS.StallDispatch = !*noStall
+		cfg.PUBS.ModeSwitch = !*noSwitch
+		cfg.PUBS.Blind = *blind
+		cfg.PUBS.FlexibleSelect = *flexible
+	}
+
+	var res pubsim.Result
+	if *pipetrace > 0 {
+		res, err = pubsim.RunWithPipeTrace(cfg, *wl, *warmup, *insts, os.Stdout, *pipetrace)
+	} else {
+		res, err = pubsim.Run(cfg, *wl, *warmup, *insts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("machine            %s\n", cfg.Name)
+	fmt.Printf("workload           %s\n", *wl)
+	fmt.Printf("instructions       %d (after %d warm-up)\n", res.Committed, *warmup)
+	fmt.Printf("cycles             %d\n", res.Cycles)
+	fmt.Printf("IPC                %.4f\n", res.IPC())
+	fmt.Printf("branch MPKI        %.2f (mispredict rate %.2f%%)\n", res.BranchMPKI(), res.MispredictRate()*100)
+	fmt.Printf("LLC MPKI           %.2f\n", res.LLCMPKI())
+	fmt.Printf("L1D miss rate      %.2f%%\n", pct(res.L1D.Misses, res.L1D.Accesses))
+	fmt.Printf("L2 prefetches      %d (hits %d, late %d)\n", res.L2.PrefetchReqs, res.L2.PrefetchHits, res.L2.PrefetchLate)
+	fmt.Printf("misspec penalty    %d cycles (%.1f per mispredict)\n",
+		res.MisspecPenaltyCycles, per(res.MisspecPenaltyCycles, res.Mispredicts))
+	fmt.Printf("loads forwarded    %d\n", res.LoadsForwarded)
+	if cfg.PUBS.Enable {
+		fmt.Printf("unconfident        %.1f%% of branches, %d slice instructions\n",
+			res.UnconfidentRate()*100, res.UnconfSliceInsts)
+		fmt.Printf("dispatch stalls    priority=%d normal=%d rob=%d lsq=%d regs=%d\n",
+			res.DispatchStallPriority, res.DispatchStallNormal,
+			res.DispatchStallROB, res.DispatchStallLSQ, res.DispatchStallRegs)
+		if res.ModeSwitchChecks > 0 {
+			fmt.Printf("mode switch        enabled %d / %d windows\n", res.ModeEnabledWindows, res.ModeSwitchChecks)
+		}
+	}
+	if *profile && res.IQOccupancy != nil {
+		fmt.Printf("IQ occupancy       mean %.1f, median %d, p90 %d (of %d entries)\n",
+			res.IQOccupancy.Mean(), res.IQOccupancy.Quantile(0.5),
+			res.IQOccupancy.Quantile(0.9), cfg.IQSize)
+		fmt.Println("worst branches     PC        executed  mispredicts  rate")
+		for _, bs := range res.TopBranches {
+			fmt.Printf("                   %-8d  %-8d  %-11d  %5.1f%%\n",
+				bs.PC/4, bs.Executed, bs.Mispredicts, bs.MispredictRate()*100)
+		}
+	}
+}
+
+func buildConfig(machine string) (pubsim.Config, error) {
+	sizes := map[string]pubsim.Size{
+		"small": pubsim.Small, "medium": pubsim.Medium,
+		"large": pubsim.Large, "huge": pubsim.Huge,
+	}
+	switch machine {
+	case "base":
+		return pubsim.BaseConfig(), nil
+	case "pubs":
+		return pubsim.PUBSConfig(), nil
+	case "age":
+		cfg := pubsim.BaseConfig()
+		cfg.Name = "age"
+		cfg.AgeMatrix = true
+		return cfg, nil
+	case "pubs+age":
+		cfg := pubsim.PUBSConfig()
+		cfg.Name = "pubs+age"
+		cfg.AgeMatrix = true
+		return cfg, nil
+	}
+	if kind, size, ok := strings.Cut(machine, "-"); ok {
+		sz, found := sizes[size]
+		if !found {
+			return pubsim.Config{}, fmt.Errorf("pubsim: unknown size %q", size)
+		}
+		cfg := pubsim.ScaledConfig(sz)
+		switch kind {
+		case "base":
+			return cfg, nil
+		case "pubs":
+			cfg.Name = "pubs-" + size
+			cfg.PUBS = pubsim.DefaultPUBS()
+			return cfg, nil
+		}
+	}
+	return pubsim.Config{}, fmt.Errorf("pubsim: unknown machine %q", machine)
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b) * 100
+}
+
+func per(a int64, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

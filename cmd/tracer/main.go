@@ -1,0 +1,155 @@
+// Command tracer captures benchmark traces to disk and replays them
+// through the simulator — the classic trace-driven workflow.
+//
+// Capture:
+//
+//	tracer -capture -workload chess -n 1300000 -o chess.trc
+//
+// Replay (any machine; same stream, so cross-machine comparisons are
+// apples-to-apples by construction):
+//
+//	tracer -replay chess.trc -machine pubs -warmup 300000 -insts 1000000
+//
+// Inspect:
+//
+//	tracer -info chess.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		capture = flag.Bool("capture", false, "capture a trace")
+		wl      = flag.String("workload", "chess", "benchmark to capture")
+		n       = flag.Uint64("n", 1_300_000, "instructions to capture")
+		out     = flag.String("o", "", "output trace file (capture)")
+		replay  = flag.String("replay", "", "trace file to replay")
+		info    = flag.String("info", "", "trace file to describe")
+		machine = flag.String("machine", "pubs", "base | pubs (replay)")
+		warmup  = flag.Uint64("warmup", 300_000, "warm-up instructions (replay)")
+		insts   = flag.Uint64("insts", 1_000_000, "measured instructions (replay)")
+	)
+	flag.Parse()
+
+	switch {
+	case *capture:
+		if *out == "" {
+			*out = *wl + ".trc"
+		}
+		prog, err := workload.Program(*wl)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		count, err := trace.Capture(f, prog, *n)
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		st, _ := os.Stat(*out)
+		fmt.Printf("captured %d instructions of %s to %s (%.2f bytes/inst)\n",
+			count, *wl, *out, float64(st.Size())/float64(count))
+
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			fatal(err)
+		}
+		var cfg pipeline.Config
+		switch *machine {
+		case "base":
+			cfg = pipeline.BaseConfig()
+		case "pubs":
+			cfg = pipeline.PUBSConfig()
+		default:
+			fatal(fmt.Errorf("tracer: unknown machine %q", *machine))
+		}
+		sim, err := pipeline.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := sim.Run(r, *warmup, *insts)
+		if err != nil {
+			fatal(err)
+		}
+		if r.Err() != nil {
+			fatal(fmt.Errorf("tracer: malformed trace: %w", r.Err()))
+		}
+		fmt.Printf("trace      %s (%s, %d static instructions)\n", *replay, r.Name(), r.CodeLen())
+		fmt.Printf("machine    %s\n", cfg.Name)
+		fmt.Printf("committed  %d\n", res.Committed)
+		fmt.Printf("IPC        %.4f\n", res.IPC())
+		fmt.Printf("brMPKI     %.2f   llcMPKI %.2f\n", res.BranchMPKI(), res.LLCMPKI())
+
+	case *info != "":
+		f, err := os.Open(*info)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			fatal(err)
+		}
+		var count uint64
+		var branches, taken, mem uint64
+		for {
+			di, ok := r.Next()
+			if !ok {
+				break
+			}
+			count++
+			if di.Inst.IsCondBranch() {
+				branches++
+				if di.Taken {
+					taken++
+				}
+			}
+			if di.Inst.IsMem() {
+				mem++
+			}
+		}
+		if r.Err() != nil {
+			fatal(fmt.Errorf("tracer: malformed trace: %w", r.Err()))
+		}
+		fmt.Printf("program    %s (%d static instructions, %d B memory)\n", r.Name(), r.CodeLen(), r.MemSize())
+		fmt.Printf("records    %d\n", count)
+		fmt.Printf("branches   %.2f%% of instructions, %.1f%% taken\n",
+			pct(branches, count), pct(taken, branches))
+		fmt.Printf("memory ops %.2f%%\n", pct(mem, count))
+
+	default:
+		fmt.Fprintln(os.Stderr, "tracer: use -capture, -replay <file>, or -info <file>")
+		os.Exit(2)
+	}
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b) * 100
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

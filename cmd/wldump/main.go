@@ -1,0 +1,99 @@
+// Command wldump inspects a benchmark: its static code, a window of its
+// dynamic instruction stream, and its instruction-mix statistics from
+// functional emulation (no timing).
+//
+// Usage:
+//
+//	wldump -workload parser -code -trace 30 -insts 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/sliceprof"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wl     = flag.String("workload", "chess", "benchmark name")
+		code   = flag.Bool("code", false, "print the static code")
+		trace  = flag.Int("trace", 0, "print the first N dynamic instructions")
+		insts  = flag.Uint64("insts", 1_000_000, "instructions to emulate for the mix statistics")
+		slices = flag.Bool("slices", false, "profile backward branch slices (size, membership)")
+	)
+	flag.Parse()
+
+	prog, err := workload.Program(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	info, _ := workload.ByName(*wl)
+	fmt.Printf("benchmark  %s (models %s)\n", prog.Name, info.Analogue)
+	fmt.Printf("code       %d instructions\n", len(prog.Code))
+	fmt.Printf("data       %d bytes initialised, %d bytes total\n", len(prog.Data), prog.MemSize)
+
+	if *code {
+		fmt.Println("\nstatic code:")
+		for i, in := range prog.Code {
+			fmt.Printf("%5d: %s\n", i, in)
+		}
+	}
+
+	m, err := emu.New(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *trace > 0 {
+		fmt.Println("\ndynamic trace:")
+	}
+	var classes [isa.NumClasses]uint64
+	var branches, taken uint64
+	for n := uint64(0); n < *insts; n++ {
+		di, ok := m.Step()
+		if !ok {
+			fmt.Printf("\nprogram halted after %d instructions\n", n)
+			break
+		}
+		if int(n) < *trace {
+			extra := ""
+			if di.Inst.IsMem() {
+				extra = fmt.Sprintf("  [addr %#x]", di.Addr)
+			}
+			if di.Inst.IsControl() {
+				extra = fmt.Sprintf("  [taken=%v next=%d]", di.Taken, di.NextPC/4)
+			}
+			fmt.Printf("%8d: %5d: %s%s\n", di.Seq, di.Idx, di.Inst, extra)
+		}
+		classes[di.Class]++
+		if di.Inst.IsCondBranch() {
+			branches++
+			if di.Taken {
+				taken++
+			}
+		}
+	}
+	total := m.Seq()
+	fmt.Printf("\ninstruction mix over %d instructions:\n", total)
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		fmt.Printf("  %-10s %6.2f%%\n", c, float64(classes[c])/float64(total)*100)
+	}
+	fmt.Printf("  cond branches: %.2f%% of instructions, %.1f%% taken\n",
+		float64(branches)/float64(total)*100, float64(taken)/float64(branches)*100)
+
+	if *slices {
+		prof, err := sliceprof.Analyze(prog, *insts, 128)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(prof.Table())
+	}
+}

@@ -1,0 +1,55 @@
+// Trace + energy: capture one benchmark trace, replay the *identical*
+// dynamic stream on the base and PUBS machines, and compare both time and
+// activity-model energy — the full trace-driven methodology in one program.
+//
+//	go run ./examples/trace_energy
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	pubsim "repro"
+)
+
+func main() {
+	const (
+		wl      = "pathfind"
+		capture = 700_000
+		warmup  = 150_000
+		measure = 400_000
+	)
+
+	prog, err := pubsim.WorkloadProgram(wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := pubsim.CaptureTrace(&buf, prog, capture)
+	if err != nil {
+		log.Fatal(err)
+	}
+	traceBytes := buf.Len()
+	fmt.Printf("captured %d instructions of %s (%.2f bytes/inst)\n",
+		n, wl, float64(traceBytes)/float64(n))
+
+	// Replay the same bytes on both machines.
+	base, err := pubsim.ReplayTrace(pubsim.BaseConfig(), bytes.NewReader(buf.Bytes()), warmup, measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pubs, err := pubsim.ReplayTrace(pubsim.PUBSConfig(), bytes.NewReader(buf.Bytes()), warmup, measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("base IPC %.3f → PUBS IPC %.3f (%+.2f%%)\n",
+		base.IPC(), pubs.IPC(), pubsim.Speedup(base.IPC(), pubs.IPC()))
+
+	c := pubsim.DefaultEnergy()
+	cmp := pubsim.EnergyCompare{
+		Base:  pubsim.EstimateEnergy(pubsim.BaseConfig(), base, c),
+		Other: pubsim.EstimateEnergy(pubsim.PUBSConfig(), pubs, c),
+	}
+	fmt.Print(cmp.Table())
+}

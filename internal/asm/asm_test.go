@@ -1,0 +1,161 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestLabelsResolve(t *testing.T) {
+	b := New("t")
+	b.Label("top")
+	b.Addi(isa.R(2), isa.R(2), 1)
+	b.Bne(isa.R(2), isa.RZero, "top")
+	b.Jmp("end")
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[1].Imm != 0 {
+		t.Errorf("backward branch target = %d, want 0", p.Code[1].Imm)
+	}
+	if p.Code[2].Imm != 4 {
+		t.Errorf("forward jump target = %d, want 4", p.Code[2].Imm)
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := New("t")
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("want undefined-label error, got %v", err)
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	b := New("t")
+	b.Label("x").Nop().Label("x").Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Errorf("want duplicate-label error, got %v", err)
+	}
+}
+
+func TestDataSegment(t *testing.T) {
+	b := New("t")
+	a1 := b.Words(1, 2, 3)
+	a2 := b.Floats(1.5)
+	a3 := b.Alloc(100)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1%64 != 0 || a2%64 != 0 || a3%64 != 0 {
+		t.Error("allocations must be cache-line aligned")
+	}
+	if a2 <= a1 || a3 <= a2 {
+		t.Error("allocations must not overlap")
+	}
+	if p.MemSize < int(a3)+100 {
+		t.Errorf("MemSize %d does not cover allocations", p.MemSize)
+	}
+	// Words content round-trips through the data image.
+	if p.Data[a1] != 1 || p.Data[a1+8] != 2 {
+		t.Error("word data not written little-endian")
+	}
+}
+
+func TestReserveMem(t *testing.T) {
+	b := New("t")
+	b.ReserveMem(1 << 20)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MemSize != 1<<20 {
+		t.Errorf("MemSize = %d, want %d", p.MemSize, 1<<20)
+	}
+	if len(p.Data) != 0 {
+		t.Error("ReserveMem must not extend the data image")
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	b := New("t")
+	b.Li(isa.R(2), 42)
+	b.Mv(isa.R(3), isa.R(2))
+	b.Call("fn")
+	b.Halt()
+	b.Label("fn")
+	b.Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Op != isa.Addi || p.Code[0].Rs1 != isa.RZero || p.Code[0].Imm != 42 {
+		t.Errorf("Li lowered wrong: %v", p.Code[0])
+	}
+	if p.Code[1].Op != isa.Addi || p.Code[1].Imm != 0 {
+		t.Errorf("Mv lowered wrong: %v", p.Code[1])
+	}
+	if p.Code[2].Op != isa.Jal || p.Code[2].Rd != isa.RLink || p.Code[2].Imm != 4 {
+		t.Errorf("Call lowered wrong: %v", p.Code[2])
+	}
+	if p.Code[4].Op != isa.Jr || p.Code[4].Rs1 != isa.RLink {
+		t.Errorf("Ret lowered wrong: %v", p.Code[4])
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on error")
+		}
+	}()
+	b := New("t")
+	b.Jmp("missing")
+	b.MustBuild()
+}
+
+func TestHere(t *testing.T) {
+	b := New("t")
+	if b.Here() != 0 {
+		t.Error("fresh builder not at 0")
+	}
+	b.Nop().Nop()
+	if b.Here() != 2 {
+		t.Errorf("Here = %d, want 2", b.Here())
+	}
+}
+
+func TestEveryMnemonicEmits(t *testing.T) {
+	b := New("all")
+	r2, r3, r4 := isa.R(2), isa.R(3), isa.R(4)
+	f1, f2, f3 := isa.F(1), isa.F(2), isa.F(3)
+	b.Add(r2, r3, r4).Sub(r2, r3, r4).And(r2, r3, r4).Or(r2, r3, r4).Xor(r2, r3, r4)
+	b.Shl(r2, r3, r4).Shr(r2, r3, r4).Sra(r2, r3, r4).Slt(r2, r3, r4).Sltu(r2, r3, r4)
+	b.Mul(r2, r3, r4).Div(r2, r3, r4).Rem(r2, r3, r4)
+	b.Addi(r2, r3, 1).Andi(r2, r3, 1).Ori(r2, r3, 1).Xori(r2, r3, 1)
+	b.Shli(r2, r3, 1).Shri(r2, r3, 1).Srai(r2, r3, 1).Slti(r2, r3, 1)
+	b.Ld(r2, r3, 0).St(r2, r3, 0).Fld(f1, r3, 0).Fst(f1, r3, 0)
+	b.Fadd(f1, f2, f3).Fsub(f1, f2, f3).Fmul(f1, f2, f3).Fdiv(f1, f2, f3)
+	b.Fclt(r2, f1, f2).Fcvti(r2, f1).Fcvtf(f1, r2)
+	b.Label("l")
+	b.Beq(r2, r3, "l").Bne(r2, r3, "l").Blt(r2, r3, "l").Bge(r2, r3, "l")
+	b.Jmp("l").Jal(r2, "l").Jr(r2).Nop().Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 41 {
+		t.Errorf("emitted %d instructions, want 41", len(p.Code))
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}

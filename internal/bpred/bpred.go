@@ -1,0 +1,110 @@
+// Package bpred implements the branch-direction predictors, branch target
+// buffer, and return-address stack used by the simulated front end.
+//
+// The paper's base machine (Table I) uses a perceptron predictor with a
+// 34-bit global history and a 256-entry weight table; the Fig. 13 experiment
+// enlarges it to a 36-bit history and 512 entries. gshare, bimodal, and a
+// tournament predictor are provided as the cross-check predictors the paper
+// mentions in footnote 1.
+package bpred
+
+import "fmt"
+
+// Predictor predicts conditional-branch directions. Implementations keep a
+// single global history that is updated with the true outcome immediately
+// after each prediction — the usual arrangement in a trace-driven simulator,
+// where fetch stalls on mispredictions rather than running down wrong paths.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the true outcome and advances the
+	// global history. Must be called exactly once per predicted branch, in
+	// program order.
+	Update(pc uint64, taken bool)
+	// Name identifies the predictor in experiment output.
+	Name() string
+	// CostBytes returns the storage the predictor requires, for the
+	// hardware-budget comparison in Fig. 13.
+	CostBytes() int
+}
+
+// Config selects and sizes a predictor.
+type Config struct {
+	Kind string // "perceptron", "gshare", "bimodal", "tournament", "tage", "static"
+	// Perceptron parameters.
+	HistoryLen int // global history bits (default 34)
+	TableSize  int // number of perceptrons / counters (default 256)
+}
+
+// Default returns the paper's base predictor configuration.
+func Default() Config {
+	return Config{Kind: "perceptron", HistoryLen: 34, TableSize: 256}
+}
+
+// Large returns the enlarged predictor of Fig. 13 (36-bit history, 512-entry
+// weight table).
+func Large() Config {
+	return Config{Kind: "perceptron", HistoryLen: 36, TableSize: 512}
+}
+
+// New builds a predictor from the configuration.
+func New(c Config) (Predictor, error) {
+	switch c.Kind {
+	case "", "perceptron":
+		h, t := c.HistoryLen, c.TableSize
+		if h == 0 {
+			h = 34
+		}
+		if t == 0 {
+			t = 256
+		}
+		return NewPerceptron(h, t), nil
+	case "gshare":
+		h, t := c.HistoryLen, c.TableSize
+		if h == 0 {
+			h = 14
+		}
+		if t == 0 {
+			t = 1 << 14
+		}
+		return NewGshare(h, t), nil
+	case "bimodal":
+		t := c.TableSize
+		if t == 0 {
+			t = 1 << 13
+		}
+		return NewBimodal(t), nil
+	case "tournament":
+		return NewTournament(c), nil
+	case "tage":
+		return NewTAGE(), nil
+	case "static":
+		return StaticTaken{}, nil
+	default:
+		return nil, fmt.Errorf("bpred: unknown predictor kind %q", c.Kind)
+	}
+}
+
+// MustNew is New, panicking on error.
+func MustNew(c Config) Predictor {
+	p, err := New(c)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// StaticTaken predicts every branch taken; a degenerate baseline for tests.
+type StaticTaken struct{}
+
+// Predict implements Predictor (always taken).
+func (StaticTaken) Predict(uint64) bool { return true }
+
+// Update implements Predictor (no state).
+func (StaticTaken) Update(uint64, bool) {}
+
+// Name implements Predictor.
+func (StaticTaken) Name() string { return "static-taken" }
+
+// CostBytes implements Predictor (no storage).
+func (StaticTaken) CostBytes() int { return 0 }

@@ -1,0 +1,315 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// trainAccuracy drives a predictor with outcomes produced by gen and
+// returns the accuracy over the last half of n trials.
+func trainAccuracy(p Predictor, n int, gen func(i int) (pc uint64, taken bool)) float64 {
+	correct, counted := 0, 0
+	for i := 0; i < n; i++ {
+		pc, taken := gen(i)
+		pred := p.Predict(pc)
+		if i >= n/2 {
+			counted++
+			if pred == taken {
+				correct++
+			}
+		}
+		p.Update(pc, taken)
+	}
+	return float64(correct) / float64(counted)
+}
+
+func TestPerceptronLearnsBias(t *testing.T) {
+	p := NewPerceptron(34, 256)
+	acc := trainAccuracy(p, 2000, func(i int) (uint64, bool) { return 0x400, true })
+	if acc < 0.99 {
+		t.Errorf("always-taken accuracy %.3f", acc)
+	}
+}
+
+func TestPerceptronLearnsHistoryPattern(t *testing.T) {
+	// Period-8 pattern: TTTTTTTN — learnable from 34 bits of history.
+	p := NewPerceptron(34, 256)
+	acc := trainAccuracy(p, 20_000, func(i int) (uint64, bool) { return 0x80, i%8 != 7 })
+	if acc < 0.98 {
+		t.Errorf("periodic accuracy %.3f", acc)
+	}
+}
+
+func TestPerceptronLearnsCorrelation(t *testing.T) {
+	// Branch B repeats branch A's last outcome: pure history correlation a
+	// bimodal predictor cannot capture.
+	p := NewPerceptron(16, 64)
+	acc := 0
+	n := 20_000
+	for i := 0; i < n; i++ {
+		a := i%3 == 0 // branch A pattern
+		p.Update(0x100, a)
+		predB := p.Predict(0x200)
+		takenB := a
+		if i > n/2 && predB == takenB {
+			acc++
+		}
+		p.Update(0x200, takenB)
+	}
+	if rate := float64(acc) / float64(n/2); rate < 0.95 {
+		t.Errorf("correlated accuracy %.3f", rate)
+	}
+}
+
+func TestPerceptronTheta(t *testing.T) {
+	p := NewPerceptron(34, 256)
+	h := 34.0
+	wantTheta := int32(1.93*h + 14) // ⌊79.62⌋
+	if p.Theta() != wantTheta {
+		t.Errorf("theta = %d", p.Theta())
+	}
+}
+
+func TestPerceptronCost(t *testing.T) {
+	p := NewPerceptron(34, 256)
+	if p.CostBytes() != 256*35 {
+		t.Errorf("cost = %d, want %d", p.CostBytes(), 256*35)
+	}
+	// The Fig. 13 enlarged predictor must cost more than double the default.
+	if large := NewPerceptron(36, 512); large.CostBytes() < 2*p.CostBytes() {
+		t.Error("large predictor not at least double the default cost")
+	}
+}
+
+func TestPerceptronHistoryMasked(t *testing.T) {
+	p := NewPerceptron(8, 16)
+	for i := 0; i < 100; i++ {
+		p.Update(0, true)
+	}
+	if p.History() != 0xFF {
+		t.Errorf("history = %#x, want 0xFF (8 bits)", p.History())
+	}
+}
+
+func TestBimodalSaturation(t *testing.T) {
+	b := NewBimodal(64)
+	pc := uint64(0x40)
+	for i := 0; i < 10; i++ {
+		b.Update(pc, true)
+	}
+	if !b.Predict(pc) {
+		t.Error("saturated-taken counter predicts not-taken")
+	}
+	// One not-taken must not flip a saturated counter.
+	b.Update(pc, false)
+	if !b.Predict(pc) {
+		t.Error("2-bit hysteresis missing")
+	}
+	b.Update(pc, false)
+	if b.Predict(pc) {
+		t.Error("two not-takens should flip the counter")
+	}
+}
+
+func TestGshareUsesHistory(t *testing.T) {
+	g := NewGshare(10, 1024)
+	acc := trainAccuracy(g, 20_000, func(i int) (uint64, bool) { return 0x80, i%4 == 0 })
+	if acc < 0.95 {
+		t.Errorf("gshare periodic accuracy %.3f", acc)
+	}
+}
+
+func TestTournamentBeatsComponentsOnMix(t *testing.T) {
+	// A workload with both a biased branch and a history-correlated branch.
+	gen := func(i int) (uint64, bool) {
+		if i%2 == 0 {
+			return 0x100, true // biased: bimodal-friendly
+		}
+		return 0x200, (i/2)%4 == 0 // periodic: gshare-friendly
+	}
+	tour := NewTournament(Config{})
+	acc := trainAccuracy(tour, 40_000, gen)
+	if acc < 0.95 {
+		t.Errorf("tournament accuracy %.3f", acc)
+	}
+}
+
+func TestNewDispatch(t *testing.T) {
+	kinds := []string{"perceptron", "gshare", "bimodal", "tournament", "static", ""}
+	for _, k := range kinds {
+		p, err := New(Config{Kind: k})
+		if err != nil || p == nil {
+			t.Errorf("New(%q) failed: %v", k, err)
+		}
+	}
+	if _, err := New(Config{Kind: "nope"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if !(StaticTaken{}).Predict(0) {
+		t.Error("static-taken broken")
+	}
+}
+
+func TestBTBInsertLookup(t *testing.T) {
+	b := NewBTB(16, 2)
+	b.Insert(0x1000, 0x2000)
+	if tgt, hit := b.Lookup(0x1000); !hit || tgt != 0x2000 {
+		t.Errorf("lookup = %#x,%v", tgt, hit)
+	}
+	if _, hit := b.Lookup(0x1004); hit {
+		t.Error("phantom hit")
+	}
+	// Target update in place.
+	b.Insert(0x1000, 0x3000)
+	if tgt, _ := b.Lookup(0x1000); tgt != 0x3000 {
+		t.Error("target not updated")
+	}
+}
+
+func TestBTBLRUReplacement(t *testing.T) {
+	b := NewBTB(1, 2) // single set, 2 ways
+	b.Insert(0x0, 1)
+	b.Insert(0x4, 2)
+	b.Lookup(0x0)    // touch way 0 so 0x4 becomes LRU
+	b.Insert(0x8, 3) // evicts 0x4
+	if _, hit := b.Lookup(0x4); hit {
+		t.Error("LRU entry not evicted")
+	}
+	if _, hit := b.Lookup(0x0); !hit {
+		t.Error("MRU entry evicted")
+	}
+	if _, hit := b.Lookup(0x8); !hit {
+		t.Error("new entry missing")
+	}
+}
+
+func TestRASLIFO(t *testing.T) {
+	r := NewRAS(4)
+	for i := uint64(1); i <= 3; i++ {
+		r.Push(i * 100)
+	}
+	for want := uint64(300); want >= 100; want -= 100 {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Errorf("pop = %d,%v want %d", got, ok, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("empty RAS popped")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if v, _ := r.Pop(); v != 3 {
+		t.Errorf("pop = %d, want 3", v)
+	}
+	if v, _ := r.Pop(); v != 2 {
+		t.Errorf("pop = %d, want 2", v)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("depth should be exhausted after wrap")
+	}
+}
+
+// Property: a BTB lookup immediately after insert always hits with the
+// inserted target, for arbitrary PCs.
+func TestQuickBTB(t *testing.T) {
+	b := DefaultBTB()
+	f := func(pc, tgt uint64) bool {
+		b.Insert(pc, tgt)
+		got, hit := b.Lookup(pc)
+		return hit && got == tgt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: predictors never crash and always return a boolean for
+// arbitrary PC streams (smoke safety under fuzzing).
+func TestQuickPredictorSafety(t *testing.T) {
+	preds := []Predictor{
+		NewPerceptron(34, 256),
+		NewGshare(12, 1024),
+		NewBimodal(512),
+		NewTournament(Config{}),
+	}
+	f := func(pc uint64, taken bool) bool {
+		for _, p := range preds {
+			p.Predict(pc)
+			p.Update(pc, taken)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTAGELearnsBias(t *testing.T) {
+	p := NewTAGE()
+	acc := trainAccuracy(p, 4000, func(i int) (uint64, bool) { return 0x400, true })
+	if acc < 0.99 {
+		t.Errorf("always-taken accuracy %.3f", acc)
+	}
+}
+
+func TestTAGELearnsLongPeriodPattern(t *testing.T) {
+	// Period-24 pattern: beyond gshare-with-10-bit-history comfort but
+	// well inside TAGE's 44-bit table.
+	gen := func(i int) (uint64, bool) { return 0x80, i%24 < 20 }
+	tage := NewTAGE()
+	accT := trainAccuracy(tage, 60_000, gen)
+	if accT < 0.97 {
+		t.Errorf("TAGE period-24 accuracy %.3f", accT)
+	}
+	bim := NewBimodal(4096)
+	accB := trainAccuracy(bim, 60_000, gen)
+	if accT <= accB {
+		t.Errorf("TAGE (%.3f) not above bimodal (%.3f) on a history pattern", accT, accB)
+	}
+}
+
+func TestTAGECorrelatedBranches(t *testing.T) {
+	// Branch B's outcome equals branch A's previous outcome.
+	p := NewTAGE()
+	n := 40_000
+	correct := 0
+	for i := 0; i < n; i++ {
+		a := (i/5)%3 == 0
+		p.Predict(0x100)
+		p.Update(0x100, a)
+		predB := p.Predict(0x200)
+		if i > n/2 && predB == a {
+			correct++
+		}
+		p.Update(0x200, a)
+	}
+	if rate := float64(correct) / float64(n/2); rate < 0.95 {
+		t.Errorf("correlated accuracy %.3f", rate)
+	}
+}
+
+func TestTAGECost(t *testing.T) {
+	p := NewTAGE()
+	if p.CostBytes() <= 0 || p.CostBytes() > 16*1024 {
+		t.Errorf("TAGE cost %d bytes implausible", p.CostBytes())
+	}
+	if p.Name() != "tage" {
+		t.Error("name wrong")
+	}
+}
+
+func TestTAGEFactory(t *testing.T) {
+	p, err := New(Config{Kind: "tage"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(*TAGE); !ok {
+		t.Errorf("factory returned %T", p)
+	}
+}

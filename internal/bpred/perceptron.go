@@ -1,0 +1,127 @@
+package bpred
+
+// Perceptron implements the perceptron branch predictor of Jiménez &amp; Lin
+// (HPCA 2001), the predictor AMD disclosed for Zen and the one the paper's
+// base machine uses (Table I: 34-bit history, 256-entry weight table).
+//
+// Each table entry holds HistoryLen signed weights plus a bias. The
+// prediction is the sign of bias + Σ wᵢ·hᵢ where hᵢ ∈ {-1, +1} is the i-th
+// global history bit. Training (on a misprediction or when |output| ≤ θ,
+// θ = ⌊1.93·H + 14⌋) nudges each weight toward agreement with the outcome,
+// saturating at ±127 (8-bit weights).
+type Perceptron struct {
+	historyLen int
+	tableSize  int
+	theta      int32
+	weights    [][]int8 // [tableSize][historyLen+1]; index 0 is the bias
+	history    uint64   // youngest outcome in bit 0
+	histMask   uint64
+}
+
+// NewPerceptron returns a perceptron predictor with the given global history
+// length (≤ 64) and weight-table size.
+func NewPerceptron(historyLen, tableSize int) *Perceptron {
+	if historyLen <= 0 || historyLen > 64 {
+		panic("bpred: perceptron history length out of range")
+	}
+	if tableSize <= 0 {
+		panic("bpred: perceptron table size must be positive")
+	}
+	p := &Perceptron{
+		historyLen: historyLen,
+		tableSize:  tableSize,
+		theta:      int32(1.93*float64(historyLen) + 14),
+		weights:    make([][]int8, tableSize),
+		histMask:   mask64(historyLen),
+	}
+	for i := range p.weights {
+		p.weights[i] = make([]int8, historyLen+1)
+	}
+	return p
+}
+
+func mask64(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << n) - 1
+}
+
+func (p *Perceptron) index(pc uint64) int {
+	return int((pc >> 2) % uint64(p.tableSize))
+}
+
+func (p *Perceptron) output(pc uint64) int32 {
+	w := p.weights[p.index(pc)]
+	y := int32(w[0])
+	h := p.history
+	for i := 1; i <= p.historyLen; i++ {
+		if h&1 != 0 {
+			y += int32(w[i])
+		} else {
+			y -= int32(w[i])
+		}
+		h >>= 1
+	}
+	return y
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (p *Perceptron) Predict(pc uint64) bool { return p.output(pc) >= 0 }
+
+// Update trains on the true outcome and shifts the global history.
+func (p *Perceptron) Update(pc uint64, taken bool) {
+	y := p.output(pc)
+	pred := y >= 0
+	if pred != taken || abs32(y) <= p.theta {
+		w := p.weights[p.index(pc)]
+		w[0] = nudge(w[0], taken)
+		h := p.history
+		for i := 1; i <= p.historyLen; i++ {
+			// Agreeing history bits strengthen, disagreeing weaken.
+			w[i] = nudge(w[i], taken == (h&1 != 0))
+			h >>= 1
+		}
+	}
+	p.history = ((p.history << 1) | b2u64(taken)) & p.histMask
+}
+
+func nudge(w int8, up bool) int8 {
+	if up {
+		if w < 127 {
+			return w + 1
+		}
+		return w
+	}
+	if w > -127 {
+		return w - 1
+	}
+	return w
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func b2u64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Name implements Predictor.
+func (p *Perceptron) Name() string { return "perceptron" }
+
+// CostBytes returns the weight storage: tableSize × (historyLen+1) 8-bit
+// weights.
+func (p *Perceptron) CostBytes() int { return p.tableSize * (p.historyLen + 1) }
+
+// History exposes the current global history (for tests).
+func (p *Perceptron) History() uint64 { return p.history }
+
+// Theta exposes the training threshold (for tests).
+func (p *Perceptron) Theta() int32 { return p.theta }

@@ -1,0 +1,213 @@
+package bpred
+
+// TAGE is a compact TAGE predictor (Seznec & Michaud, JILP 2006): a bimodal
+// base predictor plus N partially-tagged tables indexed with geometrically
+// increasing history lengths. Included as a beyond-paper predictor for the
+// footnote-1 style cross-checks — the paper's machine uses the perceptron,
+// but confidence-based issue prioritization should survive a predictor
+// swap, and TAGE is the strongest family in production use.
+type TAGE struct {
+	base    *Bimodal
+	tables  []tageTable
+	history uint64 // global history, youngest outcome in bit 0 (64-bit cap)
+
+	// Prediction bookkeeping between Predict and Update (single-branch
+	// in-flight window, which matches the simulator's fetch-time
+	// predict/update discipline).
+	lastPC       uint64
+	provider     int // table index of the provider, -1 = bimodal
+	altPred      bool
+	providerPred bool
+	useAltOnNA   int8 // "use alternate on newly allocated" counter
+}
+
+type tageTable struct {
+	histLen int
+	tagBits int
+	entries []tageEntry
+	mask    uint64
+}
+
+type tageEntry struct {
+	tag    uint16
+	ctr    int8 // -4..3 signed counter; ≥0 predicts taken
+	useful uint8
+}
+
+// NewTAGE builds a 4-table TAGE with history lengths 5/15/44/130 (capped at
+// the 64-bit register for folding purposes), 512-entry tables, 9-bit tags.
+func NewTAGE() *TAGE {
+	lens := []int{5, 15, 44, 64} // 130 folds to the 64-bit history register
+	t := &TAGE{
+		base:     NewBimodal(4096),
+		provider: -1,
+	}
+	for _, hl := range lens {
+		t.tables = append(t.tables, tageTable{
+			histLen: hl,
+			tagBits: 9,
+			entries: make([]tageEntry, 512),
+			mask:    511,
+		})
+	}
+	return t
+}
+
+// fold compresses the low n history bits into `bits` bits.
+func fold(h uint64, n, bits int) uint64 {
+	if n < 64 {
+		h &= (uint64(1) << n) - 1
+	}
+	var out uint64
+	for h != 0 {
+		out ^= h & ((uint64(1) << bits) - 1)
+		h >>= uint(bits)
+	}
+	return out
+}
+
+func (tt *tageTable) index(pc, hist uint64) uint64 {
+	return (pc>>2 ^ fold(hist, tt.histLen, 9) ^ fold(hist, tt.histLen, 7)<<2) & tt.mask
+}
+
+func (tt *tageTable) tag(pc, hist uint64) uint16 {
+	return uint16((pc>>2 ^ fold(hist, tt.histLen, uint16Bits(tt.tagBits))) & ((1 << tt.tagBits) - 1))
+}
+
+func uint16Bits(b int) int { return b }
+
+// Predict implements Predictor.
+func (t *TAGE) Predict(pc uint64) bool {
+	t.lastPC = pc
+	t.provider = -1
+	alt := -1
+	for i := len(t.tables) - 1; i >= 0; i-- {
+		tt := &t.tables[i]
+		e := &tt.entries[tt.index(pc, t.history)]
+		if e.tag == tt.tag(pc, t.history) {
+			if t.provider == -1 {
+				t.provider = i
+			} else {
+				alt = i
+				break
+			}
+		}
+	}
+	t.altPred = t.base.Predict(pc)
+	if alt >= 0 {
+		tt := &t.tables[alt]
+		t.altPred = tt.entries[tt.index(pc, t.history)].ctr >= 0
+	}
+	if t.provider == -1 {
+		t.providerPred = t.base.Predict(pc)
+		return t.providerPred
+	}
+	tt := &t.tables[t.provider]
+	e := &tt.entries[tt.index(pc, t.history)]
+	t.providerPred = e.ctr >= 0
+	// Newly allocated, weak entries defer to the alternate prediction when
+	// experience says so.
+	if t.useAltOnNA >= 0 && (e.ctr == 0 || e.ctr == -1) && e.useful == 0 {
+		return t.altPred
+	}
+	return t.providerPred
+}
+
+// Update implements Predictor. The simulator calls Predict immediately
+// followed by Update for the same branch, so the prediction bookkeeping
+// from Predict is still valid.
+func (t *TAGE) Update(pc uint64, taken bool) {
+	if pc != t.lastPC {
+		// Defensive: recompute the provider state for out-of-protocol use.
+		t.Predict(pc)
+	}
+	if t.provider >= 0 {
+		tt := &t.tables[t.provider]
+		e := &tt.entries[tt.index(pc, t.history)]
+		correct := t.providerPred == taken
+		// Track whether newly-allocated entries should defer to alt.
+		if (e.ctr == 0 || e.ctr == -1) && e.useful == 0 && t.providerPred != t.altPred {
+			if correct && t.useAltOnNA > -64 {
+				t.useAltOnNA--
+			} else if !correct && t.useAltOnNA < 63 {
+				t.useAltOnNA++
+			}
+		}
+		// Useful bit: provider right where the alternate was wrong.
+		if t.providerPred != t.altPred {
+			if correct && e.useful < 3 {
+				e.useful++
+			} else if !correct && e.useful > 0 {
+				e.useful--
+			}
+		}
+		e.ctr = bump(e.ctr, taken)
+	} else {
+		t.base.Update(pc, taken)
+	}
+
+	// Allocate on a misprediction in a longer-history table.
+	finalPred := t.providerPred
+	if t.provider >= 0 {
+		tt := &t.tables[t.provider]
+		e := &tt.entries[tt.index(pc, t.history)]
+		if t.useAltOnNA >= 0 && (e.ctr == 0 || e.ctr == 1 || e.ctr == -1 || e.ctr == -2) && e.useful == 0 {
+			finalPred = t.altPred
+		}
+	}
+	if finalPred != taken && t.provider < len(t.tables)-1 {
+		start := t.provider + 1
+		allocated := false
+		for i := start; i < len(t.tables); i++ {
+			tt := &t.tables[i]
+			e := &tt.entries[tt.index(pc, t.history)]
+			if e.useful == 0 {
+				e.tag = tt.tag(pc, t.history)
+				if taken {
+					e.ctr = 0
+				} else {
+					e.ctr = -1
+				}
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			// Decay usefulness so future allocations succeed.
+			for i := start; i < len(t.tables); i++ {
+				tt := &t.tables[i]
+				e := &tt.entries[tt.index(pc, t.history)]
+				if e.useful > 0 {
+					e.useful--
+				}
+			}
+		}
+	}
+	t.history = t.history<<1 | b2u64(taken)
+}
+
+func bump(c int8, up bool) int8 {
+	if up {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > -4 {
+		return c - 1
+	}
+	return c
+}
+
+// Name implements Predictor.
+func (t *TAGE) Name() string { return "tage" }
+
+// CostBytes implements Predictor: base (2 bits/entry) + tagged entries
+// (9-bit tag + 3-bit counter + 2-bit useful ≈ 2 bytes each).
+func (t *TAGE) CostBytes() int {
+	cost := t.base.CostBytes()
+	for _, tt := range t.tables {
+		cost += len(tt.entries) * 2
+	}
+	return cost
+}

@@ -1,0 +1,152 @@
+package bpred
+
+// twoBit is a saturating 2-bit counter: 0,1 predict not-taken; 2,3 taken.
+type twoBit uint8
+
+func (c twoBit) taken() bool { return c >= 2 }
+
+func (c twoBit) update(taken bool) twoBit {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Bimodal is a classic PC-indexed table of 2-bit saturating counters.
+type Bimodal struct {
+	table []twoBit
+}
+
+// NewBimodal returns a bimodal predictor with the given table size
+// (rounded up to a power of two).
+func NewBimodal(size int) *Bimodal {
+	return &Bimodal{table: make([]twoBit, ceilPow2(size))}
+}
+
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (b *Bimodal) idx(pc uint64) int { return int((pc >> 2) & uint64(len(b.table)-1)) }
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[b.idx(pc)].taken() }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := b.idx(pc)
+	b.table[i] = b.table[i].update(taken)
+}
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return "bimodal" }
+
+// CostBytes implements Predictor (2 bits per entry).
+func (b *Bimodal) CostBytes() int { return len(b.table) / 4 }
+
+// Gshare XORs the global history into the PC index of a 2-bit counter table.
+type Gshare struct {
+	table    []twoBit
+	history  uint64
+	histMask uint64
+}
+
+// NewGshare returns a gshare predictor with historyLen history bits and the
+// given counter-table size (rounded up to a power of two).
+func NewGshare(historyLen, size int) *Gshare {
+	return &Gshare{
+		table:    make([]twoBit, ceilPow2(size)),
+		histMask: mask64(historyLen),
+	}
+}
+
+func (g *Gshare) idx(pc uint64) int {
+	return int(((pc >> 2) ^ g.history) & uint64(len(g.table)-1))
+}
+
+// Predict implements Predictor.
+func (g *Gshare) Predict(pc uint64) bool { return g.table[g.idx(pc)].taken() }
+
+// Update implements Predictor.
+func (g *Gshare) Update(pc uint64, taken bool) {
+	i := g.idx(pc)
+	g.table[i] = g.table[i].update(taken)
+	g.history = ((g.history << 1) | b2u64(taken)) & g.histMask
+}
+
+// Name implements Predictor.
+func (g *Gshare) Name() string { return "gshare" }
+
+// CostBytes implements Predictor.
+func (g *Gshare) CostBytes() int { return len(g.table) / 4 }
+
+// Tournament combines a bimodal and a gshare component with a PC-indexed
+// chooser table of 2-bit counters (an Alpha 21264-style hybrid).
+type Tournament struct {
+	bimodal *Bimodal
+	gshare  *Gshare
+	chooser []twoBit // 0,1: prefer bimodal; 2,3: prefer gshare
+}
+
+// NewTournament builds a tournament predictor. The Config's TableSize sizes
+// each component (default 4K counters each) and HistoryLen the gshare
+// history (default 12).
+func NewTournament(c Config) *Tournament {
+	size := c.TableSize
+	if size == 0 {
+		size = 4096
+	}
+	hist := c.HistoryLen
+	if hist == 0 {
+		hist = 12
+	}
+	return &Tournament{
+		bimodal: NewBimodal(size),
+		gshare:  NewGshare(hist, size),
+		chooser: make([]twoBit, ceilPow2(size)),
+	}
+}
+
+func (t *Tournament) idx(pc uint64) int { return int((pc >> 2) & uint64(len(t.chooser)-1)) }
+
+// Predict implements Predictor.
+func (t *Tournament) Predict(pc uint64) bool {
+	if t.chooser[t.idx(pc)].taken() {
+		return t.gshare.Predict(pc)
+	}
+	return t.bimodal.Predict(pc)
+}
+
+// Update implements Predictor: trains both components and moves the chooser
+// toward whichever one was right when they disagree.
+func (t *Tournament) Update(pc uint64, taken bool) {
+	bp := t.bimodal.Predict(pc)
+	gp := t.gshare.Predict(pc)
+	if bp != gp {
+		i := t.idx(pc)
+		t.chooser[i] = t.chooser[i].update(gp == taken)
+	}
+	t.bimodal.Update(pc, taken)
+	t.gshare.Update(pc, taken)
+}
+
+// Name implements Predictor.
+func (t *Tournament) Name() string { return "tournament" }
+
+// CostBytes implements Predictor.
+func (t *Tournament) CostBytes() int {
+	return t.bimodal.CostBytes() + t.gshare.CostBytes() + len(t.chooser)/4
+}

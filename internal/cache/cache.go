@@ -1,0 +1,361 @@
+// Package cache implements the simulated memory hierarchy: set-associative
+// write-back caches with true-LRU replacement and MSHR-based non-blocking
+// misses, and a main memory with a fixed minimum latency plus a finite
+// bandwidth bus (Table I: L1I/L1D 32KB 8-way, L2 2MB 16-way 12-cycle,
+// memory 300-cycle minimum latency at 8 B/cycle).
+//
+// Timing is modelled with deterministic latency propagation: an access at
+// cycle `now` returns the cycle its data is available, accounting for hit
+// latency, MSHR occupancy and merging, and memory bus contention.
+package cache
+
+import "fmt"
+
+// Level is one level of the hierarchy (a cache or main memory).
+type Level interface {
+	// Access requests the line containing addr at cycle now and returns the
+	// cycle the data is available. Write accesses allocate like reads
+	// (write-allocate) and mark the line dirty.
+	Access(addr uint64, now int64, write bool) (done int64)
+	// WriteBack delivers an evicted dirty line. It consumes bandwidth but
+	// the caller never waits on it.
+	WriteBack(addr uint64, now int64)
+	// LineBytes returns the line size.
+	LineBytes() int
+}
+
+// Prefetcher observes demand misses at the level it is attached to and
+// nominates line addresses to prefetch. Implementations live in
+// internal/prefetch.
+type Prefetcher interface {
+	// OnMiss is called with the line-aligned byte address of a demand miss
+	// and returns line-aligned addresses to prefetch.
+	OnMiss(lineAddr uint64) []uint64
+}
+
+// Config sizes one cache.
+type Config struct {
+	Name      string
+	Sets      int // power of two
+	Ways      int
+	LineBytes int   // power of two
+	HitLat    int64 // cycles
+	MSHRs     int   // max outstanding misses; 0 = unlimited
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses      uint64
+	Misses        uint64 // demand misses (including late prefetches)
+	MSHRMerges    uint64 // demand accesses merged into an outstanding miss
+	Writebacks    uint64
+	PrefetchReqs  uint64 // prefetches issued from this level
+	PrefetchFills uint64 // lines installed by prefetch
+	PrefetchHits  uint64 // demand hits on prefetched lines
+	PrefetchLate  uint64 // demand hits on prefetched lines still in flight;
+	// the demand access is partially exposed, so these also count as Misses
+}
+
+type line struct {
+	valid      bool
+	dirty      bool
+	prefetched bool // installed by prefetch, not yet demand-touched
+	tag        uint64
+	lru        uint64
+	readyAt    int64 // cycle the fill completes; hits before this wait
+}
+
+type mshr struct {
+	lineAddr uint64
+	done     int64
+}
+
+// Cache is one set-associative level.
+type Cache struct {
+	cfg      Config
+	lines    []line
+	next     Level
+	tick     uint64
+	lineBits uint
+	mshrs    []mshr
+	pf       Prefetcher
+	stats    Stats
+}
+
+// New builds a cache in front of next.
+func New(cfg Config, next Level) *Cache {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: sets must be a positive power of two", cfg.Name))
+	}
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %s: ways must be positive", cfg.Name))
+	}
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic(fmt.Sprintf("cache %s: line size must be a positive power of two", cfg.Name))
+	}
+	if next == nil {
+		panic(fmt.Sprintf("cache %s: next level required", cfg.Name))
+	}
+	c := &Cache{
+		cfg:   cfg,
+		lines: make([]line, cfg.Sets*cfg.Ways),
+		next:  next,
+	}
+	for cfg.LineBytes>>c.lineBits > 1 {
+		c.lineBits++
+	}
+	return c
+}
+
+// SetPrefetcher attaches a prefetcher that observes this level's demand
+// misses (the paper prefetches into the L2).
+func (c *Cache) SetPrefetcher(p Prefetcher) { c.pf = p }
+
+// Stats returns a pointer to the live counters.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// LineBytes implements Level.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+// SizeBytes returns total data capacity.
+func (c *Cache) SizeBytes() int { return c.cfg.Sets * c.cfg.Ways * c.cfg.LineBytes }
+
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr &^ (uint64(c.cfg.LineBytes) - 1) }
+
+func (c *Cache) row(lineAddr uint64) (base int, tag uint64) {
+	idx := (lineAddr >> c.lineBits) & uint64(c.cfg.Sets-1)
+	return int(idx) * c.cfg.Ways, (lineAddr >> c.lineBits) / uint64(c.cfg.Sets)
+}
+
+func (c *Cache) purgeMSHRs(now int64) {
+	out := c.mshrs[:0]
+	for _, m := range c.mshrs {
+		if m.done > now {
+			out = append(out, m)
+		}
+	}
+	c.mshrs = out
+}
+
+// Access implements Level.
+func (c *Cache) Access(addr uint64, now int64, write bool) int64 {
+	c.stats.Accesses++
+	la := c.lineAddr(addr)
+	base, tag := c.row(la)
+	c.tick++
+
+	// Hit?
+	for i := 0; i < c.cfg.Ways; i++ {
+		ln := &c.lines[base+i]
+		if ln.valid && ln.tag == tag {
+			ln.lru = c.tick
+			if write {
+				ln.dirty = true
+			}
+			done := now + c.cfg.HitLat
+			if ln.readyAt > done {
+				done = ln.readyAt // fill still in flight: wait for it
+				if !ln.prefetched {
+					c.stats.MSHRMerges++ // demand access folded into the fill
+				}
+			}
+			if ln.prefetched {
+				ln.prefetched = false
+				c.stats.PrefetchHits++
+				if ln.readyAt > now {
+					// Late prefetch: the demand access is partially exposed
+					// to memory latency, so it counts as a miss for the
+					// paper's memory-intensity metric.
+					c.stats.PrefetchLate++
+					c.stats.Misses++
+				}
+				// A demand hit on a prefetched line keeps the stream alive:
+				// without this, successful prefetching starves its own
+				// training misses and coverage oscillates.
+				if c.pf != nil {
+					for _, pla := range c.pf.OnMiss(la) {
+						c.prefetch(pla, now+c.cfg.HitLat)
+					}
+				}
+			}
+			return done
+		}
+	}
+
+	// Merged into an outstanding miss?
+	c.purgeMSHRs(now)
+	for i := range c.mshrs {
+		if c.mshrs[i].lineAddr == la {
+			c.stats.MSHRMerges++
+			// The line is already installed (fill modelled at request time);
+			// the merged access completes when the original fill does.
+			return c.mshrs[i].done
+		}
+	}
+
+	c.stats.Misses++
+
+	// MSHR structural hazard: wait for the earliest outstanding fill.
+	start := now
+	if c.cfg.MSHRs > 0 && len(c.mshrs) >= c.cfg.MSHRs {
+		earliest := c.mshrs[0].done
+		for _, m := range c.mshrs[1:] {
+			if m.done < earliest {
+				earliest = m.done
+			}
+		}
+		if earliest > start {
+			start = earliest
+		}
+		c.purgeMSHRs(start)
+	}
+
+	done := c.next.Access(la, start+c.cfg.HitLat, false)
+	ln := c.install(la, write, done)
+	ln.readyAt = done
+	c.mshrs = append(c.mshrs, mshr{lineAddr: la, done: done})
+
+	// Demand miss trains the prefetcher; prefetches ride the bus after the
+	// demand fill and never delay it.
+	if c.pf != nil {
+		for _, pla := range c.pf.OnMiss(la) {
+			c.prefetch(pla, done)
+		}
+	}
+	return done
+}
+
+// install places the line, evicting (and writing back) the LRU way.
+func (c *Cache) install(la uint64, dirty bool, now int64) *line {
+	base, tag := c.row(la)
+	c.tick++
+	victim := base
+	for i := 0; i < c.cfg.Ways; i++ {
+		ln := &c.lines[base+i]
+		if ln.valid && ln.tag == tag {
+			ln.lru = c.tick
+			if dirty {
+				ln.dirty = true
+			}
+			return ln
+		}
+		if !ln.valid {
+			victim = base + i
+			break
+		}
+		if ln.lru < c.lines[victim].lru {
+			victim = base + i
+		}
+	}
+	v := &c.lines[victim]
+	if v.valid && v.dirty {
+		c.stats.Writebacks++
+		c.next.WriteBack(c.victimAddr(victim), now)
+	}
+	*v = line{valid: true, dirty: dirty, tag: tag, lru: c.tick}
+	return v
+}
+
+// victimAddr reconstructs the byte address of the line in slot i.
+func (c *Cache) victimAddr(slot int) uint64 {
+	set := uint64(slot / c.cfg.Ways)
+	ln := c.lines[slot]
+	return (ln.tag*uint64(c.cfg.Sets) + set) << c.lineBits
+}
+
+// prefetch fetches la into this cache if absent and not already in flight.
+func (c *Cache) prefetch(la uint64, now int64) {
+	base, tag := c.row(la)
+	for i := 0; i < c.cfg.Ways; i++ {
+		ln := &c.lines[base+i]
+		if ln.valid && ln.tag == tag {
+			return // already present
+		}
+	}
+	for _, m := range c.mshrs {
+		if m.lineAddr == la {
+			return // already in flight
+		}
+	}
+	c.stats.PrefetchReqs++
+	done := c.next.Access(la, now, false)
+	ln := c.install(la, false, done)
+	ln.prefetched = true
+	ln.readyAt = done
+	c.stats.PrefetchFills++
+	c.mshrs = append(c.mshrs, mshr{lineAddr: la, done: done})
+}
+
+// WriteBack implements Level: a dirty line arriving from the level above is
+// absorbed if present, otherwise passed down. The caller never waits.
+func (c *Cache) WriteBack(addr uint64, now int64) {
+	la := c.lineAddr(addr)
+	base, tag := c.row(la)
+	for i := 0; i < c.cfg.Ways; i++ {
+		ln := &c.lines[base+i]
+		if ln.valid && ln.tag == tag {
+			ln.dirty = true
+			return
+		}
+	}
+	c.next.WriteBack(la, now)
+}
+
+// Contains reports whether the line holding addr is resident (for tests).
+func (c *Cache) Contains(addr uint64) bool {
+	la := c.lineAddr(addr)
+	base, tag := c.row(la)
+	for i := 0; i < c.cfg.Ways; i++ {
+		ln := &c.lines[base+i]
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Memory is the DRAM model: fixed minimum latency, finite-bandwidth bus.
+type Memory struct {
+	Latency       int64 // minimum access latency (Table I: 300)
+	LineBytes_    int
+	BytesPerCycle int64 // bus bandwidth (Table I: 8)
+	busFree       int64
+	accesses      uint64
+}
+
+// NewMemory returns the paper's main memory: 300-cycle minimum latency,
+// 8 B/cycle bandwidth, 64 B lines.
+func NewMemory() *Memory {
+	return &Memory{Latency: 300, LineBytes_: 64, BytesPerCycle: 8}
+}
+
+func (m *Memory) transfer() int64 {
+	return int64(m.LineBytes_) / m.BytesPerCycle
+}
+
+// Access implements Level: the request occupies the bus for one line
+// transfer and completes after the access latency.
+func (m *Memory) Access(addr uint64, now int64, write bool) int64 {
+	m.accesses++
+	start := now
+	if m.busFree > start {
+		start = m.busFree
+	}
+	m.busFree = start + m.transfer()
+	return start + m.Latency
+}
+
+// WriteBack implements Level: consumes one line transfer of bus bandwidth.
+func (m *Memory) WriteBack(addr uint64, now int64) {
+	start := now
+	if m.busFree > start {
+		start = m.busFree
+	}
+	m.busFree = start + m.transfer()
+}
+
+// LineBytes implements Level.
+func (m *Memory) LineBytes() int { return m.LineBytes_ }
+
+// Accesses returns the number of line fetches served.
+func (m *Memory) Accesses() uint64 { return m.accesses }

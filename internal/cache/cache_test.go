@@ -1,0 +1,226 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func l1(next Level) *Cache {
+	return New(Config{Name: "L1", Sets: 8, Ways: 2, LineBytes: 64, HitLat: 2, MSHRs: 4}, next)
+}
+
+func TestMemoryLatencyAndBus(t *testing.T) {
+	m := NewMemory()
+	d1 := m.Access(0, 100, false)
+	if d1 != 400 {
+		t.Errorf("first access done at %d, want 400", d1)
+	}
+	// Second access issued the same cycle queues behind one line transfer
+	// (64 B / 8 B-per-cycle = 8 cycles).
+	d2 := m.Access(64, 100, false)
+	if d2 != 408 {
+		t.Errorf("second access done at %d, want 408", d2)
+	}
+	if m.Accesses() != 2 {
+		t.Errorf("accesses = %d", m.Accesses())
+	}
+}
+
+func TestHitAndMissLatency(t *testing.T) {
+	c := l1(NewMemory())
+	miss := c.Access(0x100, 0, false)
+	if miss <= 300 {
+		t.Errorf("cold miss done at %d; must include memory latency", miss)
+	}
+	hit := c.Access(0x108, miss, false) // same line, after fill
+	if hit != miss+2 {
+		t.Errorf("hit done at %d, want now+2", hit)
+	}
+	if st := c.Stats(); st.Accesses != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestInFlightHitWaits(t *testing.T) {
+	c := l1(NewMemory())
+	fill := c.Access(0x100, 0, false)
+	// A hit to the same line before the fill completes must wait for it.
+	early := c.Access(0x108, 5, false)
+	if early < fill {
+		t.Errorf("hit on in-flight line done at %d, before fill at %d", early, fill)
+	}
+}
+
+func TestMSHRMerge(t *testing.T) {
+	c := l1(NewMemory())
+	d1 := c.Access(0x200, 0, false)
+	d2 := c.Access(0x200, 1, false) // same line while outstanding
+	if d2 != d1 {
+		t.Errorf("merged access done at %d, want %d", d2, d1)
+	}
+	if st := c.Stats(); st.MSHRMerges != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMSHRStructuralLimit(t *testing.T) {
+	c := l1(NewMemory())
+	var last int64
+	// 4 MSHRs: the 5th distinct miss at cycle 0 must start later.
+	for i := 0; i < 4; i++ {
+		last = c.Access(uint64(i)*0x1000, 0, false)
+	}
+	d5 := c.Access(4*0x1000, 0, false)
+	if d5 <= last {
+		t.Errorf("5th miss (%d) did not wait for an MSHR (last fill %d)", d5, last)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := l1(NewMemory())
+	// Set 0 (2 ways): lines at stride sets*64 = 512.
+	a, b, d := uint64(0), uint64(512), uint64(1024)
+	c.Access(a, 0, false)
+	c.Access(b, 1000, false)
+	c.Access(a, 2000, false) // touch a: b becomes LRU
+	c.Access(d, 3000, false) // evicts b
+	if !c.Contains(a) || !c.Contains(d) {
+		t.Error("resident lines missing")
+	}
+	if c.Contains(b) {
+		t.Error("LRU line not evicted")
+	}
+}
+
+func TestWritebackPath(t *testing.T) {
+	mem := NewMemory()
+	c := l1(mem)
+	c.Access(0, 0, true) // dirty line in set 0
+	c.Access(512, 1000, false)
+	c.Access(1024, 2000, false) // evicts dirty line 0 → writeback
+	if st := c.Stats(); st.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", st.Writebacks)
+	}
+}
+
+func TestWriteBackAbsorbed(t *testing.T) {
+	mem := NewMemory()
+	l2 := New(Config{Name: "L2", Sets: 64, Ways: 4, LineBytes: 64, HitLat: 12}, mem)
+	c := l1(l2)
+	c.Access(0x40, 0, true) // allocate in both levels, dirty in L1
+	// L1 victim arrives at L2, which holds the line: absorbed, not passed on.
+	before := mem.Accesses()
+	c.WriteBack(0x40, 100)
+	_ = before
+	if !l2.Contains(0x40) {
+		t.Error("L2 lost the line")
+	}
+}
+
+func TestLatePrefetchCountsAsMiss(t *testing.T) {
+	mem := NewMemory()
+	c := New(Config{Name: "L2", Sets: 64, Ways: 4, LineBytes: 64, HitLat: 12}, mem)
+	c.SetPrefetcher(fixedPF{lines: []uint64{0x1000}})
+	c.Access(0x40, 0, false) // demand miss triggers prefetch of 0x1000
+	st := c.Stats()
+	if st.PrefetchReqs != 1 || st.PrefetchFills != 1 {
+		t.Fatalf("prefetch not issued: %+v", st)
+	}
+	missesBefore := st.Misses
+	// Demand access to the prefetched line while its fill is in flight.
+	done := c.Access(0x1000, 5, false)
+	if done <= 5+12 {
+		t.Errorf("late-prefetch hit done at %d; must wait for the fill", done)
+	}
+	if st.PrefetchLate != 1 || st.Misses != missesBefore+1 {
+		t.Errorf("late prefetch not accounted as miss: %+v", st)
+	}
+	// A second access long after the fill is a clean hit.
+	if d := c.Access(0x1000, 10_000, false); d != 10_012 {
+		t.Errorf("late hit = %d, want 10012", d)
+	}
+	if st.PrefetchHits != 1 {
+		t.Errorf("prefetch hits = %d, want 1 (counted once)", st.PrefetchHits)
+	}
+}
+
+type fixedPF struct{ lines []uint64 }
+
+func (f fixedPF) OnMiss(uint64) []uint64 { return f.lines }
+
+func TestConfigValidation(t *testing.T) {
+	mem := NewMemory()
+	bad := []Config{
+		{Name: "sets", Sets: 3, Ways: 1, LineBytes: 64},
+		{Name: "ways", Sets: 4, Ways: 0, LineBytes: 64},
+		{Name: "line", Sets: 4, Ways: 1, LineBytes: 60},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %s should panic", cfg.Name)
+				}
+			}()
+			New(cfg, mem)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil next level should panic")
+			}
+		}()
+		New(Config{Name: "n", Sets: 4, Ways: 1, LineBytes: 64}, nil)
+	}()
+}
+
+func TestSizeBytes(t *testing.T) {
+	c := New(Config{Name: "c", Sets: 64, Ways: 8, LineBytes: 64, HitLat: 2}, NewMemory())
+	if c.SizeBytes() != 32*1024 {
+		t.Errorf("size = %d, want 32 KB", c.SizeBytes())
+	}
+	if c.LineBytes() != 64 {
+		t.Error("line size wrong")
+	}
+}
+
+// Property: an access immediately after any access to the same address is a
+// hit completing at now+hitLat once the fill is done, regardless of the
+// address pattern that preceded it.
+func TestQuickHitAfterFill(t *testing.T) {
+	c := New(Config{Name: "q", Sets: 16, Ways: 4, LineBytes: 64, HitLat: 2, MSHRs: 8}, NewMemory())
+	now := int64(0)
+	f := func(addr uint32, write bool) bool {
+		a := uint64(addr)
+		done := c.Access(a, now, write)
+		if done < now {
+			return false
+		}
+		now = done + 1
+		hit := c.Access(a, now, false)
+		ok := hit == now+2 && c.Contains(a)
+		now = hit + 1
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: timing is monotone — a level never completes an access before
+// it was issued.
+func TestQuickMonotoneTiming(t *testing.T) {
+	mem := NewMemory()
+	l2 := New(Config{Name: "L2", Sets: 32, Ways: 4, LineBytes: 64, HitLat: 12, MSHRs: 8}, mem)
+	c := New(Config{Name: "L1", Sets: 8, Ways: 2, LineBytes: 64, HitLat: 2, MSHRs: 4}, l2)
+	now := int64(0)
+	f := func(addr uint32, dt uint8, write bool) bool {
+		now += int64(dt)
+		done := c.Access(uint64(addr), now, write)
+		return done >= now
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

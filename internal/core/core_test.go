@@ -1,0 +1,309 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestFoldTag(t *testing.T) {
+	if FoldTag(0, 8) != 0 {
+		t.Error("fold of zero must be zero")
+	}
+	if FoldTag(0xABCD, 0) != 0 {
+		t.Error("zero-width fold must be constant 0")
+	}
+	// 8-bit fold of 0x1234 = 0x12 ^ 0x34.
+	if got := FoldTag(0x1234, 8); got != 0x12^0x34 {
+		t.Errorf("fold = %#x, want %#x", got, 0x12^0x34)
+	}
+	// Determinism.
+	if FoldTag(0xDEADBEEF, 4) != FoldTag(0xDEADBEEF, 4) {
+		t.Error("fold not deterministic")
+	}
+}
+
+// Property: a folded tag always fits in the requested width.
+func TestQuickFoldTagWidth(t *testing.T) {
+	f := func(v uint64, bits uint8) bool {
+		b := int(bits%32) + 1
+		return uint64(FoldTag(v, b)) < uint64(1)<<uint(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfTableResettingCounter(t *testing.T) {
+	ct := NewConfTable(16, 2, 3, 4, false) // 3-bit counter: max 7
+	pc := uint64(0x100)
+
+	if ct.LookupPC(pc) != ConfUnknown {
+		t.Error("unallocated entry should be unknown")
+	}
+	// First correct prediction allocates at max → confident (§III-A1).
+	ct.Update(pc, true)
+	if ct.LookupPC(pc) != ConfConfident {
+		t.Error("allocation on correct should start at max")
+	}
+	// An incorrect prediction resets to 0 → unconfident.
+	ct.Update(pc, false)
+	if ct.LookupPC(pc) != ConfUnconfident {
+		t.Error("reset counter should be unconfident")
+	}
+	// Needs counterMax consecutive corrects to become confident again.
+	for i := 0; i < 6; i++ {
+		ct.Update(pc, true)
+		if ct.LookupPC(pc) != ConfUnconfident {
+			t.Fatalf("confident after only %d corrects", i+1)
+		}
+	}
+	ct.Update(pc, true) // 7th
+	if ct.LookupPC(pc) != ConfConfident {
+		t.Error("not confident after counterMax corrects")
+	}
+	// Saturation: further corrects keep it at max.
+	ct.Update(pc, true)
+	if ct.LookupPC(pc) != ConfConfident {
+		t.Error("saturation broken")
+	}
+}
+
+func TestConfTableAllocationOnIncorrect(t *testing.T) {
+	ct := NewConfTable(16, 2, 3, 4, false)
+	ct.Update(0x200, false) // allocate at 0
+	if ct.LookupPC(0x200) != ConfUnconfident {
+		t.Error("allocation on incorrect should start at 0")
+	}
+}
+
+func TestConfTableBlind(t *testing.T) {
+	ct := NewConfTable(16, 2, 6, 4, true)
+	ct.Update(0x100, true)
+	if ct.LookupPC(0x100) != ConfUnconfident {
+		t.Error("blind table must report everything unconfident")
+	}
+	if ct.LookupPtr(Ptr{}) != ConfUnknown {
+		t.Error("invalid pointer must be unknown even when blind")
+	}
+}
+
+func TestConfTableLRU(t *testing.T) {
+	ct := NewConfTable(1, 2, 2, 8, false) // one set, 2 ways
+	// Three distinct branches fight over two ways.
+	a, b, c := uint64(0x0), uint64(0x4), uint64(0x8)
+	ct.Update(a, false)
+	ct.Update(b, false)
+	ct.Update(a, false) // touch a: b is LRU
+	ct.Update(c, false) // evicts b
+	if ct.LookupPC(b) != ConfUnknown {
+		t.Error("LRU entry survived")
+	}
+	if ct.LookupPC(a) == ConfUnknown || ct.LookupPC(c) == ConfUnknown {
+		t.Error("resident entries lost")
+	}
+}
+
+func TestBrsliceInsertLookup(t *testing.T) {
+	bt := NewBrsliceTable(16, 2, 8, 12)
+	ct := NewConfTable(16, 2, 6, 4, false)
+	instPC, brPC := uint64(0x40), uint64(0x80)
+	cB := bt.PointerFor(instPC)
+	cC := ct.PointerFor(brPC)
+	bt.Insert(cB, cC)
+	got, hit := bt.Lookup(instPC)
+	if !hit || got != cC {
+		t.Errorf("lookup = %+v,%v", got, hit)
+	}
+	if _, hit := bt.Lookup(0x44); hit {
+		t.Error("phantom brslice hit")
+	}
+	// Invalid pointers are ignored.
+	bt.Insert(Ptr{}, cC)
+	bt.Insert(cB, Ptr{})
+}
+
+func TestPUBSSliceGrowsTransitively(t *testing.T) {
+	p := MustNew(DefaultConfig())
+	// Program: I1: add r2 = r3+r4 ; I2: and r5 = r2&r6 ; B: beq r5,r0.
+	i1 := isa.Inst{Op: isa.Add, Rd: isa.R(2), Rs1: isa.R(3), Rs2: isa.R(4)}
+	i2 := isa.Inst{Op: isa.And, Rd: isa.R(5), Rs1: isa.R(2), Rs2: isa.R(6)}
+	br := isa.Inst{Op: isa.Beq, Rs1: isa.R(5), Rs2: isa.RZero}
+	pc1, pc2, pcB := uint64(0x10), uint64(0x20), uint64(0x30)
+
+	// Make the branch unconfident.
+	p.BranchExecuted(pcB, false)
+
+	// Pass 1: the branch links its direct producer (I2).
+	p.Decode(pc1, i1)
+	p.Decode(pc2, i2)
+	if p.Decode(pcB, br) != true {
+		t.Fatal("branch with reset counter should be unconfident")
+	}
+	// Pass 2: I2 now hits brslice_tab → unconfident, and links I1.
+	p.Decode(pc1, i1)
+	if !p.Decode(pc2, i2) {
+		t.Fatal("direct producer not recognised on second pass")
+	}
+	p.Decode(pcB, br)
+	// Pass 3: I1 (indirect producer) is now in the slice too.
+	if !p.Decode(pc1, i1) {
+		t.Error("indirect producer not recognised on third pass (transitive link broken)")
+	}
+}
+
+func TestPUBSConfidentSliceNotPrioritized(t *testing.T) {
+	p := MustNew(DefaultConfig())
+	br := isa.Inst{Op: isa.Beq, Rs1: isa.R(5), Rs2: isa.RZero}
+	pcB := uint64(0x30)
+	// Saturate the counter: confident.
+	for i := 0; i < 64; i++ {
+		p.BranchExecuted(pcB, true)
+	}
+	if p.Decode(pcB, br) {
+		t.Error("confident branch flagged unconfident")
+	}
+}
+
+func TestPUBSZeroRegisterNeverLinks(t *testing.T) {
+	p := MustNew(DefaultConfig())
+	// A branch whose only source is r0 must create no links.
+	br := isa.Inst{Op: isa.Beq, Rs1: isa.RZero, Rs2: isa.RZero}
+	p.BranchExecuted(0x30, false)
+	p.Decode(0x30, br)
+	// Nothing should be linked anywhere: a random instruction stays out.
+	if p.Decode(0x10, isa.Inst{Op: isa.Add, Rd: isa.R(2), Rs1: isa.R(3), Rs2: isa.R(4)}) {
+		t.Error("instruction with no slice membership flagged")
+	}
+}
+
+func TestModeSwitch(t *testing.T) {
+	m := NewModeSwitch(1000, 2.0)
+	if !m.Enabled() {
+		t.Error("mode switch should start enabled")
+	}
+	// Window 1: 5 misses per 1000 insts = 5.0 MPKI > 2.0 → disable.
+	misses := uint64(0)
+	for i := 0; i < 1000; i++ {
+		if i%200 == 0 {
+			misses++
+		}
+		m.OnCommit(misses)
+	}
+	if m.Enabled() {
+		t.Error("high-MPKI window should disable PUBS")
+	}
+	// Window 2: no new misses → re-enable.
+	for i := 0; i < 1000; i++ {
+		m.OnCommit(misses)
+	}
+	if !m.Enabled() {
+		t.Error("low-MPKI window should re-enable PUBS")
+	}
+	if m.Checks != 2 || m.EnabledWindows != 1 {
+		t.Errorf("checks=%d enabled=%d", m.Checks, m.EnabledWindows)
+	}
+}
+
+func TestCostMatchesPaper(t *testing.T) {
+	bd := Cost(DefaultConfig())
+	if kb := bd.TotalKB(); kb < 3.5 || kb > 4.5 {
+		t.Errorf("default PUBS cost %.2f KB, paper reports ≈4.0 KB", kb)
+	}
+	// Hashing must save a large factor over full tags (§IV).
+	full := UnhashedCost(DefaultConfig())
+	if full.TotalKB() < 2*bd.TotalKB() {
+		t.Errorf("hashed (%.1f KB) vs full (%.1f KB): hashing saves too little",
+			bd.TotalKB(), full.TotalKB())
+	}
+	// def_tab is tiny (64 rows).
+	if bd.DefKB() > 0.25 {
+		t.Errorf("def_tab cost %.2f KB too large", bd.DefKB())
+	}
+	// Blind drops conf_tab entirely.
+	blind := DefaultConfig()
+	blind.Blind = true
+	if Cost(blind).ConfBits != 0 {
+		t.Error("blind config should have no conf_tab cost")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	disabled := Config{}
+	if err := disabled.Validate(); err != nil {
+		t.Error("disabled config must validate trivially")
+	}
+	bad := DefaultConfig()
+	bad.ConfSets = 3
+	if bad.Validate() == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+	bad = DefaultConfig()
+	bad.ConfCounterBits = 9
+	if bad.Validate() == nil {
+		t.Error("9-bit counter accepted")
+	}
+	bad = DefaultConfig()
+	bad.ModeWindowInsts = 0
+	if bad.Validate() == nil {
+		t.Error("zero mode window accepted")
+	}
+}
+
+func TestTaglessAliases(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Tagless = true
+	p := MustNew(cfg)
+	// With no tags, two branches mapping to the same set share the counter:
+	// aliasing is observable.
+	a := uint64(0x100)
+	b := a + uint64(cfg.ConfSets)*4 // same index, different (dropped) tag
+	p.BranchExecuted(a, false)
+	if p.Conf.LookupPC(b) != ConfUnconfident {
+		t.Error("tagless organisation should alias same-index branches")
+	}
+}
+
+// Property: after Update(pc, correct) the entry for pc exists, and an
+// incorrect update always yields an unconfident estimate.
+func TestQuickConfUpdateLookup(t *testing.T) {
+	ct := NewConfTable(256, 4, 6, 4, false)
+	f := func(pc uint64, correct bool) bool {
+		ct.Update(pc, correct)
+		got := ct.LookupPC(pc)
+		if got == ConfUnknown {
+			return false // just updated: must be present
+		}
+		if !correct && got != ConfUnconfident {
+			return false // reset counter can never be confident
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: def_tab read returns exactly what was written for valid
+// registers and nothing for r0.
+func TestQuickDefTable(t *testing.T) {
+	dt := NewDefTable(isa.NumLogicalRegs, 17)
+	f := func(reg uint8, idx uint32, tag uint32) bool {
+		r := int(reg % isa.NumLogicalRegs)
+		p := Ptr{Idx: idx, Tag: tag, Valid: true}
+		dt.Write(r, p)
+		got, ok := dt.Read(r)
+		if r == 0 {
+			return !ok
+		}
+		return ok && got == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

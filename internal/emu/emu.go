@@ -1,0 +1,278 @@
+// Package emu implements a functional emulator for the simulator's ISA.
+// It executes a program architecturally and yields the committed dynamic
+// instruction stream (one DynInst per executed instruction) that drives the
+// cycle-level timing model — the standard trace-driven arrangement the PUBS
+// paper's SimpleScalar-derived simulator also uses.
+package emu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// DynInst is one dynamically executed instruction with its architectural
+// outcome. The timing model consumes these in program order.
+type DynInst struct {
+	Seq    uint64 // commit sequence number, starting at 0
+	Idx    int    // static instruction index
+	PC     uint64 // byte address (Idx*4)
+	Inst   isa.Inst
+	Class  isa.Class
+	Taken  bool   // control flow: branch/jump taken?
+	Target uint64 // byte address of taken-path target (valid when control)
+	NextPC uint64 // byte address actually fetched next
+	Addr   uint64 // effective address for loads/stores
+}
+
+// Machine executes a program one instruction at a time.
+type Machine struct {
+	prog *isa.Program
+	regs [isa.NumLogicalRegs]uint64 // FP regs hold Float64bits
+	mem  []byte
+	pc   int // instruction index
+	seq  uint64
+	done bool
+}
+
+// New loads the program into a fresh machine.
+func New(p *isa.Program) (*Machine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{prog: p, pc: p.Entry}
+	m.mem = make([]byte, p.MemSize)
+	copy(m.mem, p.Data)
+	return m, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(p *isa.Program) *Machine {
+	m, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Done reports whether the program has halted.
+func (m *Machine) Done() bool { return m.done }
+
+// Seq returns the number of instructions executed so far.
+func (m *Machine) Seq() uint64 { return m.seq }
+
+// Reg returns the architectural value of a register (for tests/inspection).
+func (m *Machine) Reg(r isa.Reg) uint64 { return m.regs[r] }
+
+// FReg returns a floating-point register's value.
+func (m *Machine) FReg(r isa.Reg) float64 { return math.Float64frombits(m.regs[r]) }
+
+// ReadWord returns the 8-byte word at addr (for tests/inspection).
+func (m *Machine) ReadWord(addr uint64) uint64 { return m.load(addr) }
+
+func (m *Machine) load(addr uint64) uint64 {
+	if addr+8 > uint64(len(m.mem)) || addr%8 != 0 {
+		panic(fmt.Sprintf("emu %q: bad load address %#x (mem %d) at pc %d",
+			m.prog.Name, addr, len(m.mem), m.pc))
+	}
+	b := m.mem[addr : addr+8]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func (m *Machine) store(addr, v uint64) {
+	if addr+8 > uint64(len(m.mem)) || addr%8 != 0 {
+		panic(fmt.Sprintf("emu %q: bad store address %#x (mem %d) at pc %d",
+			m.prog.Name, addr, len(m.mem), m.pc))
+	}
+	b := m.mem[addr : addr+8]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func (m *Machine) setReg(r isa.Reg, v uint64) {
+	if r == isa.RZero {
+		return
+	}
+	m.regs[r] = v
+}
+
+func (m *Machine) fval(r isa.Reg) float64 { return math.Float64frombits(m.regs[r]) }
+func (m *Machine) setF(r isa.Reg, v float64) {
+	m.setReg(r, math.Float64bits(v))
+}
+
+// Step executes one instruction and returns its dynamic record.
+// ok is false once the program has halted.
+func (m *Machine) Step() (di DynInst, ok bool) {
+	if m.done {
+		return DynInst{}, false
+	}
+	idx := m.pc
+	in := m.prog.Code[idx]
+	di = DynInst{
+		Seq:   m.seq,
+		Idx:   idx,
+		PC:    isa.PC(idx),
+		Inst:  in,
+		Class: in.Class(),
+	}
+	next := idx + 1
+
+	switch in.Op {
+	case isa.Nop:
+	case isa.Add:
+		m.setReg(in.Rd, m.regs[in.Rs1]+m.regs[in.Rs2])
+	case isa.Sub:
+		m.setReg(in.Rd, m.regs[in.Rs1]-m.regs[in.Rs2])
+	case isa.And:
+		m.setReg(in.Rd, m.regs[in.Rs1]&m.regs[in.Rs2])
+	case isa.Or:
+		m.setReg(in.Rd, m.regs[in.Rs1]|m.regs[in.Rs2])
+	case isa.Xor:
+		m.setReg(in.Rd, m.regs[in.Rs1]^m.regs[in.Rs2])
+	case isa.Shl:
+		m.setReg(in.Rd, m.regs[in.Rs1]<<(m.regs[in.Rs2]&63))
+	case isa.Shr:
+		m.setReg(in.Rd, m.regs[in.Rs1]>>(m.regs[in.Rs2]&63))
+	case isa.Sra:
+		m.setReg(in.Rd, uint64(int64(m.regs[in.Rs1])>>(m.regs[in.Rs2]&63)))
+	case isa.Slt:
+		m.setReg(in.Rd, b2u(int64(m.regs[in.Rs1]) < int64(m.regs[in.Rs2])))
+	case isa.Sltu:
+		m.setReg(in.Rd, b2u(m.regs[in.Rs1] < m.regs[in.Rs2]))
+
+	case isa.Addi:
+		m.setReg(in.Rd, m.regs[in.Rs1]+uint64(in.Imm))
+	case isa.Andi:
+		m.setReg(in.Rd, m.regs[in.Rs1]&uint64(in.Imm))
+	case isa.Ori:
+		m.setReg(in.Rd, m.regs[in.Rs1]|uint64(in.Imm))
+	case isa.Xori:
+		m.setReg(in.Rd, m.regs[in.Rs1]^uint64(in.Imm))
+	case isa.Shli:
+		m.setReg(in.Rd, m.regs[in.Rs1]<<(uint64(in.Imm)&63))
+	case isa.Shri:
+		m.setReg(in.Rd, m.regs[in.Rs1]>>(uint64(in.Imm)&63))
+	case isa.Srai:
+		m.setReg(in.Rd, uint64(int64(m.regs[in.Rs1])>>(uint64(in.Imm)&63)))
+	case isa.Slti:
+		m.setReg(in.Rd, b2u(int64(m.regs[in.Rs1]) < in.Imm))
+
+	case isa.Mul:
+		m.setReg(in.Rd, m.regs[in.Rs1]*m.regs[in.Rs2])
+	case isa.Div:
+		d := int64(m.regs[in.Rs2])
+		if d == 0 {
+			m.setReg(in.Rd, ^uint64(0))
+		} else {
+			m.setReg(in.Rd, uint64(int64(m.regs[in.Rs1])/d))
+		}
+	case isa.Rem:
+		d := int64(m.regs[in.Rs2])
+		if d == 0 {
+			m.setReg(in.Rd, m.regs[in.Rs1])
+		} else {
+			m.setReg(in.Rd, uint64(int64(m.regs[in.Rs1])%d))
+		}
+
+	case isa.Ld:
+		di.Addr = m.regs[in.Rs1] + uint64(in.Imm)
+		m.setReg(in.Rd, m.load(di.Addr))
+	case isa.St:
+		di.Addr = m.regs[in.Rs1] + uint64(in.Imm)
+		m.store(di.Addr, m.regs[in.Rs2])
+	case isa.Fld:
+		di.Addr = m.regs[in.Rs1] + uint64(in.Imm)
+		m.regs[in.Rd] = m.load(di.Addr)
+	case isa.Fst:
+		di.Addr = m.regs[in.Rs1] + uint64(in.Imm)
+		m.store(di.Addr, m.regs[in.Rs2])
+
+	case isa.Fadd:
+		m.setF(in.Rd, m.fval(in.Rs1)+m.fval(in.Rs2))
+	case isa.Fsub:
+		m.setF(in.Rd, m.fval(in.Rs1)-m.fval(in.Rs2))
+	case isa.Fmul:
+		m.setF(in.Rd, m.fval(in.Rs1)*m.fval(in.Rs2))
+	case isa.Fdiv:
+		m.setF(in.Rd, m.fval(in.Rs1)/m.fval(in.Rs2))
+	case isa.Fclt:
+		m.setReg(in.Rd, b2u(m.fval(in.Rs1) < m.fval(in.Rs2)))
+	case isa.Fcvti:
+		m.setReg(in.Rd, uint64(int64(m.fval(in.Rs1))))
+	case isa.Fcvtf:
+		m.setF(in.Rd, float64(int64(m.regs[in.Rs1])))
+
+	case isa.Beq:
+		di.Taken = m.regs[in.Rs1] == m.regs[in.Rs2]
+	case isa.Bne:
+		di.Taken = m.regs[in.Rs1] != m.regs[in.Rs2]
+	case isa.Blt:
+		di.Taken = int64(m.regs[in.Rs1]) < int64(m.regs[in.Rs2])
+	case isa.Bge:
+		di.Taken = int64(m.regs[in.Rs1]) >= int64(m.regs[in.Rs2])
+	case isa.Jmp:
+		di.Taken = true
+		next = int(in.Imm)
+	case isa.Jal:
+		di.Taken = true
+		m.setReg(in.Rd, uint64(idx+1))
+		next = int(in.Imm)
+	case isa.Jr:
+		di.Taken = true
+		next = int(m.regs[in.Rs1])
+		if next < 0 || next >= len(m.prog.Code) {
+			panic(fmt.Sprintf("emu %q: jr to invalid index %d at pc %d", m.prog.Name, next, idx))
+		}
+
+	case isa.Halt:
+		m.done = true
+		di.NextPC = di.PC
+		m.seq++
+		return di, true
+
+	default:
+		panic(fmt.Sprintf("emu %q: unimplemented op %v at pc %d", m.prog.Name, in.Op, idx))
+	}
+
+	if in.IsCondBranch() {
+		di.Target = isa.PC(int(in.Imm))
+		if di.Taken {
+			next = int(in.Imm)
+		}
+	} else if in.IsControl() {
+		di.Target = isa.PC(next)
+	}
+	di.NextPC = isa.PC(next)
+	m.pc = next
+	m.seq++
+	return di, true
+}
+
+// Run executes up to max instructions (all of them if max == 0), returning
+// the number executed. Useful for tests and workload calibration.
+func (m *Machine) Run(max uint64) uint64 {
+	var n uint64
+	for !m.done && (max == 0 || n < max) {
+		if _, ok := m.Step(); !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,274 @@
+package emu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func run(t *testing.T, build func(b *asm.Builder)) *Machine {
+	t.Helper()
+	b := asm.New("t")
+	build(b)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MustNew(p)
+	m.Run(0)
+	if !m.Done() {
+		t.Fatal("program did not halt")
+	}
+	return m
+}
+
+func TestIntegerArithmetic(t *testing.T) {
+	m := run(t, func(b *asm.Builder) {
+		r2, r3 := isa.R(2), isa.R(3)
+		b.Li(r2, 100)
+		b.Li(r3, 7)
+		b.Add(isa.R(4), r2, r3)  // 107
+		b.Sub(isa.R(5), r2, r3)  // 93
+		b.Mul(isa.R(6), r2, r3)  // 700
+		b.Div(isa.R(7), r2, r3)  // 14
+		b.Rem(isa.R(8), r2, r3)  // 2
+		b.And(isa.R(9), r2, r3)  // 4
+		b.Or(isa.R(10), r2, r3)  // 103
+		b.Xor(isa.R(11), r2, r3) // 99
+		b.Shli(isa.R(12), r2, 2) // 400
+		b.Shri(isa.R(13), r2, 2) // 25
+		b.Slt(isa.R(14), r3, r2) // 1
+		b.Halt()
+	})
+	want := map[int]uint64{4: 107, 5: 93, 6: 700, 7: 14, 8: 2, 9: 4, 10: 103, 11: 99, 12: 400, 13: 25, 14: 1}
+	for r, v := range want {
+		if got := m.Reg(isa.R(r)); got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestSignedOps(t *testing.T) {
+	m := run(t, func(b *asm.Builder) {
+		b.Li(isa.R(2), -8)
+		b.Srai(isa.R(3), isa.R(2), 1) // -4
+		b.Li(isa.R(4), 3)
+		b.Div(isa.R(5), isa.R(2), isa.R(4))  // -2
+		b.Rem(isa.R(6), isa.R(2), isa.R(4))  // -2
+		b.Slt(isa.R(7), isa.R(2), isa.R(4))  // 1 (signed)
+		b.Sltu(isa.R(8), isa.R(2), isa.R(4)) // 0 (unsigned: huge)
+		b.Halt()
+	})
+	if int64(m.Reg(isa.R(3))) != -4 {
+		t.Errorf("srai = %d, want -4", int64(m.Reg(isa.R(3))))
+	}
+	if int64(m.Reg(isa.R(5))) != -2 || int64(m.Reg(isa.R(6))) != -2 {
+		t.Errorf("signed div/rem wrong: %d %d", int64(m.Reg(isa.R(5))), int64(m.Reg(isa.R(6))))
+	}
+	if m.Reg(isa.R(7)) != 1 || m.Reg(isa.R(8)) != 0 {
+		t.Error("signed/unsigned compare confusion")
+	}
+}
+
+func TestDivideByZero(t *testing.T) {
+	m := run(t, func(b *asm.Builder) {
+		b.Li(isa.R(2), 9)
+		b.Div(isa.R(3), isa.R(2), isa.RZero)
+		b.Rem(isa.R(4), isa.R(2), isa.RZero)
+		b.Halt()
+	})
+	if m.Reg(isa.R(3)) != ^uint64(0) {
+		t.Errorf("div by zero = %#x, want all-ones", m.Reg(isa.R(3)))
+	}
+	if m.Reg(isa.R(4)) != 9 {
+		t.Errorf("rem by zero = %d, want dividend", m.Reg(isa.R(4)))
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	m := run(t, func(b *asm.Builder) {
+		b.Li(isa.RZero, 99)
+		b.Addi(isa.R(2), isa.RZero, 5)
+		b.Halt()
+	})
+	if m.Reg(isa.RZero) != 0 {
+		t.Error("r0 was written")
+	}
+	if m.Reg(isa.R(2)) != 5 {
+		t.Error("read of r0 not zero")
+	}
+}
+
+func TestMemoryAndForwardingSemantics(t *testing.T) {
+	m := run(t, func(b *asm.Builder) {
+		buf := b.Alloc(64)
+		b.Li(isa.R(2), int64(buf))
+		b.Li(isa.R(3), 0xABCD)
+		b.St(isa.R(3), isa.R(2), 8)
+		b.Ld(isa.R(4), isa.R(2), 8)
+		b.Halt()
+	})
+	if m.Reg(isa.R(4)) != 0xABCD {
+		t.Errorf("load after store = %#x", m.Reg(isa.R(4)))
+	}
+}
+
+func TestMisalignedAccessPanics(t *testing.T) {
+	b := asm.New("t")
+	b.Li(isa.R(2), 4) // not 8-aligned
+	b.Ld(isa.R(3), isa.R(2), 0)
+	b.Halt()
+	p := b.MustBuild()
+	m := MustNew(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("misaligned load should panic")
+		}
+	}()
+	m.Run(0)
+}
+
+func TestFloatingPoint(t *testing.T) {
+	m := run(t, func(b *asm.Builder) {
+		c := b.Floats(2.5, 4.0)
+		b.Li(isa.R(2), int64(c))
+		b.Fld(isa.F(1), isa.R(2), 0)
+		b.Fld(isa.F(2), isa.R(2), 8)
+		b.Fadd(isa.F(3), isa.F(1), isa.F(2)) // 6.5
+		b.Fmul(isa.F(4), isa.F(1), isa.F(2)) // 10
+		b.Fdiv(isa.F(5), isa.F(2), isa.F(1)) // 1.6
+		b.Fsub(isa.F(6), isa.F(1), isa.F(2)) // -1.5
+		b.Fclt(isa.R(3), isa.F(1), isa.F(2)) // 1
+		b.Fcvti(isa.R(4), isa.F(4))          // 10
+		b.Li(isa.R(5), 3)
+		b.Fcvtf(isa.F(7), isa.R(5)) // 3.0
+		b.Halt()
+	})
+	if got := m.FReg(isa.F(3)); got != 6.5 {
+		t.Errorf("fadd = %g", got)
+	}
+	if got := m.FReg(isa.F(4)); got != 10 {
+		t.Errorf("fmul = %g", got)
+	}
+	if got := m.FReg(isa.F(5)); math.Abs(got-1.6) > 1e-12 {
+		t.Errorf("fdiv = %g", got)
+	}
+	if got := m.FReg(isa.F(6)); got != -1.5 {
+		t.Errorf("fsub = %g", got)
+	}
+	if m.Reg(isa.R(3)) != 1 || m.Reg(isa.R(4)) != 10 {
+		t.Error("fclt/fcvti wrong")
+	}
+	if m.FReg(isa.F(7)) != 3.0 {
+		t.Error("fcvtf wrong")
+	}
+}
+
+func TestControlFlowRecords(t *testing.T) {
+	b := asm.New("t")
+	r2 := isa.R(2)
+	b.Li(r2, 2)                  // 0
+	b.Label("loop")              // idx 1
+	b.Addi(r2, r2, -1)           // 1
+	b.Bne(r2, isa.RZero, "loop") // 2
+	b.Call("fn")                 // 3
+	b.Halt()                     // 4
+	b.Label("fn")                // 5
+	b.Ret()                      // 6
+	p := b.MustBuild()
+	m := MustNew(p)
+
+	var dis []DynInst
+	for {
+		di, ok := m.Step()
+		if !ok {
+			break
+		}
+		dis = append(dis, di)
+		if len(dis) > 100 {
+			t.Fatal("runaway")
+		}
+	}
+	// Expect: li, addi, bne(taken), addi, bne(not-taken), jal, jr, halt
+	if len(dis) != 8 {
+		t.Fatalf("executed %d instructions, want 8", len(dis))
+	}
+	if !dis[2].Taken || dis[2].NextPC != isa.PC(1) {
+		t.Errorf("first bne should be taken to 1: %+v", dis[2])
+	}
+	if dis[4].Taken {
+		t.Error("second bne should fall through")
+	}
+	jal := dis[5]
+	if !jal.Taken || jal.NextPC != isa.PC(5) {
+		t.Errorf("jal should jump to fn: %+v", jal)
+	}
+	jr := dis[6]
+	if jr.NextPC != isa.PC(4) {
+		t.Errorf("ret should return to halt: %+v", jr)
+	}
+	if m.Reg(isa.RLink) != 4 {
+		t.Errorf("link register = %d, want 4", m.Reg(isa.RLink))
+	}
+}
+
+func TestSeqMonotonic(t *testing.T) {
+	b := asm.New("t")
+	b.Label("x")
+	b.Addi(isa.R(2), isa.R(2), 1)
+	b.Jmp("x")
+	m := MustNew(b.MustBuild())
+	var last uint64
+	for i := 0; i < 1000; i++ {
+		di, _ := m.Step()
+		if i > 0 && di.Seq != last+1 {
+			t.Fatalf("sequence broke at %d", i)
+		}
+		last = di.Seq
+	}
+}
+
+// Property: Slt/Sltu agree with Go's comparison operators for arbitrary
+// operand values.
+func TestQuickCompares(t *testing.T) {
+	f := func(a, b uint64) bool {
+		bb := asm.New("q")
+		bb.Li(isa.R(2), int64(a))
+		bb.Li(isa.R(3), int64(b))
+		bb.Slt(isa.R(4), isa.R(2), isa.R(3))
+		bb.Sltu(isa.R(5), isa.R(2), isa.R(3))
+		bb.Halt()
+		m := MustNew(bb.MustBuild())
+		m.Run(0)
+		slt := m.Reg(isa.R(4)) == 1
+		sltu := m.Reg(isa.R(5)) == 1
+		return slt == (int64(a) < int64(b)) && sltu == (a < b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: storing then loading any value at any aligned in-range address
+// round-trips.
+func TestQuickMemoryRoundTrip(t *testing.T) {
+	f := func(v uint64, slot uint8) bool {
+		bb := asm.New("q")
+		buf := bb.Alloc(2048)
+		off := int64(slot) % 256 * 8
+		bb.Li(isa.R(2), int64(buf))
+		bb.Li(isa.R(3), int64(v))
+		bb.St(isa.R(3), isa.R(2), off)
+		bb.Ld(isa.R(4), isa.R(2), off)
+		bb.Halt()
+		m := MustNew(bb.MustBuild())
+		m.Run(0)
+		return m.Reg(isa.R(4)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+// Package energy estimates per-run energy from event counts — a
+// Wattch-style activity model. The paper argues PUBS's 4 KB of tables is
+// cheap in area; this model extends the argument to energy: the tables add
+// a small per-instruction access cost, while the speedup removes leakage
+// and clock cycles, so PUBS is typically a net energy win on D-BP code.
+//
+// The per-access constants are representative 16 nm-class values (order-of-
+// magnitude CACTI-style numbers). Absolute joules are not calibrated to any
+// silicon; use the model for *relative* comparisons between machines
+// running the same work, which is how the experiment harness uses it.
+package energy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+// Constants hold per-event energies in picojoules.
+type Constants struct {
+	L1Access     float64 // 32 KB SRAM read/write
+	L2Access     float64 // 2 MB SRAM access
+	MemAccess    float64 // DRAM line fetch (64 B)
+	IssueOp      float64 // wakeup+select+payload read per issued op
+	CommitOp     float64 // ROB/regfile retirement per op
+	FetchOp      float64 // fetch/decode/rename per instruction
+	PredictorOp  float64 // direction predictor + BTB access
+	PUBSDecodeOp float64 // def_tab + brslice_tab access per decoded inst
+	PUBSConfOp   float64 // conf_tab access per branch (lookup or update)
+	LeakPerCycle float64 // whole-core leakage + clock tree per cycle
+}
+
+// Defaults returns the representative constants.
+func Defaults() Constants {
+	return Constants{
+		L1Access:     15,
+		L2Access:     80,
+		MemAccess:    2600,
+		IssueOp:      12,
+		CommitOp:     8,
+		FetchOp:      10,
+		PredictorOp:  6,
+		PUBSDecodeOp: 0.6,
+		PUBSConfOp:   0.4,
+		LeakPerCycle: 45,
+	}
+}
+
+// Report breaks one run's energy down by component (picojoules).
+type Report struct {
+	Name      string
+	Caches    float64
+	Memory    float64
+	Pipeline  float64 // fetch + issue + commit
+	Predictor float64
+	PUBS      float64
+	Leakage   float64
+	Insts     uint64
+}
+
+// Total returns the summed energy in pJ.
+func (r Report) Total() float64 {
+	return r.Caches + r.Memory + r.Pipeline + r.Predictor + r.PUBS + r.Leakage
+}
+
+// EPI returns energy per committed instruction (pJ).
+func (r Report) EPI() float64 {
+	if r.Insts == 0 {
+		return 0
+	}
+	return r.Total() / float64(r.Insts)
+}
+
+// Estimate computes the energy report for a finished run.
+func Estimate(cfg pipeline.Config, res pipeline.Result, c Constants) Report {
+	rep := Report{Name: res.Name, Insts: res.Committed}
+	l1 := float64(res.L1I.Accesses+res.L1D.Accesses) * c.L1Access
+	l2 := float64(res.L2.Accesses) * c.L2Access
+	rep.Caches = l1 + l2
+	rep.Memory = float64(res.L2.Misses+res.L2.PrefetchReqs) * c.MemAccess
+	rep.Pipeline = float64(res.Committed)*(c.FetchOp+c.CommitOp) +
+		float64(res.Issued)*c.IssueOp
+	rep.Predictor = float64(res.CondBranches) * c.PredictorOp
+	if cfg.PUBS.Enable {
+		// def_tab/brslice_tab touched for every decoded instruction;
+		// conf_tab for every branch twice (decode lookup + execute update).
+		rep.PUBS = float64(res.Committed)*c.PUBSDecodeOp +
+			float64(res.DecodedBranches)*2*c.PUBSConfOp
+	}
+	rep.Leakage = float64(res.Cycles) * c.LeakPerCycle
+	return rep
+}
+
+// Compare renders a base-vs-machine energy comparison for equal work.
+type Compare struct {
+	Base, Other Report
+}
+
+// SavingsPct returns the percentage total-energy saving of Other vs Base
+// (positive = Other cheaper).
+func (cp Compare) SavingsPct() float64 {
+	if cp.Base.Total() == 0 {
+		return 0
+	}
+	return (1 - cp.Other.Total()/cp.Base.Total()) * 100
+}
+
+// Table renders the comparison.
+func (cp Compare) Table() string {
+	t := stats.NewTable(
+		fmt.Sprintf("Energy (pJ/instruction) — %s vs %s", cp.Base.Name, cp.Other.Name),
+		"component", cp.Base.Name, cp.Other.Name)
+	row := func(name string, a, b float64) {
+		t.Row(name, a/float64(cp.Base.Insts), b/float64(cp.Other.Insts))
+	}
+	row("caches", cp.Base.Caches, cp.Other.Caches)
+	row("memory", cp.Base.Memory, cp.Other.Memory)
+	row("pipeline", cp.Base.Pipeline, cp.Other.Pipeline)
+	row("predictor", cp.Base.Predictor, cp.Other.Predictor)
+	row("PUBS tables", cp.Base.PUBS, cp.Other.PUBS)
+	row("leakage+clock", cp.Base.Leakage, cp.Other.Leakage)
+	t.Row("total EPI", cp.Base.EPI(), cp.Other.EPI())
+	return t.String() + fmt.Sprintf("net energy saving: %+.2f%%\n", cp.SavingsPct())
+}
+
+// TableOverheadPct returns the PUBS tables' share of total energy — the
+// "is 4 KB of extra state worth it" sanity number.
+func (r Report) TableOverheadPct() float64 {
+	if r.Total() == 0 {
+		return 0
+	}
+	return r.PUBS / r.Total() * 100
+}
+
+// CostKB re-exports the PUBS storage cost so energy reports can cite it.
+func CostKB(p core.Config) float64 { return core.Cost(p).TotalKB() }

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/iq"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+// The ablations extend the paper's evaluation along axes its design
+// discussion raises but does not plot: the §III-B1 issue-queue taxonomy,
+// the footnote-1 alternative predictors, and the §IV table-organisation
+// choices (tagless tables, hash fold width).
+
+// AblationIQRow is one queue organisation.
+type AblationIQRow struct {
+	Kind     string
+	GMDBPPct float64 // geomean IPC change over the random queue, D-BP
+	GMEBPPct float64
+}
+
+// AblationIQResult compares the §III-B1 queue taxonomy: random (baseline),
+// shifting (age-ordered, the Alpha 21264 queue), and circular.
+type AblationIQResult struct {
+	Rows []AblationIQRow
+}
+
+// AblationIQKinds runs the three organisations over the whole suite.
+func AblationIQKinds(r *Runner) (AblationIQResult, error) {
+	cls, err := r.Classify()
+	if err != nil {
+		return AblationIQResult{}, err
+	}
+	all := append(append([]string{}, cls.DBP...), cls.EBP...)
+	var out AblationIQResult
+	for _, kind := range []iq.Kind{iq.Shifting, iq.Circular} {
+		cfg := pipeline.BaseConfig()
+		cfg.Name = "base-" + kind.String()
+		cfg.IQKind = kind
+		res, err := r.RunAll(cfg, all)
+		if err != nil {
+			return AblationIQResult{}, err
+		}
+		out.Rows = append(out.Rows, AblationIQRow{
+			Kind:     kind.String(),
+			GMDBPPct: ipcGM(cls.DBP, cls.Base, res),
+			GMEBPPct: ipcGM(cls.EBP, cls.Base, res),
+		})
+	}
+	return out, nil
+}
+
+// Table renders the taxonomy comparison.
+func (f AblationIQResult) Table() string {
+	t := stats.NewTable("Ablation — IQ organisations vs the random queue (geomean IPC change)",
+		"queue", "D-BP%", "E-BP%")
+	for _, row := range f.Rows {
+		t.Row(row.Kind, fmt.Sprintf("%+.2f", row.GMDBPPct), fmt.Sprintf("%+.2f", row.GMEBPPct))
+	}
+	return t.String()
+}
+
+// AblationPredictorRow is one predictor family under base and PUBS.
+type AblationPredictorRow struct {
+	Predictor   string
+	BaseGMPct   float64 // base IPC change vs perceptron base, D-BP geomean
+	PUBSGainPct float64 // PUBS speedup over the same-predictor base
+}
+
+// AblationPredictorsResult checks that PUBS's benefit survives a predictor
+// swap (the paper's footnote 1 cross-checks with gshare/bimodal/tournament).
+type AblationPredictorsResult struct {
+	Rows []AblationPredictorRow
+}
+
+// AblationPredictors sweeps the predictor families.
+func AblationPredictors(r *Runner) (AblationPredictorsResult, error) {
+	cls, err := r.Classify()
+	if err != nil {
+		return AblationPredictorsResult{}, err
+	}
+	var out AblationPredictorsResult
+	for _, kind := range []string{"gshare", "bimodal", "tournament", "tage"} {
+		base := pipeline.BaseConfig()
+		base.Name = "base-" + kind
+		base.Bpred = bpred.Config{Kind: kind}
+		baseRes, err := r.RunAll(base, cls.DBP)
+		if err != nil {
+			return AblationPredictorsResult{}, err
+		}
+		pubs := pipeline.PUBSConfig()
+		pubs.Name = "pubs-" + kind
+		pubs.Bpred = bpred.Config{Kind: kind}
+		pubsRes, err := r.RunAll(pubs, cls.DBP)
+		if err != nil {
+			return AblationPredictorsResult{}, err
+		}
+		out.Rows = append(out.Rows, AblationPredictorRow{
+			Predictor:   kind,
+			BaseGMPct:   ipcGM(cls.DBP, cls.Base, baseRes),
+			PUBSGainPct: speedupGM(cls.DBP, baseRes, pubsRes),
+		})
+	}
+	return out, nil
+}
+
+// Table renders the predictor sweep.
+func (f AblationPredictorsResult) Table() string {
+	t := stats.NewTable("Ablation — PUBS gain under alternative predictors (D-BP geomean)",
+		"predictor", "base-vs-perceptron%", "PUBS-gain%")
+	for _, row := range f.Rows {
+		t.Row(row.Predictor, fmt.Sprintf("%+.2f", row.BaseGMPct), fmt.Sprintf("%+.2f", row.PUBSGainPct))
+	}
+	return t.String()
+}
+
+// AblationTablesRow is one PUBS table organisation.
+type AblationTablesRow struct {
+	Variant string
+	GMPct   float64 // D-BP geomean speedup over base
+	CostKB  float64
+}
+
+// AblationTablesResult compares the §IV organisation choices: the default
+// set-associative hashed-tag tables, the tagless variant, and narrower /
+// wider hash folds.
+type AblationTablesResult struct {
+	Rows []AblationTablesRow
+}
+
+// AblationTables sweeps the table organisation.
+func AblationTables(r *Runner) (AblationTablesResult, error) {
+	cls, err := r.Classify()
+	if err != nil {
+		return AblationTablesResult{}, err
+	}
+	variants := []struct {
+		name   string
+		mutate func(*pipeline.Config)
+	}{
+		{"hashed t=8/4 (default)", func(*pipeline.Config) {}},
+		{"tagless", func(c *pipeline.Config) { c.PUBS.Tagless = true }},
+		{"hash t=4/2", func(c *pipeline.Config) { c.PUBS.SliceTagBits = 4; c.PUBS.ConfTagBits = 2 }},
+		{"hash t=16/8", func(c *pipeline.Config) { c.PUBS.SliceTagBits = 16; c.PUBS.ConfTagBits = 8 }},
+	}
+	var out AblationTablesResult
+	for _, v := range variants {
+		cfg := pipeline.PUBSConfig()
+		cfg.Name = "pubs-" + v.name
+		v.mutate(&cfg)
+		res, err := r.RunAll(cfg, cls.DBP)
+		if err != nil {
+			return AblationTablesResult{}, err
+		}
+		costCfg := cfg.PUBS
+		if costCfg.Tagless {
+			costCfg.SliceTagBits, costCfg.ConfTagBits = 0, 0
+		}
+		out.Rows = append(out.Rows, AblationTablesRow{
+			Variant: v.name,
+			GMPct:   speedupGM(cls.DBP, cls.Base, res),
+			CostKB:  costKB(costCfg),
+		})
+	}
+	return out, nil
+}
+
+// Table renders the organisation sweep.
+func (f AblationTablesResult) Table() string {
+	t := stats.NewTable("Ablation — PUBS table organisation (D-BP geomean)",
+		"variant", "speedup%", "cost-KB")
+	for _, row := range f.Rows {
+		t.Row(row.Variant, fmt.Sprintf("%+.2f", row.GMPct), row.CostKB)
+	}
+	return t.String()
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Chart renders Fig. 8 as a terminal bar chart (one bar per program,
+// D-BP first, geomeans last).
+func (f Fig8Result) Chart() string {
+	c := stats.NewBarChart("Fig. 8 — PUBS speedup over base", "%")
+	for _, row := range f.Rows {
+		note := "E-BP"
+		if row.DBP {
+			note = "D-BP"
+		}
+		c.Bar(row.Workload, row.SpeedupPct, note)
+	}
+	c.Bar("GM diff", f.GMDiffPct, "D-BP geomean")
+	c.Bar("GM easy", f.GMEasyPct, "E-BP geomean")
+	return c.String()
+}
+
+// Chart renders Fig. 9 as a terminal scatter: `●` compute-intensive (red in
+// the paper), `○` memory-intensive (blue).
+func (f Fig9Result) Chart() string {
+	s := stats.NewScatter("Fig. 9 — speedup vs branch MPKI (● compute, ○ memory-intensive)",
+		"branch MPKI", "speedup %")
+	for _, p := range f.Points {
+		mark := '●'
+		if p.MemIntensive {
+			mark = '○'
+		}
+		s.Point(p.BrMPKI, p.SpeedupPct, mark)
+	}
+	return s.String()
+}
+
+// Chart renders Fig. 10's two policies as series over the entry counts.
+func (f Fig10Result) Chart() string {
+	xs := make([]string, len(f.Rows))
+	stall := make([]float64, len(f.Rows))
+	nonstall := make([]float64, len(f.Rows))
+	for i, row := range f.Rows {
+		xs[i] = fmt.Sprint(row.PriorityEntries)
+		stall[i] = row.StallGMPct
+		nonstall[i] = row.NonStallGMPct
+	}
+	s := stats.NewSeries("Fig. 10 — D-BP geomean speedup vs priority entries", "entries", xs...)
+	s.Add("stall", stall...)
+	s.Add("non-stall", nonstall...)
+	return s.String()
+}
+
+// Chart renders Fig. 11's speedup and unconfident-rate series over the
+// counter widths.
+func (f Fig11Result) Chart() string {
+	xs := make([]string, len(f.Rows))
+	speed := make([]float64, len(f.Rows))
+	rate := make([]float64, len(f.Rows))
+	for i, row := range f.Rows {
+		if row.Blind {
+			xs[i] = "blind"
+		} else {
+			xs[i] = fmt.Sprint(row.CounterBits)
+		}
+		speed[i] = row.GMPct
+		rate[i] = row.UnconfRatePct
+	}
+	s := stats.NewSeries("Fig. 11 — D-BP speedup and unconfident rate vs counter bits", "bits", xs...)
+	s.Add("speedup%", speed...)
+	s.Add("unconf%", rate...)
+	return s.String()
+}
+
+// Chart renders Fig. 16's three machines across the processor sizes.
+func (f Fig16Result) Chart() string {
+	xs := make([]string, len(f.Rows))
+	pubs := make([]float64, len(f.Rows))
+	age := make([]float64, len(f.Rows))
+	both := make([]float64, len(f.Rows))
+	for i, row := range f.Rows {
+		xs[i] = row.Size
+		pubs[i] = row.PUBSPct
+		age[i] = row.AgePct
+		both[i] = row.BothPct
+	}
+	s := stats.NewSeries("Fig. 16 — D-BP geomean IPC increase vs processor size", "size", xs...)
+	s.Add("PUBS", pubs...)
+	s.Add("AGE", age...)
+	s.Add("PUBS+AGE", both...)
+	return s.String()
+}
+
+// Chart renders Fig. 12 as paired bars (mode switch on vs off per program).
+func (f Fig12Result) Chart() string {
+	c := stats.NewBarChart("Fig. 12 — speedup with mode switch ON (▮) per program; OFF shown as note", "%")
+	for _, row := range f.Rows {
+		c.Bar(row.Workload, row.OnPct, fmt.Sprintf("off: %+.2f%%", row.OffPct))
+	}
+	return c.String()
+}

@@ -1,0 +1,198 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V) on the simulator: the same rows and series, computed over
+// the synthetic workload suite. Each experiment function returns a typed
+// result with a Table() renderer; cmd/experiments prints them and
+// bench_test.go at the repository root wraps each in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// DBPThresholdMPKI is the paper's difficult-branch-prediction threshold:
+// programs with base-machine branch MPKI above it form the D-BP set (§V-A).
+const DBPThresholdMPKI = 3.0
+
+// MemIntensityThresholdMPKI is the paper's memory-intensity threshold for
+// Fig. 9's colouring: LLC MPKI ≥ 1.0 is memory-intensive.
+const MemIntensityThresholdMPKI = 1.0
+
+// Options controls simulation windows and parallelism.
+type Options struct {
+	Warmup      uint64 // instructions simulated before counters reset
+	Measure     uint64 // measured instructions per run
+	Parallelism int    // concurrent simulations (0 = GOMAXPROCS)
+}
+
+// DefaultOptions returns full-size windows: 300K warm-up + 1M measured
+// (the paper simulates 100M after a 16B skip; see DESIGN.md §2 for the
+// scaling substitution).
+func DefaultOptions() Options {
+	return Options{Warmup: 300_000, Measure: 1_000_000}
+}
+
+// QuickOptions returns reduced windows for benchmarks and smoke tests.
+func QuickOptions() Options {
+	return Options{Warmup: 60_000, Measure: 150_000}
+}
+
+func (o Options) normalized() Options {
+	if o.Warmup == 0 && o.Measure == 0 {
+		o = DefaultOptions()
+	}
+	if o.Measure == 0 {
+		o.Measure = 1_000_000
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Runner executes simulations with memoization, so experiments that share
+// runs (e.g. every figure needs the base machine) don't recompute them.
+type Runner struct {
+	opts Options
+
+	mu    sync.Mutex
+	cache map[string]pipeline.Result
+	sem   chan struct{}
+}
+
+// NewRunner builds a runner for the given options.
+func NewRunner(o Options) *Runner {
+	o = o.normalized()
+	return &Runner{
+		opts:  o,
+		cache: make(map[string]pipeline.Result),
+		sem:   make(chan struct{}, o.Parallelism),
+	}
+}
+
+// Options returns the normalized options in effect.
+func (r *Runner) Options() Options { return r.opts }
+
+func cfgKey(cfg pipeline.Config, wl string, o Options) string {
+	return fmt.Sprintf("%s|%d|%d|%+v", wl, o.Warmup, o.Measure, cfg)
+}
+
+// Run simulates workload wl on cfg (memoized).
+func (r *Runner) Run(cfg pipeline.Config, wl string) (pipeline.Result, error) {
+	key := cfgKey(cfg, wl, r.opts)
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+
+	// Re-check: another goroutine may have filled it while we waited.
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	prog, err := workload.Program(wl)
+	if err != nil {
+		return pipeline.Result{}, err
+	}
+	res, err := pipeline.RunProgram(cfg, prog, r.opts.Warmup, r.opts.Measure)
+	if err != nil {
+		return pipeline.Result{}, fmt.Errorf("experiments: %s on %s: %w", cfg.Name, wl, err)
+	}
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// RunAll simulates every named workload on cfg concurrently and returns
+// results keyed by workload name.
+func (r *Runner) RunAll(cfg pipeline.Config, names []string) (map[string]pipeline.Result, error) {
+	type out struct {
+		name string
+		res  pipeline.Result
+		err  error
+	}
+	ch := make(chan out, len(names))
+	for _, name := range names {
+		name := name
+		go func() {
+			res, err := r.Run(cfg, name)
+			ch <- out{name, res, err}
+		}()
+	}
+	results := make(map[string]pipeline.Result, len(names))
+	var firstErr error
+	for range names {
+		o := <-ch
+		if o.err != nil && firstErr == nil {
+			firstErr = o.err
+		}
+		results[o.name] = o.res
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// Classification splits the suite by measured base-machine branch MPKI.
+type Classification struct {
+	DBP  []string // branch MPKI > 3.0, sorted by name
+	EBP  []string
+	Base map[string]pipeline.Result // base-machine results for every program
+}
+
+// Classify runs the base machine over the whole suite and applies the
+// paper's D-BP threshold.
+func (r *Runner) Classify() (Classification, error) {
+	base, err := r.RunAll(pipeline.BaseConfig(), workload.Names())
+	if err != nil {
+		return Classification{}, err
+	}
+	var c Classification
+	c.Base = base
+	for name, res := range base {
+		if res.BranchMPKI() > DBPThresholdMPKI {
+			c.DBP = append(c.DBP, name)
+		} else {
+			c.EBP = append(c.EBP, name)
+		}
+	}
+	sort.Strings(c.DBP)
+	sort.Strings(c.EBP)
+	return c, nil
+}
+
+// speedupGM returns the geometric mean percentage speedup of `next` over
+// `base` across the named programs.
+func speedupGM(names []string, base, next map[string]pipeline.Result) float64 {
+	ratios := make([]float64, 0, len(names))
+	for _, n := range names {
+		b, p := base[n], next[n]
+		if b.IPC() > 0 {
+			ratios = append(ratios, p.IPC()/b.IPC())
+		}
+	}
+	return (stats.Geomean(ratios) - 1) * 100
+}
+
+// ipcGM returns the geometric-mean IPC ratio (as a percentage increase) —
+// used by the Fig. 15/16 IPC comparisons, identical math to speedupGM but
+// named for what the paper plots.
+func ipcGM(names []string, base, next map[string]pipeline.Result) float64 {
+	return speedupGM(names, base, next)
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+// The extension experiments make the paper's §III-C discussion executable:
+// the adaptation of PUBS to a distributed issue queue (§III-C2) and the
+// idealized flexible-priority select the paper deems unimplementable
+// (§III-C1), used here as an upper bound on the partitioned design.
+
+// ExtDistributedRow is one machine in the distributed-IQ study.
+type ExtDistributedRow struct {
+	Machine  string
+	GMDBPPct float64 // geomean speedup over the *unified base*, D-BP
+}
+
+// ExtDistributedResult compares unified vs distributed queues, each with
+// and without PUBS.
+type ExtDistributedResult struct {
+	Rows []ExtDistributedRow
+	// PUBSGainUnifiedPct / PUBSGainDistributedPct: PUBS's gain over the
+	// matching (unified/distributed) base — §III-C2's claim is that the
+	// scheme transfers.
+	PUBSGainUnifiedPct     float64
+	PUBSGainDistributedPct float64
+}
+
+// ExtDistributed runs the §III-C2 study over the D-BP set.
+func ExtDistributed(r *Runner) (ExtDistributedResult, error) {
+	cls, err := r.Classify()
+	if err != nil {
+		return ExtDistributedResult{}, err
+	}
+	distBase := pipeline.BaseConfig()
+	distBase.Name = "dist-base"
+	distBase.DistributedIQ = true
+	distBaseRes, err := r.RunAll(distBase, cls.DBP)
+	if err != nil {
+		return ExtDistributedResult{}, err
+	}
+	distPubs := pipeline.PUBSConfig()
+	distPubs.Name = "dist-pubs"
+	distPubs.DistributedIQ = true
+	distPubsRes, err := r.RunAll(distPubs, cls.DBP)
+	if err != nil {
+		return ExtDistributedResult{}, err
+	}
+	pubsRes, err := r.RunAll(pipeline.PUBSConfig(), cls.DBP)
+	if err != nil {
+		return ExtDistributedResult{}, err
+	}
+
+	out := ExtDistributedResult{
+		Rows: []ExtDistributedRow{
+			{"unified PUBS", speedupGM(cls.DBP, cls.Base, pubsRes)},
+			{"distributed base", speedupGM(cls.DBP, cls.Base, distBaseRes)},
+			{"distributed PUBS", speedupGM(cls.DBP, cls.Base, distPubsRes)},
+		},
+		PUBSGainUnifiedPct:     speedupGM(cls.DBP, cls.Base, pubsRes),
+		PUBSGainDistributedPct: speedupGM(cls.DBP, distBaseRes, distPubsRes),
+	}
+	return out, nil
+}
+
+// Table renders the distributed-IQ study.
+func (f ExtDistributedResult) Table() string {
+	t := stats.NewTable("Extension — PUBS on a distributed IQ (§III-C2), D-BP geomean vs unified base",
+		"machine", "speedup%")
+	for _, row := range f.Rows {
+		t.Row(row.Machine, fmt.Sprintf("%+.2f", row.GMDBPPct))
+	}
+	return t.String() + fmt.Sprintf(
+		"PUBS gain over its own base: unified %+.2f%%, distributed %+.2f%%\n",
+		f.PUBSGainUnifiedPct, f.PUBSGainDistributedPct)
+}
+
+// ExtFlexibleResult compares partitioned PUBS against the idealized
+// flexible-priority select (§III-C1).
+type ExtFlexibleResult struct {
+	PartitionedGMPct float64 // default PUBS over base, D-BP geomean
+	FlexibleGMPct    float64 // flexible-select PUBS over base
+	// EfficiencyPct is how much of the idealized gain the implementable
+	// partitioned design captures.
+	EfficiencyPct float64
+}
+
+// ExtFlexible runs the §III-C1 upper-bound study over the D-BP set.
+func ExtFlexible(r *Runner) (ExtFlexibleResult, error) {
+	cls, err := r.Classify()
+	if err != nil {
+		return ExtFlexibleResult{}, err
+	}
+	pubsRes, err := r.RunAll(pipeline.PUBSConfig(), cls.DBP)
+	if err != nil {
+		return ExtFlexibleResult{}, err
+	}
+	flex := pipeline.PUBSConfig()
+	flex.Name = "pubs-flexible"
+	flex.PUBS.FlexibleSelect = true
+	flexRes, err := r.RunAll(flex, cls.DBP)
+	if err != nil {
+		return ExtFlexibleResult{}, err
+	}
+	out := ExtFlexibleResult{
+		PartitionedGMPct: speedupGM(cls.DBP, cls.Base, pubsRes),
+		FlexibleGMPct:    speedupGM(cls.DBP, cls.Base, flexRes),
+	}
+	if out.FlexibleGMPct > 0 {
+		out.EfficiencyPct = out.PartitionedGMPct / out.FlexibleGMPct * 100
+	}
+	return out, nil
+}
+
+// Table renders the flexible-select study.
+func (f ExtFlexibleResult) Table() string {
+	t := stats.NewTable("Extension — partitioned PUBS vs idealized flexible select (§III-C1), D-BP geomean",
+		"select logic", "speedup%")
+	t.Row("priority entries (implementable)", fmt.Sprintf("%+.2f", f.PartitionedGMPct))
+	t.Row("flexible select (idealized)", fmt.Sprintf("%+.2f", f.FlexibleGMPct))
+	return t.String() + fmt.Sprintf(
+		"partitioned design captures %.0f%% of the idealized gain\n", f.EfficiencyPct)
+}
+
+// ExtEnergyResult extends the Table III hardware-cost argument to energy:
+// per-instruction energy of base vs PUBS over the D-BP set, including the
+// PUBS tables' own access energy.
+type ExtEnergyResult struct {
+	BaseEPI     float64 // pJ/instruction, D-BP aggregate
+	PUBSEPI     float64
+	SavingsPct  float64 // net energy saving of PUBS (positive = cheaper)
+	TableShare  float64 // PUBS tables' share of PUBS-machine energy (%)
+	TableCostKB float64
+}
+
+// ExtEnergy aggregates energy over the D-BP set for base and PUBS.
+func ExtEnergy(r *Runner) (ExtEnergyResult, error) {
+	cls, err := r.Classify()
+	if err != nil {
+		return ExtEnergyResult{}, err
+	}
+	pubsRes, err := r.RunAll(pipeline.PUBSConfig(), cls.DBP)
+	if err != nil {
+		return ExtEnergyResult{}, err
+	}
+	c := energy.Defaults()
+	var baseTotal, pubsTotal, pubsTables float64
+	var baseInsts, pubsInsts uint64
+	for _, n := range cls.DBP {
+		b := energy.Estimate(pipeline.BaseConfig(), cls.Base[n], c)
+		p := energy.Estimate(pipeline.PUBSConfig(), pubsRes[n], c)
+		baseTotal += b.Total()
+		pubsTotal += p.Total()
+		pubsTables += p.PUBS
+		baseInsts += b.Insts
+		pubsInsts += p.Insts
+	}
+	out := ExtEnergyResult{
+		BaseEPI:     baseTotal / float64(baseInsts),
+		PUBSEPI:     pubsTotal / float64(pubsInsts),
+		TableCostKB: energy.CostKB(pipeline.PUBSConfig().PUBS),
+	}
+	if baseTotal > 0 {
+		// Equal instruction counts per workload, so totals are comparable.
+		out.SavingsPct = (1 - (pubsTotal/float64(pubsInsts))/(baseTotal/float64(baseInsts))) * 100
+	}
+	if pubsTotal > 0 {
+		out.TableShare = pubsTables / pubsTotal * 100
+	}
+	return out, nil
+}
+
+// Table renders the energy comparison.
+func (f ExtEnergyResult) Table() string {
+	t := stats.NewTable("Extension — energy per instruction over the D-BP set (activity model)",
+		"machine", "EPI (pJ)")
+	t.Row("base", f.BaseEPI)
+	t.Row("PUBS", f.PUBSEPI)
+	return t.String() + fmt.Sprintf(
+		"net energy saving %+.2f%%; the %.1f KB PUBS tables account for %.2f%% of PUBS-machine energy\n",
+		f.SavingsPct, f.TableCostKB, f.TableShare)
+}
+
+// ExtWrongPathResult quantifies the correct-path-only simplification: PUBS
+// speedups with and without wrong-path pollution of the slice tables.
+type ExtWrongPathResult struct {
+	CleanGMPct    float64 // default model (correct-path tables)
+	PollutedGMPct float64 // wrong-path decode enabled
+	DeltaPct      float64 // polluted − clean (≈0 validates DESIGN.md §2)
+}
+
+// ExtWrongPath runs the wrong-path-pollution ablation over the D-BP set.
+func ExtWrongPath(r *Runner) (ExtWrongPathResult, error) {
+	cls, err := r.Classify()
+	if err != nil {
+		return ExtWrongPathResult{}, err
+	}
+	clean, err := r.RunAll(pipeline.PUBSConfig(), cls.DBP)
+	if err != nil {
+		return ExtWrongPathResult{}, err
+	}
+	wp := pipeline.PUBSConfig()
+	wp.Name = "pubs-wrongpath"
+	wp.WrongPathDecode = true
+	polluted, err := r.RunAll(wp, cls.DBP)
+	if err != nil {
+		return ExtWrongPathResult{}, err
+	}
+	out := ExtWrongPathResult{
+		CleanGMPct:    speedupGM(cls.DBP, cls.Base, clean),
+		PollutedGMPct: speedupGM(cls.DBP, cls.Base, polluted),
+	}
+	out.DeltaPct = out.PollutedGMPct - out.CleanGMPct
+	return out, nil
+}
+
+// Table renders the wrong-path ablation.
+func (f ExtWrongPathResult) Table() string {
+	t := stats.NewTable("Extension — wrong-path pollution of the PUBS tables (D-BP geomean)",
+		"table update model", "speedup%")
+	t.Row("correct path only (default)", fmt.Sprintf("%+.2f", f.CleanGMPct))
+	t.Row("with wrong-path decode", fmt.Sprintf("%+.2f", f.PollutedGMPct))
+	return t.String() + fmt.Sprintf("delta %+.2f pp — the correct-path simplification is %s\n",
+		f.DeltaPct, qualifyDelta(f.DeltaPct))
+}
+
+func qualifyDelta(d float64) string {
+	if d < 0 {
+		d = -d
+	}
+	switch {
+	case d < 0.5:
+		return "second-order, as assumed"
+	case d < 1.5:
+		return "noticeable but small"
+	default:
+		return "significant — revisit the assumption"
+	}
+}

@@ -1,0 +1,641 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/iq"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+// ---------------------------------------------------------------- Fig. 8
+
+// Fig8Row is one program's bar in Fig. 8.
+type Fig8Row struct {
+	Workload   string
+	Analogue   string
+	SpeedupPct float64
+	BaseIPC    float64
+	PUBSIPC    float64
+	BrMPKI     float64 // base machine
+	LLCMPKI    float64 // base machine
+	DBP        bool
+}
+
+// Fig8Result reproduces Fig. 8: per-program speedup of PUBS over the base,
+// with geometric means over the D-BP and E-BP sets.
+type Fig8Result struct {
+	Rows      []Fig8Row
+	GMDiffPct float64 // "GM diff": geomean speedup over D-BP programs
+	GMEasyPct float64 // "GM easy": geomean speedup over E-BP programs
+}
+
+// Fig8 runs base and PUBS machines over the whole suite.
+func Fig8(r *Runner) (Fig8Result, error) {
+	cls, err := r.Classify()
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	pubs, err := r.RunAll(pipeline.PUBSConfig(), append(append([]string{}, cls.DBP...), cls.EBP...))
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	var out Fig8Result
+	add := func(names []string, dbp bool) {
+		for _, n := range names {
+			b, p := cls.Base[n], pubs[n]
+			var analogue string
+			if w, err := lookup(n); err == nil {
+				analogue = w
+			}
+			out.Rows = append(out.Rows, Fig8Row{
+				Workload:   n,
+				Analogue:   analogue,
+				SpeedupPct: stats.Speedup(b.IPC(), p.IPC()),
+				BaseIPC:    b.IPC(),
+				PUBSIPC:    p.IPC(),
+				BrMPKI:     b.BranchMPKI(),
+				LLCMPKI:    b.LLCMPKI(),
+				DBP:        dbp,
+			})
+		}
+	}
+	add(cls.DBP, true)
+	add(cls.EBP, false)
+	out.GMDiffPct = speedupGM(cls.DBP, cls.Base, pubs)
+	out.GMEasyPct = speedupGM(cls.EBP, cls.Base, pubs)
+	return out, nil
+}
+
+// Table renders the figure as text.
+func (f Fig8Result) Table() string {
+	t := stats.NewTable("Fig. 8 — Speedup of PUBS over the base processor",
+		"program", "analogue", "class", "speedup%", "baseIPC", "pubsIPC", "brMPKI", "llcMPKI")
+	for _, row := range f.Rows {
+		class := "E-BP"
+		if row.DBP {
+			class = "D-BP"
+		}
+		t.Row(row.Workload, row.Analogue, class,
+			fmt.Sprintf("%+.2f", row.SpeedupPct), row.BaseIPC, row.PUBSIPC, row.BrMPKI, row.LLCMPKI)
+	}
+	t.Row("GM diff", "", "D-BP", fmt.Sprintf("%+.2f", f.GMDiffPct), "", "", "", "")
+	t.Row("GM easy", "", "E-BP", fmt.Sprintf("%+.2f", f.GMEasyPct), "", "", "", "")
+	return t.String()
+}
+
+func lookup(name string) (string, error) {
+	w, err := workloadByName(name)
+	if err != nil {
+		return "", err
+	}
+	return w, nil
+}
+
+// ---------------------------------------------------------------- Fig. 9
+
+// Fig9Point is one scatter point of Fig. 9: a program's speedup against its
+// branch MPKI, coloured by memory intensity.
+type Fig9Point struct {
+	Workload     string
+	BrMPKI       float64
+	SpeedupPct   float64
+	LLCMPKI      float64
+	MemIntensive bool // LLC MPKI ≥ 1.0 ("blue dots")
+}
+
+// Fig9Result reproduces Fig. 9's correlation scatter.
+type Fig9Result struct {
+	Points []Fig9Point
+	// CorrCompute is the Pearson correlation between branch MPKI and
+	// speedup over the compute-intensive ("red dot") programs, quantifying
+	// the paper's visual claim.
+	CorrCompute float64
+}
+
+// Fig9 derives the correlation data from the Fig. 8 runs.
+func Fig9(r *Runner) (Fig9Result, error) {
+	f8, err := Fig8(r)
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	var out Fig9Result
+	var xs, ys []float64
+	for _, row := range f8.Rows {
+		p := Fig9Point{
+			Workload:     row.Workload,
+			BrMPKI:       row.BrMPKI,
+			SpeedupPct:   row.SpeedupPct,
+			LLCMPKI:      row.LLCMPKI,
+			MemIntensive: row.LLCMPKI >= MemIntensityThresholdMPKI,
+		}
+		out.Points = append(out.Points, p)
+		if !p.MemIntensive {
+			xs = append(xs, p.BrMPKI)
+			ys = append(ys, p.SpeedupPct)
+		}
+	}
+	out.CorrCompute = pearson(xs, ys)
+	return out, nil
+}
+
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var num, dx2, dy2 float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		num += dx * dy
+		dx2 += dx * dx
+		dy2 += dy * dy
+	}
+	if dx2 == 0 || dy2 == 0 {
+		return 0
+	}
+	return num / (sqrt(dx2) * sqrt(dy2))
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// Table renders the scatter as text.
+func (f Fig9Result) Table() string {
+	t := stats.NewTable("Fig. 9 — Speedup vs branch MPKI, coloured by memory intensity",
+		"program", "brMPKI", "speedup%", "llcMPKI", "colour")
+	for _, p := range f.Points {
+		colour := "red (compute)"
+		if p.MemIntensive {
+			colour = "blue (memory)"
+		}
+		t.Row(p.Workload, p.BrMPKI, fmt.Sprintf("%+.2f", p.SpeedupPct), p.LLCMPKI, colour)
+	}
+	return t.String() + fmt.Sprintf("Pearson r (compute programs): %.3f\n", f.CorrCompute)
+}
+
+// ---------------------------------------------------------------- Fig. 10
+
+// Fig10Row is one priority-entry count in Fig. 10.
+type Fig10Row struct {
+	PriorityEntries int
+	StallGMPct      float64 // stall-policy geomean speedup over D-BP
+	NonStallGMPct   float64 // non-stall policy
+}
+
+// Fig10Result reproduces the priority-entry sensitivity study.
+type Fig10Result struct {
+	Rows []Fig10Row
+	// BestEntries is the stall-policy optimum (the paper finds 6).
+	BestEntries int
+}
+
+// Fig10 sweeps the number of priority entries under both dispatch policies.
+func Fig10(r *Runner) (Fig10Result, error) {
+	cls, err := r.Classify()
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	var out Fig10Result
+	best := 0
+	bestVal := -1e9
+	for _, entries := range []int{2, 4, 6, 8, 10, 12} {
+		row := Fig10Row{PriorityEntries: entries}
+		for _, stall := range []bool{true, false} {
+			cfg := pipeline.PUBSConfig()
+			cfg.Name = fmt.Sprintf("pubs-p%d-stall%v", entries, stall)
+			cfg.PUBS.PriorityEntries = entries
+			cfg.PUBS.StallDispatch = stall
+			res, err := r.RunAll(cfg, cls.DBP)
+			if err != nil {
+				return Fig10Result{}, err
+			}
+			gm := speedupGM(cls.DBP, cls.Base, res)
+			if stall {
+				row.StallGMPct = gm
+				if gm > bestVal {
+					bestVal, best = gm, entries
+				}
+			} else {
+				row.NonStallGMPct = gm
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	out.BestEntries = best
+	return out, nil
+}
+
+// Table renders the sweep.
+func (f Fig10Result) Table() string {
+	t := stats.NewTable("Fig. 10 — D-BP geomean speedup vs number of priority entries",
+		"entries", "stall%", "non-stall%")
+	for _, row := range f.Rows {
+		t.Row(row.PriorityEntries, fmt.Sprintf("%+.2f", row.StallGMPct), fmt.Sprintf("%+.2f", row.NonStallGMPct))
+	}
+	return t.String() + fmt.Sprintf("optimum (stall policy): %d entries\n", f.BestEntries)
+}
+
+// ---------------------------------------------------------------- Fig. 11
+
+// Fig11Row is one counter width in Fig. 11.
+type Fig11Row struct {
+	CounterBits   int // 0 means the "blind" model
+	Blind         bool
+	GMPct         float64 // D-BP geomean speedup
+	UnconfRatePct float64 // unconfident branches / dynamic branches
+}
+
+// Fig11Result reproduces the confidence-counter-width sensitivity study.
+type Fig11Result struct {
+	Rows     []Fig11Row
+	BestBits int
+}
+
+// Fig11 sweeps the resetting-counter width from 2 to 8 bits plus the blind
+// estimator.
+func Fig11(r *Runner) (Fig11Result, error) {
+	cls, err := r.Classify()
+	if err != nil {
+		return Fig11Result{}, err
+	}
+	var out Fig11Result
+	best, bestVal := 0, -1e9
+	addRow := func(bits int, blind bool) error {
+		cfg := pipeline.PUBSConfig()
+		cfg.PUBS.Blind = blind
+		if !blind {
+			cfg.PUBS.ConfCounterBits = bits
+			cfg.Name = fmt.Sprintf("pubs-c%d", bits)
+		} else {
+			cfg.Name = "pubs-blind"
+		}
+		res, err := r.RunAll(cfg, cls.DBP)
+		if err != nil {
+			return err
+		}
+		gm := speedupGM(cls.DBP, cls.Base, res)
+		// Unconfident-branch rate averaged over D-BP programs.
+		var rate float64
+		for _, n := range cls.DBP {
+			rate += res[n].UnconfidentRate()
+		}
+		rate = rate / float64(len(cls.DBP)) * 100
+		out.Rows = append(out.Rows, Fig11Row{CounterBits: bits, Blind: blind, GMPct: gm, UnconfRatePct: rate})
+		if !blind && gm > bestVal {
+			bestVal, best = gm, bits
+		}
+		return nil
+	}
+	for bits := 2; bits <= 8; bits++ {
+		if err := addRow(bits, false); err != nil {
+			return Fig11Result{}, err
+		}
+	}
+	if err := addRow(0, true); err != nil {
+		return Fig11Result{}, err
+	}
+	out.BestBits = best
+	return out, nil
+}
+
+// Table renders the sweep.
+func (f Fig11Result) Table() string {
+	t := stats.NewTable("Fig. 11 — D-BP geomean speedup and unconfident-branch rate vs counter bits",
+		"counter", "speedup%", "unconf-rate%")
+	for _, row := range f.Rows {
+		label := fmt.Sprint(row.CounterBits)
+		if row.Blind {
+			label = "blind"
+		}
+		t.Row(label, fmt.Sprintf("%+.2f", row.GMPct), row.UnconfRatePct)
+	}
+	return t.String() + fmt.Sprintf("optimum counter width: %d bits\n", f.BestBits)
+}
+
+// ---------------------------------------------------------------- Fig. 12
+
+// Fig12Row is one program in the mode-switch study.
+type Fig12Row struct {
+	Workload     string
+	OnPct        float64 // speedup with mode switch enabled (default PUBS)
+	OffPct       float64 // speedup with mode switch disabled (always prioritize)
+	LLCMPKI      float64
+	MemSensitive bool
+}
+
+// Fig12Result reproduces the mode-switch effectiveness study.
+type Fig12Result struct {
+	Rows     []Fig12Row
+	GMOnPct  float64
+	GMOffPct float64
+}
+
+// Fig12 compares PUBS with and without the MPKI-driven mode switch over the
+// whole suite (the paper highlights the memory-intensive programs, where
+// disabling the switch costs performance).
+func Fig12(r *Runner) (Fig12Result, error) {
+	cls, err := r.Classify()
+	if err != nil {
+		return Fig12Result{}, err
+	}
+	all := append(append([]string{}, cls.DBP...), cls.EBP...)
+
+	on, err := r.RunAll(pipeline.PUBSConfig(), all)
+	if err != nil {
+		return Fig12Result{}, err
+	}
+	off := pipeline.PUBSConfig()
+	off.Name = "pubs-noswitch"
+	off.PUBS.ModeSwitch = false
+	offRes, err := r.RunAll(off, all)
+	if err != nil {
+		return Fig12Result{}, err
+	}
+
+	var out Fig12Result
+	for _, n := range all {
+		b := cls.Base[n]
+		out.Rows = append(out.Rows, Fig12Row{
+			Workload:     n,
+			OnPct:        stats.Speedup(b.IPC(), on[n].IPC()),
+			OffPct:       stats.Speedup(b.IPC(), offRes[n].IPC()),
+			LLCMPKI:      b.LLCMPKI(),
+			MemSensitive: b.LLCMPKI() >= MemIntensityThresholdMPKI,
+		})
+	}
+	out.GMOnPct = speedupGM(all, cls.Base, on)
+	out.GMOffPct = speedupGM(all, cls.Base, offRes)
+	return out, nil
+}
+
+// Table renders the study.
+func (f Fig12Result) Table() string {
+	t := stats.NewTable("Fig. 12 — Speedup with the mode switch enabled vs disabled",
+		"program", "switch-on%", "switch-off%", "llcMPKI")
+	for _, row := range f.Rows {
+		t.Row(row.Workload, fmt.Sprintf("%+.2f", row.OnPct), fmt.Sprintf("%+.2f", row.OffPct), row.LLCMPKI)
+	}
+	t.Row("GM", fmt.Sprintf("%+.2f", f.GMOnPct), fmt.Sprintf("%+.2f", f.GMOffPct), "")
+	return t.String()
+}
+
+// ---------------------------------------------------------------- Table III
+
+// Table3Result reproduces the hardware-cost table.
+type Table3Result struct {
+	Breakdown core.CostBreakdown
+	Unhashed  core.CostBreakdown
+}
+
+// Table3 computes the PUBS storage cost from the default configuration.
+func Table3() Table3Result {
+	cfg := core.DefaultConfig()
+	return Table3Result{
+		Breakdown: core.Cost(cfg),
+		Unhashed:  core.UnhashedCost(cfg),
+	}
+}
+
+// Table renders the cost breakdown.
+func (t3 Table3Result) Table() string {
+	t := stats.NewTable("Table III — PUBS hardware cost (KB)",
+		"table", "hashed-tags", "full-tags")
+	t.Row("def_tab", t3.Breakdown.DefKB(), t3.Unhashed.DefKB())
+	t.Row("brslice_tab", t3.Breakdown.BrsliceKB(), t3.Unhashed.BrsliceKB())
+	t.Row("conf_tab", t3.Breakdown.ConfKB(), t3.Unhashed.ConfKB())
+	t.Row("total", t3.Breakdown.TotalKB(), t3.Unhashed.TotalKB())
+	return t.String()
+}
+
+// ---------------------------------------------------------------- Fig. 13
+
+// Fig13Row is one program in the enlarged-predictor comparison.
+type Fig13Row struct {
+	Workload   string
+	PUBSPct    float64 // PUBS with the default predictor
+	LargeBPPct float64 // base machine with the enlarged perceptron
+}
+
+// Fig13Result reproduces the hardware-budget comparison: PUBS's 4 KB vs
+// spending (more than) the same budget on a bigger perceptron.
+type Fig13Result struct {
+	Rows         []Fig13Row
+	GMPUBSPct    float64
+	GMLargeBPPct float64
+	DefaultBPKB  float64
+	LargeBPKB    float64
+	PUBSCostKB   float64
+}
+
+// Fig13 runs the enlarged-predictor baseline over the D-BP set.
+func Fig13(r *Runner) (Fig13Result, error) {
+	cls, err := r.Classify()
+	if err != nil {
+		return Fig13Result{}, err
+	}
+	pubs, err := r.RunAll(pipeline.PUBSConfig(), cls.DBP)
+	if err != nil {
+		return Fig13Result{}, err
+	}
+	big := pipeline.BaseConfig()
+	big.Name = "base-bigbp"
+	big.Bpred = bpredLarge()
+	bigRes, err := r.RunAll(big, cls.DBP)
+	if err != nil {
+		return Fig13Result{}, err
+	}
+
+	var out Fig13Result
+	for _, n := range cls.DBP {
+		b := cls.Base[n]
+		out.Rows = append(out.Rows, Fig13Row{
+			Workload:   n,
+			PUBSPct:    stats.Speedup(b.IPC(), pubs[n].IPC()),
+			LargeBPPct: stats.Speedup(b.IPC(), bigRes[n].IPC()),
+		})
+	}
+	out.GMPUBSPct = speedupGM(cls.DBP, cls.Base, pubs)
+	out.GMLargeBPPct = speedupGM(cls.DBP, cls.Base, bigRes)
+	out.DefaultBPKB = predictorCostKB(pipeline.BaseConfig())
+	out.LargeBPKB = predictorCostKB(big)
+	out.PUBSCostKB = core.Cost(core.DefaultConfig()).TotalKB()
+	return out, nil
+}
+
+// Table renders the comparison.
+func (f Fig13Result) Table() string {
+	t := stats.NewTable(fmt.Sprintf(
+		"Fig. 13 — PUBS (+%.1f KB) vs enlarged perceptron (+%.1f KB over the %.1f KB default)",
+		f.PUBSCostKB, f.LargeBPKB-f.DefaultBPKB, f.DefaultBPKB),
+		"program", "PUBS%", "large-BP%")
+	for _, row := range f.Rows {
+		t.Row(row.Workload, fmt.Sprintf("%+.2f", row.PUBSPct), fmt.Sprintf("%+.2f", row.LargeBPPct))
+	}
+	t.Row("GM diff", fmt.Sprintf("%+.2f", f.GMPUBSPct), fmt.Sprintf("%+.2f", f.GMLargeBPPct))
+	return t.String()
+}
+
+// ---------------------------------------------------------------- Fig. 15
+
+// Fig15Result reproduces the age-matrix comparison: IPC increases of PUBS,
+// AGE, and PUBS+AGE over the base (15a), and the *performance* of PUBS over
+// AGE once the age matrix's 13% IQ-delay increase stretches the clock (15b).
+type Fig15Result struct {
+	// IPC increases over base, geomean, percent.
+	PUBSDiff, AgeDiff, BothDiff float64 // D-BP
+	PUBSEasy, AgeEasy, BothEasy float64 // E-BP
+	// Fig. 15b: performance of PUBS over AGE assuming the clock stretches by
+	// iq.AgeMatrixDelayFactor, geomean over D-BP, percent.
+	PUBSOverAgePerfPct float64
+	DelayFactor        float64
+}
+
+// Fig15 runs the AGE and PUBS+AGE machines.
+func Fig15(r *Runner) (Fig15Result, error) {
+	cls, err := r.Classify()
+	if err != nil {
+		return Fig15Result{}, err
+	}
+	all := append(append([]string{}, cls.DBP...), cls.EBP...)
+
+	pubs, err := r.RunAll(pipeline.PUBSConfig(), all)
+	if err != nil {
+		return Fig15Result{}, err
+	}
+	age := pipeline.BaseConfig()
+	age.Name = "age"
+	age.AgeMatrix = true
+	ageRes, err := r.RunAll(age, all)
+	if err != nil {
+		return Fig15Result{}, err
+	}
+	both := pipeline.PUBSConfig()
+	both.Name = "pubs+age"
+	both.AgeMatrix = true
+	bothRes, err := r.RunAll(both, all)
+	if err != nil {
+		return Fig15Result{}, err
+	}
+
+	out := Fig15Result{
+		PUBSDiff:    ipcGM(cls.DBP, cls.Base, pubs),
+		AgeDiff:     ipcGM(cls.DBP, cls.Base, ageRes),
+		BothDiff:    ipcGM(cls.DBP, cls.Base, bothRes),
+		PUBSEasy:    ipcGM(cls.EBP, cls.Base, pubs),
+		AgeEasy:     ipcGM(cls.EBP, cls.Base, ageRes),
+		BothEasy:    ipcGM(cls.EBP, cls.Base, bothRes),
+		DelayFactor: iq.AgeMatrixDelayFactor,
+	}
+	// 15b: performance = IPC / clock period. AGE's clock is 13% slower.
+	ratios := make([]float64, 0, len(cls.DBP))
+	for _, n := range cls.DBP {
+		perfPUBS := pubs[n].IPC()
+		perfAGE := ageRes[n].IPC() / iq.AgeMatrixDelayFactor
+		if perfAGE > 0 {
+			ratios = append(ratios, perfPUBS/perfAGE)
+		}
+	}
+	out.PUBSOverAgePerfPct = (stats.Geomean(ratios) - 1) * 100
+	return out, nil
+}
+
+// Table renders both panels.
+func (f Fig15Result) Table() string {
+	t := stats.NewTable("Fig. 15a — Geomean IPC increase over base",
+		"model", "D-BP%", "E-BP%")
+	t.Row("PUBS", fmt.Sprintf("%+.2f", f.PUBSDiff), fmt.Sprintf("%+.2f", f.PUBSEasy))
+	t.Row("AGE", fmt.Sprintf("%+.2f", f.AgeDiff), fmt.Sprintf("%+.2f", f.AgeEasy))
+	t.Row("PUBS+AGE", fmt.Sprintf("%+.2f", f.BothDiff), fmt.Sprintf("%+.2f", f.BothEasy))
+	return t.String() + fmt.Sprintf(
+		"Fig. 15b — performance of PUBS over AGE with the age matrix's %.0f%% IQ-delay increase applied to the clock: %+.2f%% (D-BP geomean)\n",
+		(f.DelayFactor-1)*100, f.PUBSOverAgePerfPct)
+}
+
+// ---------------------------------------------------------------- Fig. 16
+
+// Fig16Row is one processor size in the scaling study.
+type Fig16Row struct {
+	Size    string
+	PUBSPct float64
+	AgePct  float64
+	BothPct float64
+}
+
+// Fig16Result reproduces the processor-size sensitivity study (IPC only —
+// the paper likewise ignores clock effects here).
+type Fig16Result struct {
+	Rows []Fig16Row
+}
+
+// Fig16 scales the machine through the four models.
+func Fig16(r *Runner) (Fig16Result, error) {
+	cls, err := r.Classify()
+	if err != nil {
+		return Fig16Result{}, err
+	}
+	var out Fig16Result
+	for _, sz := range pipeline.Sizes() {
+		base := pipeline.ScaledConfig(sz)
+		baseRes, err := r.RunAll(base, cls.DBP)
+		if err != nil {
+			return Fig16Result{}, err
+		}
+		pubs := base
+		pubs.Name = "pubs-" + sz.String()
+		pubs.PUBS = core.DefaultConfig()
+		// The priority partition must scale with dispatch width: 6 entries
+		// per 4-wide machine (a fixed 6 saturates under 8-wide dispatch).
+		pubs.PUBS.PriorityEntries = 6 * base.IssueWidth / 4
+		pubsRes, err := r.RunAll(pubs, cls.DBP)
+		if err != nil {
+			return Fig16Result{}, err
+		}
+		age := base
+		age.Name = "age-" + sz.String()
+		age.AgeMatrix = true
+		ageRes, err := r.RunAll(age, cls.DBP)
+		if err != nil {
+			return Fig16Result{}, err
+		}
+		both := pubs
+		both.Name = "pubs+age-" + sz.String()
+		both.AgeMatrix = true
+		bothRes, err := r.RunAll(both, cls.DBP)
+		if err != nil {
+			return Fig16Result{}, err
+		}
+		out.Rows = append(out.Rows, Fig16Row{
+			Size:    sz.String(),
+			PUBSPct: ipcGM(cls.DBP, baseRes, pubsRes),
+			AgePct:  ipcGM(cls.DBP, baseRes, ageRes),
+			BothPct: ipcGM(cls.DBP, baseRes, bothRes),
+		})
+	}
+	return out, nil
+}
+
+// Table renders the scaling study.
+func (f Fig16Result) Table() string {
+	t := stats.NewTable("Fig. 16 — D-BP geomean IPC increase vs processor size",
+		"size", "PUBS%", "AGE%", "PUBS+AGE%")
+	for _, row := range f.Rows {
+		t.Row(row.Size, fmt.Sprintf("%+.2f", row.PUBSPct), fmt.Sprintf("%+.2f", row.AgePct), fmt.Sprintf("%+.2f", row.BothPct))
+	}
+	return t.String()
+}

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The figure tests run the full harness with tiny windows: they validate
+// plumbing and structural invariants, not magnitudes (EXPERIMENTS.md
+// records full-window results). Skipped in -short mode.
+
+func figRunner() *Runner {
+	return NewRunner(Options{Warmup: 15_000, Measure: 40_000, Parallelism: 1})
+}
+
+func TestFig10Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := figRunner()
+	f, err := Fig10(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 6 {
+		t.Fatalf("Fig10 rows = %d", len(f.Rows))
+	}
+	for i, row := range f.Rows {
+		if row.PriorityEntries != []int{2, 4, 6, 8, 10, 12}[i] {
+			t.Errorf("row %d entries = %d", i, row.PriorityEntries)
+		}
+	}
+	found := false
+	for _, row := range f.Rows {
+		if row.PriorityEntries == f.BestEntries {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("best entries %d not among swept values", f.BestEntries)
+	}
+	if !strings.Contains(f.Table(), "optimum") {
+		t.Error("Fig10 table missing optimum line")
+	}
+}
+
+func TestFig11Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := figRunner()
+	f, err := Fig11(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 8 { // bits 2..8 + blind
+		t.Fatalf("Fig11 rows = %d", len(f.Rows))
+	}
+	if !f.Rows[7].Blind {
+		t.Error("last row must be the blind model")
+	}
+	// The unconfident rate is monotone non-decreasing in counter bits
+	// (resetting counters become harder to saturate).
+	for i := 1; i < 7; i++ {
+		if f.Rows[i].UnconfRatePct+1e-9 < f.Rows[i-1].UnconfRatePct {
+			t.Errorf("unconfident rate decreased from %d to %d bits (%.1f → %.1f)",
+				f.Rows[i-1].CounterBits, f.Rows[i].CounterBits,
+				f.Rows[i-1].UnconfRatePct, f.Rows[i].UnconfRatePct)
+		}
+	}
+	if f.BestBits < 2 || f.BestBits > 8 {
+		t.Errorf("best bits = %d", f.BestBits)
+	}
+}
+
+func TestFig12Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := figRunner()
+	f, err := Fig12(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 20 {
+		t.Fatalf("Fig12 rows = %d", len(f.Rows))
+	}
+	// The memory-bound programs must be the ones hurt when the switch is
+	// off: check sparse specifically (LLC MPKI ≫ threshold).
+	for _, row := range f.Rows {
+		if row.Workload == "sparse" {
+			if !row.MemSensitive {
+				t.Error("sparse not flagged memory-sensitive")
+			}
+			if row.OffPct > row.OnPct+0.5 {
+				t.Errorf("sparse: switch-off (%+.2f%%) better than on (%+.2f%%)", row.OffPct, row.OnPct)
+			}
+		}
+	}
+	if !strings.Contains(f.Table(), "GM") {
+		t.Error("Fig12 table missing GM row")
+	}
+}
+
+func TestFig13Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := figRunner()
+	f, err := Fig13(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) == 0 {
+		t.Fatal("Fig13 empty")
+	}
+	if f.LargeBPKB <= f.DefaultBPKB {
+		t.Errorf("large predictor (%.1f KB) not larger than default (%.1f KB)",
+			f.LargeBPKB, f.DefaultBPKB)
+	}
+	// The enlarged predictor must cost at least double the default
+	// (the paper budgets "more than double").
+	if f.LargeBPKB < 2*f.DefaultBPKB {
+		t.Errorf("large predictor %.1f KB below 2× default %.1f KB", f.LargeBPKB, f.DefaultBPKB)
+	}
+	if f.PUBSCostKB < 3.5 || f.PUBSCostKB > 4.5 {
+		t.Errorf("PUBS cost %.2f KB", f.PUBSCostKB)
+	}
+}
+
+func TestFig15Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := figRunner()
+	f, err := Fig15(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.DelayFactor != 1.13 {
+		t.Errorf("delay factor %v", f.DelayFactor)
+	}
+	// Fig. 15b's headline claim: once the 13% clock stretch applies, PUBS
+	// outperforms AGE on D-BP.
+	if f.PUBSOverAgePerfPct <= 0 {
+		t.Errorf("PUBS over AGE performance = %+.2f%%, expected positive", f.PUBSOverAgePerfPct)
+	}
+	if !strings.Contains(f.Table(), "Fig. 15b") {
+		t.Error("table missing the 15b panel")
+	}
+}
+
+func TestFig16Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := figRunner()
+	f, err := Fig16(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 4 {
+		t.Fatalf("Fig16 rows = %d", len(f.Rows))
+	}
+	want := []string{"small", "medium", "large", "huge"}
+	for i, row := range f.Rows {
+		if row.Size != want[i] {
+			t.Errorf("row %d size = %s, want %s", i, row.Size, want[i])
+		}
+	}
+}
+
+func TestAblationStructures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := figRunner()
+	aiq, err := AblationIQKinds(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aiq.Rows) != 2 {
+		t.Errorf("IQ ablation rows = %d", len(aiq.Rows))
+	}
+	apred, err := AblationPredictors(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apred.Rows) != 4 {
+		t.Errorf("predictor ablation rows = %d", len(apred.Rows))
+	}
+	atab, err := AblationTables(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(atab.Rows) != 4 {
+		t.Errorf("table ablation rows = %d", len(atab.Rows))
+	}
+	// The default hashed organisation's cost must be the Table III value;
+	// tagless must be cheaper; wider hashes dearer.
+	var def, tagless, wide float64
+	for _, row := range atab.Rows {
+		switch {
+		case strings.Contains(row.Variant, "default"):
+			def = row.CostKB
+		case row.Variant == "tagless":
+			tagless = row.CostKB
+		case strings.Contains(row.Variant, "16/8"):
+			wide = row.CostKB
+		}
+	}
+	if !(tagless < def && def < wide) {
+		t.Errorf("cost ordering wrong: tagless %.2f, default %.2f, wide %.2f", tagless, def, wide)
+	}
+	for _, tb := range []string{aiq.Table(), apred.Table(), atab.Table()} {
+		if !strings.Contains(tb, "Ablation") {
+			t.Error("ablation table missing title")
+		}
+	}
+}
+
+// TestCharts: every figure chart renders non-trivially from synthetic
+// result structs (no simulation needed).
+func TestCharts(t *testing.T) {
+	f8 := Fig8Result{
+		Rows: []Fig8Row{
+			{Workload: "a", SpeedupPct: 5, DBP: true},
+			{Workload: "b", SpeedupPct: -1},
+		},
+		GMDiffPct: 5, GMEasyPct: -1,
+	}
+	if out := f8.Chart(); !strings.Contains(out, "GM diff") || !strings.Contains(out, "█") {
+		t.Errorf("Fig8 chart:\n%s", out)
+	}
+	f9 := Fig9Result{Points: []Fig9Point{
+		{Workload: "a", BrMPKI: 10, SpeedupPct: 5},
+		{Workload: "b", BrMPKI: 40, SpeedupPct: 0.1, MemIntensive: true},
+	}}
+	if out := f9.Chart(); !strings.Contains(out, "●") || !strings.Contains(out, "○") {
+		t.Errorf("Fig9 chart:\n%s", out)
+	}
+	f10 := Fig10Result{Rows: []Fig10Row{
+		{PriorityEntries: 2, StallGMPct: -1, NonStallGMPct: 0},
+		{PriorityEntries: 6, StallGMPct: 4, NonStallGMPct: 2},
+	}}
+	if out := f10.Chart(); !strings.Contains(out, "stall") {
+		t.Errorf("Fig10 chart:\n%s", out)
+	}
+	f11 := Fig11Result{Rows: []Fig11Row{
+		{CounterBits: 2, GMPct: 1, UnconfRatePct: 40},
+		{Blind: true, GMPct: 2, UnconfRatePct: 100},
+	}}
+	if out := f11.Chart(); !strings.Contains(out, "blind") {
+		t.Errorf("Fig11 chart:\n%s", out)
+	}
+	f12 := Fig12Result{Rows: []Fig12Row{{Workload: "m", OnPct: 1, OffPct: -3}}}
+	if out := f12.Chart(); !strings.Contains(out, "off: -3.00%") {
+		t.Errorf("Fig12 chart:\n%s", out)
+	}
+	f16 := Fig16Result{Rows: []Fig16Row{
+		{Size: "small", PUBSPct: 1, AgePct: -1, BothPct: 2},
+		{Size: "huge", PUBSPct: 5, AgePct: -2, BothPct: 6},
+	}}
+	if out := f16.Chart(); !strings.Contains(out, "PUBS+AGE") {
+		t.Errorf("Fig16 chart:\n%s", out)
+	}
+}

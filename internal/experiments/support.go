@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// workloadByName returns the SPEC analogue label for a benchmark.
+func workloadByName(name string) (string, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return "", err
+	}
+	return w.Analogue, nil
+}
+
+// bpredLarge returns the Fig. 13 enlarged perceptron configuration
+// (36-bit history, 512-entry weight table).
+func bpredLarge() bpred.Config { return bpred.Large() }
+
+// predictorCostKB computes the direction-predictor storage of a machine.
+func predictorCostKB(cfg pipeline.Config) float64 {
+	return float64(bpred.MustNew(cfg.Bpred).CostBytes()) / 1024
+}
+
+// costKB computes the storage of a PUBS table configuration.
+func costKB(cfg core.Config) float64 { return core.Cost(cfg).TotalKB() }

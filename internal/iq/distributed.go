@@ -1,0 +1,118 @@
+package iq
+
+// Distributed models the §III-C2 adaptation of PUBS to a distributed issue
+// queue (AMD Zen style): one queue per function-unit pool, each partitioned
+// into priority and normal entries. The paper argues PUBS applies directly;
+// this implementation makes the claim executable.
+//
+// Capacity and priority entries are divided across the per-pool queues;
+// dispatch routes by the request's function-unit class, and select walks
+// the queues in pool order sharing the machine's total issue width.
+type Distributed struct {
+	qs     []*Queue
+	router func(fu int) int
+}
+
+// DistributedConfig sizes a distributed queue complex.
+type DistributedConfig struct {
+	NumQueues       int
+	TotalSize       int // divided evenly; remainder to the first queues
+	PriorityEntries int // divided round-robin (queue 0 first)
+	AgeMatrix       bool
+	// Router maps a Request.FU class to a queue index in [0, NumQueues).
+	Router func(fu int) int
+}
+
+// NewDistributed builds the per-pool queues.
+func NewDistributed(cfg DistributedConfig) *Distributed {
+	if cfg.NumQueues <= 0 {
+		panic("iq: distributed queue needs at least one queue")
+	}
+	if cfg.Router == nil {
+		panic("iq: distributed queue needs a router")
+	}
+	if cfg.TotalSize < cfg.NumQueues {
+		panic("iq: distributed queue smaller than queue count")
+	}
+	d := &Distributed{router: cfg.Router}
+	sizes := make([]int, cfg.NumQueues)
+	for i := range sizes {
+		sizes[i] = cfg.TotalSize / cfg.NumQueues
+	}
+	for i := 0; i < cfg.TotalSize%cfg.NumQueues; i++ {
+		sizes[i]++
+	}
+	prio := make([]int, cfg.NumQueues)
+	for i := 0; i < cfg.PriorityEntries; i++ {
+		prio[i%cfg.NumQueues]++
+	}
+	for i := 0; i < cfg.NumQueues; i++ {
+		if prio[i] >= sizes[i] {
+			prio[i] = sizes[i] - 1
+		}
+		d.qs = append(d.qs, New(Config{
+			Size:            sizes[i],
+			PriorityEntries: prio[i],
+			Kind:            Random,
+			AgeMatrix:       cfg.AgeMatrix,
+		}))
+	}
+	return d
+}
+
+func (d *Distributed) queueFor(fu int) *Queue {
+	i := d.router(fu)
+	if i < 0 || i >= len(d.qs) {
+		panic("iq: router returned out-of-range queue index")
+	}
+	return d.qs[i]
+}
+
+// DispatchPriority places r into its class queue's priority partition.
+func (d *Distributed) DispatchPriority(r Request) bool {
+	return d.queueFor(r.FU).DispatchPriority(r)
+}
+
+// DispatchNormal places r into its class queue's normal partition.
+func (d *Distributed) DispatchNormal(r Request) bool {
+	return d.queueFor(r.FU).DispatchNormal(r)
+}
+
+// DispatchWeighted applies the mode-switch-off policy within r's queue.
+func (d *Distributed) DispatchWeighted(r Request, pick float64) bool {
+	return d.queueFor(r.FU).DispatchWeighted(r, pick)
+}
+
+// Select walks the queues in pool order, sharing the total issue width.
+// Each per-pool select still enforces the FU constraints via fuTryAlloc.
+func (d *Distributed) Select(issueWidth int, ready func(int) bool, fuTryAlloc func(int) bool) []Request {
+	var granted []Request
+	for _, q := range d.qs {
+		if issueWidth <= len(granted) {
+			break
+		}
+		granted = append(granted, q.Select(issueWidth-len(granted), ready, fuTryAlloc)...)
+	}
+	return granted
+}
+
+// Occupancy sums the per-queue occupancies.
+func (d *Distributed) Occupancy() int {
+	n := 0
+	for _, q := range d.qs {
+		n += q.Occupancy()
+	}
+	return n
+}
+
+// PriorityFree sums free priority entries across queues.
+func (d *Distributed) PriorityFree() int {
+	n := 0
+	for _, q := range d.qs {
+		n += q.PriorityFree()
+	}
+	return n
+}
+
+// Queues exposes the per-pool queues (for tests and stats).
+func (d *Distributed) Queues() []*Queue { return d.qs }

@@ -1,0 +1,407 @@
+// Package iq models the issue queue organisations of §III-B1 and the PUBS
+// priority-entry partitioning of §III-B2.
+//
+// The modelled select logic is position-based: physical entry 0 has the
+// highest grant priority, as in the prefix-sum and tree-arbiter circuits the
+// paper cites. The queue kinds differ in how dispatch chooses a physical
+// position:
+//
+//   - Random: dispatch pops a FIFO free list, so an instruction's physical
+//     position rotates through the queue over time and long-run entry order
+//     is effectively random (the paper's baseline and the organisation PUBS
+//     extends). PUBS reserves positions 0..P-1 ("priority entries") with a
+//     separate free list; position-based select then automatically grants
+//     unconfident-slice instructions first.
+//   - Shifting: entries stay compacted in age order (Alpha 21264 style), so
+//     position priority equals age priority; modelled for the taxonomy
+//     ablation.
+//   - Circular: a ring buffer whose holes stay dead until the tail wraps
+//     back over them; position priority inverts across the wrap point —
+//     reproducing both pathologies the paper describes.
+//
+// An optional age matrix (§V-G1) lifts the single oldest ready instruction
+// to the highest priority ahead of the positional scan.
+package iq
+
+import "fmt"
+
+// Kind selects the queue organisation.
+type Kind uint8
+
+const (
+	// Random is the baseline random queue (free-list dispatch).
+	Random Kind = iota
+	// Shifting is the compacting age-ordered queue.
+	Shifting
+	// Circular is the non-compacting ring buffer.
+	Circular
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Random:
+		return "random"
+	case Shifting:
+		return "shifting"
+	case Circular:
+		return "circular"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Request is one queued instruction, identified by the pipeline's handle.
+type Request struct {
+	Handle int    // opaque pipeline identifier
+	Seq    uint64 // program-order age (smaller = older)
+	FU     int    // function-unit class (isa.Class)
+	Marked bool   // unconfident-slice mark, used by the Flexible select
+}
+
+// Config sizes a queue.
+type Config struct {
+	Size            int
+	PriorityEntries int // PUBS reserved head entries (Random kind only)
+	Kind            Kind
+	AgeMatrix       bool // add the age-matrix oldest-first pre-select
+	// Flexible enables the idealized §III-C1 select: requests carrying the
+	// unconfident mark outrank unmarked requests regardless of position, so
+	// no entries need reserving and dispatch never stalls on a partition.
+	// The paper argues this circuit is impractical (huge MUX fan-in); it is
+	// modelled here as an upper bound for the partitioned design.
+	Flexible bool
+}
+
+// Queue is one issue queue instance.
+type Queue struct {
+	cfg     Config
+	slots   []slot    // physical positions 0..Size-1 (Random/Circular)
+	list    []Request // compacted age-ordered list (Shifting)
+	freePri freeList
+	freeNrm freeList
+	count   int
+	tail    int // Circular dispatch point
+}
+
+// freeList hands out free entry positions uniformly at random (seeded,
+// deterministic). Random placement is the defining property of the paper's
+// random queue; ordered recycling disciplines are systematically biased —
+// LIFO parks the youngest instructions at the highest-priority positions,
+// and FIFO recycles positions in issue order, degenerating into a circular
+// queue whose wrap-around priority inversion resonates with regular loops.
+type freeList struct {
+	buf []int
+	rng uint64
+}
+
+func newFreeList(seed uint64) freeList {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return freeList{rng: seed}
+}
+
+func (f *freeList) len() int { return len(f.buf) }
+
+func (f *freeList) push(v int) { f.buf = append(f.buf, v) }
+
+func (f *freeList) pop() int {
+	n := len(f.buf)
+	if n == 0 {
+		panic("iq: free-list underflow")
+	}
+	f.rng ^= f.rng << 13
+	f.rng ^= f.rng >> 7
+	f.rng ^= f.rng << 17
+	i := int(f.rng % uint64(n))
+	v := f.buf[i]
+	f.buf[i] = f.buf[n-1]
+	f.buf = f.buf[:n-1]
+	return v
+}
+
+type slot struct {
+	used     bool
+	priority bool
+	granted  bool // transient mark during a multi-pass Select
+	req      Request
+}
+
+// New builds a queue.
+func New(cfg Config) *Queue {
+	if cfg.Size <= 0 {
+		panic("iq: size must be positive")
+	}
+	if cfg.PriorityEntries < 0 || cfg.PriorityEntries > cfg.Size {
+		panic("iq: priority entries out of range")
+	}
+	if cfg.PriorityEntries > 0 && cfg.Kind != Random {
+		panic("iq: priority entries require the random queue")
+	}
+	if cfg.Flexible && (cfg.PriorityEntries > 0 || cfg.Kind != Random) {
+		panic("iq: flexible select replaces priority entries and requires the random queue")
+	}
+	q := &Queue{cfg: cfg}
+	switch cfg.Kind {
+	case Random, Circular:
+		q.slots = make([]slot, cfg.Size)
+	case Shifting:
+		q.list = make([]Request, 0, cfg.Size)
+	default:
+		panic("iq: unknown kind")
+	}
+	if cfg.Kind == Random {
+		q.freeNrm = newFreeList(0xC0FFEE)
+		for i := cfg.PriorityEntries; i < cfg.Size; i++ {
+			q.freeNrm.push(i)
+		}
+		q.freePri = newFreeList(0xBEEF)
+		for i := 0; i < cfg.PriorityEntries; i++ {
+			q.freePri.push(i)
+		}
+	}
+	return q
+}
+
+// Size returns the configured capacity.
+func (q *Queue) Size() int { return q.cfg.Size }
+
+// Occupancy returns the number of queued instructions.
+func (q *Queue) Occupancy() int { return q.count }
+
+// PriorityFree returns the number of free priority entries.
+func (q *Queue) PriorityFree() int { return q.freePri.len() }
+
+// NormalFree returns the number of free normal entries (for the Random
+// kind; other kinds report total free capacity).
+func (q *Queue) NormalFree() int {
+	switch q.cfg.Kind {
+	case Random:
+		return q.freeNrm.len()
+	case Shifting:
+		return q.cfg.Size - len(q.list)
+	case Circular:
+		if q.slots[q.tail].used {
+			return 0 // tail blocked: holes behind it are unusable
+		}
+		return q.cfg.Size - q.count // approximation; dispatch may still block
+	}
+	return 0
+}
+
+// DispatchPriority places r into a priority entry (Random kind only).
+func (q *Queue) DispatchPriority(r Request) bool {
+	if q.freePri.len() == 0 {
+		return false
+	}
+	pos := q.freePri.pop()
+	q.slots[pos] = slot{used: true, priority: true, req: r}
+	q.count++
+	return true
+}
+
+// DispatchNormal places r into a normal entry.
+func (q *Queue) DispatchNormal(r Request) bool {
+	switch q.cfg.Kind {
+	case Random:
+		if q.freeNrm.len() == 0 {
+			return false
+		}
+		pos := q.freeNrm.pop()
+		q.slots[pos] = slot{used: true, req: r}
+		q.count++
+		return true
+	case Shifting:
+		if len(q.list) >= q.cfg.Size {
+			return false
+		}
+		q.list = append(q.list, r)
+		q.count++
+		return true
+	case Circular:
+		if q.slots[q.tail].used {
+			return false // tail blocked even if holes exist elsewhere
+		}
+		q.slots[q.tail] = slot{used: true, req: r}
+		q.tail = (q.tail + 1) % q.cfg.Size
+		q.count++
+		return true
+	}
+	return false
+}
+
+// DispatchWeighted implements the mode-switch-disabled policy (§III-B3):
+// the two free lists are chosen by a random draw weighted by the entry
+// ratio; if the drawn list is empty the other is used, so the full capacity
+// remains available. pick must be uniform in [0,1).
+func (q *Queue) DispatchWeighted(r Request, pick float64) bool {
+	if q.cfg.Kind != Random {
+		return q.DispatchNormal(r)
+	}
+	ratio := float64(q.cfg.PriorityEntries) / float64(q.cfg.Size)
+	if pick < ratio {
+		if q.DispatchPriority(r) {
+			return true
+		}
+		return q.DispatchNormal(r)
+	}
+	if q.DispatchNormal(r) {
+		return true
+	}
+	return q.DispatchPriority(r)
+}
+
+// Select grants up to issueWidth ready requests, honouring position-based
+// priority (plus the age matrix when configured), and frees their entries.
+// ready reports whether a handle's operands are available this cycle;
+// fuTryAlloc attempts to claim a function unit of the request's class and
+// returns false when none is free this cycle.
+func (q *Queue) Select(issueWidth int, ready func(handle int) bool, fuTryAlloc func(fu int) bool) []Request {
+	if issueWidth <= 0 || q.count == 0 {
+		return nil
+	}
+	granted := make([]Request, 0, issueWidth)
+	grantedPos := make([]int, 0, issueWidth)
+	grantedAt := -1 // age-matrix grant position, skipped by the scan
+
+	if q.cfg.AgeMatrix {
+		// The age matrix picks the single oldest ready instruction and
+		// grants it ahead of the positional arbiter (§V-G1).
+		oldest := -1
+		var oldestSeq uint64
+		q.scan(func(pos int, s *slot) bool {
+			if ready(s.req.Handle) && (oldest == -1 || s.req.Seq < oldestSeq) {
+				oldest, oldestSeq = pos, s.req.Seq
+			}
+			return true
+		})
+		if oldest >= 0 {
+			s := q.slotAt(oldest)
+			if fuTryAlloc(s.req.FU) {
+				granted = append(granted, s.req)
+				grantedPos = append(grantedPos, oldest)
+				grantedAt = oldest
+			}
+		}
+	}
+
+	passes := [][2]bool{{false, true}} // one pass, any mark
+	if q.cfg.Flexible {
+		// Idealized flexible priority: marked requests first, then the rest.
+		passes = [][2]bool{{true, false}, {false, false}}
+	}
+	for _, pass := range passes {
+		wantMarked, any := pass[0], pass[1]
+		q.scan(func(pos int, s *slot) bool {
+			if len(granted) >= issueWidth {
+				return false
+			}
+			if pos == grantedAt || s.granted {
+				return true
+			}
+			if !any && s.req.Marked != wantMarked {
+				return true
+			}
+			if !ready(s.req.Handle) {
+				return true
+			}
+			if !fuTryAlloc(s.req.FU) {
+				return true
+			}
+			s.granted = true
+			granted = append(granted, s.req)
+			grantedPos = append(grantedPos, pos)
+			return true
+		})
+	}
+
+	// Free granted entries by position. For the shifting queue, removing in
+	// descending position order keeps earlier indices valid.
+	for i := len(grantedPos) - 1; i >= 0; i-- {
+		max := i
+		for j := 0; j < i; j++ {
+			if grantedPos[j] > grantedPos[max] {
+				max = j
+			}
+		}
+		grantedPos[i], grantedPos[max] = grantedPos[max], grantedPos[i]
+		q.removeAt(grantedPos[i])
+	}
+	return granted
+}
+
+// scan visits used entries in position-priority order.
+func (q *Queue) scan(visit func(pos int, s *slot) bool) {
+	switch q.cfg.Kind {
+	case Random, Circular:
+		seen := 0
+		for i := range q.slots {
+			if q.slots[i].used {
+				if !visit(i, &q.slots[i]) {
+					return
+				}
+				seen++
+				if seen == q.count {
+					return
+				}
+			}
+		}
+	case Shifting:
+		for i := range q.list {
+			if !visit(i, &slot{used: true, req: q.list[i]}) {
+				return
+			}
+		}
+	}
+}
+
+func (q *Queue) slotAt(pos int) *slot {
+	if q.cfg.Kind == Shifting {
+		return &slot{used: true, req: q.list[pos]}
+	}
+	return &q.slots[pos]
+}
+
+// removeAt frees the entry at a known position.
+func (q *Queue) removeAt(pos int) {
+	switch q.cfg.Kind {
+	case Random:
+		s := &q.slots[pos]
+		if !s.used {
+			panic(fmt.Sprintf("iq: removeAt of free position %d", pos))
+		}
+		if s.priority {
+			q.freePri.push(pos)
+		} else {
+			q.freeNrm.push(pos)
+		}
+		*s = slot{}
+		q.count--
+	case Circular:
+		s := &q.slots[pos]
+		if !s.used {
+			panic(fmt.Sprintf("iq: removeAt of free position %d", pos))
+		}
+		*s = slot{}
+		q.count--
+	case Shifting:
+		q.list = append(q.list[:pos], q.list[pos+1:]...) // compaction
+		q.count--
+	}
+}
+
+// Drain empties the queue (used on pipeline reconfiguration in tests).
+func (q *Queue) Drain() {
+	*q = *New(q.cfg)
+}
+
+// Kind returns the queue organisation.
+func (q *Queue) Kind() Kind { return q.cfg.Kind }
+
+// PriorityEntries returns the number of reserved head entries.
+func (q *Queue) PriorityEntries() int { return q.cfg.PriorityEntries }
+
+// AgeMatrixDelayFactor is the paper's measured IQ-delay increase from adding
+// an age matrix (§V-G1: +13% from the HSPICE layout study). Experiments use
+// it to convert AGE IPC into performance (Fig. 15b).
+const AgeMatrixDelayFactor = 1.13

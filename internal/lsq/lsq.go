@@ -1,0 +1,88 @@
+// Package lsq implements the load/store queue: an age-ordered ring of
+// memory operations supporting store-to-load forwarding lookups (Table I:
+// 64 entries). Effective addresses are registered at dispatch — the
+// trace-driven timing model knows them architecturally, which amounts to
+// perfect memory-dependence prediction (documented in DESIGN.md §6).
+package lsq
+
+// Entry is one queued memory operation.
+type Entry struct {
+	Handle  int
+	Seq     uint64
+	IsStore bool
+	Addr    uint64 // 8-byte aligned effective address
+}
+
+// LSQ is a bounded age-ordered queue of loads and stores.
+type LSQ struct {
+	entries []Entry
+	head    int
+	count   int
+}
+
+// New returns an LSQ with the given capacity.
+func New(capacity int) *LSQ {
+	if capacity <= 0 {
+		panic("lsq: capacity must be positive")
+	}
+	return &LSQ{entries: make([]Entry, capacity)}
+}
+
+// Cap returns the capacity.
+func (q *LSQ) Cap() int { return len(q.entries) }
+
+// Len returns the number of live entries.
+func (q *LSQ) Len() int { return q.count }
+
+// Full reports whether allocation would fail.
+func (q *LSQ) Full() bool { return q.count == len(q.entries) }
+
+// Alloc appends a memory operation in program order. Seq values must be
+// strictly increasing across calls.
+func (q *LSQ) Alloc(e Entry) bool {
+	if q.Full() {
+		return false
+	}
+	q.entries[(q.head+q.count)%len(q.entries)] = e
+	q.count++
+	return true
+}
+
+// ForwardFrom returns the youngest store older than seq with the same
+// 8-byte-aligned address, if any — the store-to-load forwarding source.
+func (q *LSQ) ForwardFrom(seq uint64, addr uint64) (Entry, bool) {
+	var best Entry
+	found := false
+	for i := 0; i < q.count; i++ {
+		e := q.entries[(q.head+i)%len(q.entries)]
+		if e.Seq >= seq {
+			break // age order: nothing older further on
+		}
+		if e.IsStore && e.Addr == addr {
+			best = e
+			found = true // keep scanning: later matches are younger
+		}
+	}
+	return best, found
+}
+
+// Pop retires the oldest entry, which must carry the expected handle —
+// memory operations leave the LSQ in program order at commit.
+func (q *LSQ) Pop(expectHandle int) {
+	if q.count == 0 {
+		panic("lsq: pop from empty queue")
+	}
+	if q.entries[q.head].Handle != expectHandle {
+		panic("lsq: out-of-order pop")
+	}
+	q.head = (q.head + 1) % len(q.entries)
+	q.count--
+}
+
+// Head returns the oldest entry without removing it.
+func (q *LSQ) Head() (Entry, bool) {
+	if q.count == 0 {
+		return Entry{}, false
+	}
+	return q.entries[q.head], true
+}

@@ -1,0 +1,118 @@
+package lsq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAndCapacity(t *testing.T) {
+	q := New(2)
+	if !q.Alloc(Entry{Handle: 1, Seq: 1}) || !q.Alloc(Entry{Handle: 2, Seq: 2}) {
+		t.Fatal("alloc failed")
+	}
+	if q.Alloc(Entry{Handle: 3, Seq: 3}) {
+		t.Error("full LSQ accepted an entry")
+	}
+	if !q.Full() || q.Len() != 2 || q.Cap() != 2 {
+		t.Error("capacity accounting wrong")
+	}
+}
+
+func TestForwardingYoungestOlderStore(t *testing.T) {
+	q := New(8)
+	q.Alloc(Entry{Handle: 1, Seq: 1, IsStore: true, Addr: 0x100})
+	q.Alloc(Entry{Handle: 2, Seq: 2, IsStore: true, Addr: 0x200})
+	q.Alloc(Entry{Handle: 3, Seq: 3, IsStore: true, Addr: 0x100}) // younger dup
+	q.Alloc(Entry{Handle: 4, Seq: 4, IsStore: false, Addr: 0x100})
+
+	e, ok := q.ForwardFrom(4, 0x100)
+	if !ok || e.Handle != 3 {
+		t.Errorf("forward = %+v,%v; want the youngest older store (3)", e, ok)
+	}
+	// A load older than both stores sees nothing.
+	if _, ok := q.ForwardFrom(1, 0x100); ok {
+		t.Error("load forwarded from a younger store")
+	}
+	// Different address: nothing.
+	if _, ok := q.ForwardFrom(4, 0x300); ok {
+		t.Error("forwarded across addresses")
+	}
+	// Loads never forward.
+	q.Alloc(Entry{Handle: 5, Seq: 5, IsStore: false, Addr: 0x400})
+	if _, ok := q.ForwardFrom(6, 0x400); ok {
+		t.Error("forwarded from a load")
+	}
+}
+
+func TestPopInOrder(t *testing.T) {
+	q := New(4)
+	q.Alloc(Entry{Handle: 7, Seq: 1})
+	q.Alloc(Entry{Handle: 8, Seq: 2})
+	if e, ok := q.Head(); !ok || e.Handle != 7 {
+		t.Errorf("head = %+v,%v", e, ok)
+	}
+	q.Pop(7)
+	q.Pop(8)
+	if q.Len() != 0 {
+		t.Error("len after pops")
+	}
+	if _, ok := q.Head(); ok {
+		t.Error("empty head")
+	}
+}
+
+func TestOutOfOrderPopPanics(t *testing.T) {
+	q := New(4)
+	q.Alloc(Entry{Handle: 1, Seq: 1})
+	q.Alloc(Entry{Handle: 2, Seq: 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order pop should panic")
+		}
+	}()
+	q.Pop(2)
+}
+
+func TestEmptyPopPanics(t *testing.T) {
+	q := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("empty pop should panic")
+		}
+	}()
+	q.Pop(0)
+}
+
+// Property: ForwardFrom returns a store strictly older than the query and
+// with the exact address, across random queue contents (wrap-around
+// included).
+func TestQuickForwardInvariant(t *testing.T) {
+	q := New(16)
+	seq := uint64(0)
+	f := func(ops []byte) bool {
+		for _, op := range ops {
+			seq++
+			switch op % 3 {
+			case 0, 1:
+				q.Alloc(Entry{
+					Handle:  int(seq),
+					Seq:     seq,
+					IsStore: op%2 == 0,
+					Addr:    uint64(op%8) * 8,
+				})
+			case 2:
+				if e, ok := q.Head(); ok {
+					q.Pop(e.Handle)
+				}
+			}
+			e, ok := q.ForwardFrom(seq+1, uint64(op%8)*8)
+			if ok && (!e.IsStore || e.Seq > seq || e.Addr != uint64(op%8)*8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,992 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/iq"
+	"repro/internal/isa"
+	"repro/internal/lsq"
+	"repro/internal/prefetch"
+	"repro/internal/rob"
+	"repro/internal/stats"
+)
+
+// InstStream supplies the committed dynamic instruction stream in program
+// order (normally an *emu.Machine via Stream).
+type InstStream interface {
+	Next() (emu.DynInst, bool)
+}
+
+// Stream adapts an emulator machine to InstStream.
+type Stream struct{ M *emu.Machine }
+
+// Next implements InstStream.
+func (s Stream) Next() (emu.DynInst, bool) { return s.M.Step() }
+
+// noSeq is the sentinel for "not blocked on any branch".
+const noSeq = ^uint64(0)
+
+// issueQueue is the dispatch/select surface shared by the unified queue
+// and the §III-C2 distributed queue complex.
+type issueQueue interface {
+	DispatchPriority(iq.Request) bool
+	DispatchNormal(iq.Request) bool
+	DispatchWeighted(iq.Request, float64) bool
+	Select(int, func(int) bool, func(int) bool) []iq.Request
+	Occupancy() int
+	PriorityFree() int
+}
+
+// fuPool maps an isa.Class to a function-unit pool (loads and stores share
+// the Ld/St units).
+func fuPool(c isa.Class) int {
+	switch c {
+	case isa.ClassIntALU:
+		return 0
+	case isa.ClassIntMulDiv:
+		return 1
+	case isa.ClassLoad, isa.ClassStore:
+		return 2
+	case isa.ClassFPU:
+		return 3
+	}
+	return -1
+}
+
+type src struct {
+	h   int
+	seq uint64
+}
+
+// uop is one in-flight instruction. Handles index the fixed pool (sized to
+// the ROB); (handle, seq) pairs disambiguate reuse.
+type uop struct {
+	live        bool
+	di          emu.DynInst
+	class       isa.Class
+	fetchCycle  int64
+	unconf      bool
+	inPriority  bool
+	mispredict  bool // this branch/indirect blocked fetch
+	predCorrect bool // conditional branches: prediction outcome
+
+	srcs   [2]src
+	nsrc   int
+	fwd    src // loads: matching older store
+	hasFwd bool
+
+	issued        bool
+	scheduled     bool // completeCycle is valid
+	completeCycle int64
+	dispatchCycle int64
+	issueCycle    int64
+}
+
+// fqEntry is one instruction flowing down the front end.
+type fqEntry struct {
+	di          emu.DynInst
+	fetchCycle  int64
+	mispredict  bool
+	predCorrect bool
+	decoded     bool
+	unconf      bool
+}
+
+// BranchStat profiles one static conditional branch (Config.Profile).
+type BranchStat struct {
+	PC          uint64
+	Executed    uint64
+	Mispredicts uint64
+}
+
+// MispredictRate returns the branch's individual misprediction rate.
+func (b BranchStat) MispredictRate() float64 {
+	if b.Executed == 0 {
+		return 0
+	}
+	return float64(b.Mispredicts) / float64(b.Executed)
+}
+
+// Result is the outcome of one simulation run (measurement window only).
+type Result struct {
+	stats.Sim
+	Name         string
+	Measured     uint64
+	L1I, L1D, L2 cache.Stats
+
+	// Populated only when Config.Profile is set.
+	IQOccupancy *stats.Histogram // per-cycle issue-queue occupancy
+	TopBranches []BranchStat     // worst mispredicting branches, descending
+}
+
+// Sim is one simulated processor instance. It is single-use: build, Run.
+type Sim struct {
+	cfg    Config
+	stream InstStream
+
+	bp   bpred.Predictor
+	btb  *bpred.BTB
+	ras  *bpred.RAS
+	l1i  *cache.Cache
+	l1d  *cache.Cache
+	l2   *cache.Cache
+	mem  *cache.Memory
+	pubs *core.PUBS
+	q    issueQueue
+	rob  *rob.ROB
+	lsq  *lsq.LSQ
+
+	uops  []uop
+	freeU []int
+
+	fetchQ []fqEntry
+
+	now           int64
+	fetchResumeAt int64
+	blockedOnSeq  uint64
+	lastLine      uint64
+	haveLine      bool
+	lineReadyAt   int64
+
+	pending    emu.DynInst
+	hasPending bool
+	streamDone bool
+	halted     bool
+
+	// Wrong-path decode state (Config.WrongPathDecode).
+	code          []isa.Inst
+	wrongPathIdx  int // next wrong-path instruction to decode; -1 = none
+	wrongPathLeft int // remaining wrong-path decode budget for this event
+
+	regProducer [isa.NumLogicalRegs]src // .h == -1 means architected
+	intInFlight int
+	fpInFlight  int
+
+	fuBusy [4][]int64 // per pool, per unit: busy-until (non-pipelined ops)
+	dports []int64    // D-cache ports: next-free cycle
+
+	storeBuf []uint64
+
+	rng uint64
+
+	pipeTrace     io.Writer
+	pipeTraceLeft int64
+
+	st             stats.Sim
+	occHist        *stats.Histogram
+	brProf         map[uint64]*BranchStat
+	committedTotal uint64
+	lastCommitAt   int64
+	measureStart   int64
+	baseL1I        cache.Stats
+	baseL1D        cache.Stats
+	baseL2         cache.Stats
+	basePubs       [3]uint64 // unconf branches, unconf slice insts, decoded branches
+}
+
+// New builds a simulator for the given configuration.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		cfg:          cfg,
+		bp:           bpred.MustNew(cfg.Bpred),
+		btb:          bpred.NewBTB(cfg.BTBSets, cfg.BTBWays),
+		ras:          bpred.NewRAS(cfg.RASDepth),
+		mem:          &cache.Memory{Latency: cfg.MemLatency, LineBytes_: 64, BytesPerCycle: cfg.MemBW},
+		rob:          rob.New(cfg.ROBSize),
+		lsq:          lsq.New(cfg.LSQSize),
+		uops:         make([]uop, cfg.ROBSize),
+		blockedOnSeq: noSeq,
+		wrongPathIdx: -1,
+		rng:          0x9E3779B97F4A7C15,
+	}
+	s.l2 = cache.New(cfg.L2, s.mem)
+	if cfg.Prefetch {
+		s.l2.SetPrefetcher(prefetch.Default())
+	}
+	s.l1i = cache.New(cfg.L1I, s.l2)
+	s.l1d = cache.New(cfg.L1D, s.l2)
+
+	prio := 0
+	if cfg.PUBS.Enable {
+		if !cfg.PUBS.FlexibleSelect {
+			prio = cfg.PUBS.PriorityEntries
+		}
+		p, err := core.New(cfg.PUBS)
+		if err != nil {
+			return nil, err
+		}
+		s.pubs = p
+	}
+	if cfg.DistributedIQ {
+		s.q = iq.NewDistributed(iq.DistributedConfig{
+			NumQueues:       4,
+			TotalSize:       cfg.IQSize,
+			PriorityEntries: prio,
+			AgeMatrix:       cfg.AgeMatrix,
+			Router:          func(fu int) int { return fuPool(isa.Class(fu)) },
+		})
+	} else {
+		s.q = iq.New(iq.Config{
+			Size:            cfg.IQSize,
+			PriorityEntries: prio,
+			Kind:            cfg.IQKind,
+			AgeMatrix:       cfg.AgeMatrix,
+			Flexible:        cfg.PUBS.Enable && cfg.PUBS.FlexibleSelect,
+		})
+	}
+
+	for h := cfg.ROBSize - 1; h >= 0; h-- {
+		s.freeU = append(s.freeU, h)
+	}
+	for r := range s.regProducer {
+		s.regProducer[r] = src{h: -1}
+	}
+	s.fuBusy[0] = make([]int64, cfg.NumIntALU)
+	s.fuBusy[1] = make([]int64, cfg.NumIntMulDiv)
+	s.fuBusy[2] = make([]int64, cfg.NumLdSt)
+	s.fuBusy[3] = make([]int64, cfg.NumFPU)
+	s.dports = make([]int64, 2)
+	s.fetchQ = make([]fqEntry, 0, 4*cfg.FetchWidth)
+	if cfg.Profile {
+		s.occHist = stats.NewHistogram(cfg.IQSize + 1)
+		s.brProf = make(map[uint64]*BranchStat)
+	}
+	return s, nil
+}
+
+// rand01 returns a deterministic uniform value in [0,1) (xorshift64*).
+func (s *Sim) rand01() float64 {
+	s.rng ^= s.rng >> 12
+	s.rng ^= s.rng << 25
+	s.rng ^= s.rng >> 27
+	return float64(s.rng*0x2545F4914F6CDD1D>>11) / float64(1<<53)
+}
+
+func (s *Sim) peek() (emu.DynInst, bool) {
+	if s.streamDone {
+		return emu.DynInst{}, false
+	}
+	if !s.hasPending {
+		di, ok := s.stream.Next()
+		if !ok {
+			s.streamDone = true
+			return emu.DynInst{}, false
+		}
+		s.pending, s.hasPending = di, true
+	}
+	return s.pending, true
+}
+
+func (s *Sim) take() { s.hasPending = false }
+
+// valueReady reports whether the value identified by sr is available at the
+// start of the current cycle. A dead or recycled producer means the value
+// is architected (the producer committed).
+func (s *Sim) valueReady(sr src) bool {
+	if sr.h < 0 {
+		return true
+	}
+	u := &s.uops[sr.h]
+	if !u.live || u.di.Seq != sr.seq {
+		return true
+	}
+	return u.scheduled && u.completeCycle <= s.now
+}
+
+// opReady is the IQ wakeup predicate.
+func (s *Sim) opReady(h int) bool {
+	u := &s.uops[h]
+	for i := 0; i < u.nsrc; i++ {
+		if !s.valueReady(u.srcs[i]) {
+			return false
+		}
+	}
+	if u.hasFwd {
+		f := &s.uops[u.fwd.h]
+		if f.live && f.di.Seq == u.fwd.seq && !f.issued {
+			return false // forwarding source must have executed
+		}
+	}
+	return true
+}
+
+// ---------- fetch ----------
+
+func (s *Sim) fetch() {
+	if s.halted || s.now < s.fetchResumeAt || s.blockedOnSeq != noSeq {
+		return
+	}
+	for n := 0; n < s.cfg.FetchWidth; n++ {
+		if len(s.fetchQ) == cap(s.fetchQ) {
+			break
+		}
+		di, ok := s.peek()
+		if !ok {
+			break
+		}
+		// Instruction cache: one line buffer; a new line is requested the
+		// cycle it is first needed and fetch stalls until it arrives.
+		line := di.PC &^ 63
+		if !s.haveLine || line != s.lastLine {
+			done := s.l1i.Access(di.PC, s.now, false)
+			s.lastLine, s.haveLine = line, true
+			s.lineReadyAt = done
+		}
+		if s.lineReadyAt > s.now {
+			break
+		}
+		s.take()
+		f := fqEntry{di: di, fetchCycle: s.now}
+		stop := false
+
+		switch {
+		case di.Inst.IsCondBranch():
+			pred := s.bp.Predict(di.PC)
+			s.bp.Update(di.PC, di.Taken)
+			f.predCorrect = pred == di.Taken
+			if di.Taken {
+				s.btb.Insert(di.PC, di.Target)
+			}
+			if !f.predCorrect {
+				f.mispredict = true
+				s.blockedOnSeq = di.Seq
+				stop = true
+				if s.cfg.WrongPathDecode && s.code != nil {
+					// The front end runs down the predicted (wrong) path:
+					// the fall-through when the branch was actually taken,
+					// the target when it was actually not taken. The walk is
+					// bounded by what the front-end buffers can hold before
+					// the stall backs decode up — wrong-path instructions
+					// occupy real fetch-queue and window slots in hardware.
+					if di.Taken {
+						s.wrongPathIdx = di.Idx + 1
+					} else {
+						s.wrongPathIdx = int(di.Inst.Imm)
+					}
+					s.wrongPathLeft = cap(s.fetchQ) + s.cfg.FetchWidth*int(s.cfg.FrontEndDepth)
+				}
+			} else if pred {
+				// Correctly predicted taken: target must come from the BTB
+				// to redirect this cycle; otherwise a decode-redirect bubble.
+				if tgt, hit := s.btb.Lookup(di.PC); !hit || tgt != di.Target {
+					s.st.BTBMisses++
+					s.fetchResumeAt = s.now + s.cfg.BTBMissPenalty
+				}
+				stop = true // taken branch ends the fetch group
+			}
+
+		case di.Inst.Op == isa.Jmp || di.Inst.Op == isa.Jal:
+			if tgt, hit := s.btb.Lookup(di.PC); !hit || tgt != di.Target {
+				s.st.BTBMisses++
+				s.fetchResumeAt = s.now + s.cfg.BTBMissPenalty
+			}
+			s.btb.Insert(di.PC, di.Target)
+			if di.Inst.Op == isa.Jal {
+				s.ras.Push(di.PC + 4)
+			}
+			stop = true
+
+		case di.Inst.Op == isa.Jr:
+			var predTgt uint64
+			var havePred bool
+			if di.Inst.Rs1 == isa.RLink {
+				predTgt, havePred = s.ras.Pop()
+			}
+			if !havePred {
+				predTgt, havePred = s.btb.Lookup(di.PC)
+			}
+			s.btb.Insert(di.PC, di.Target)
+			if !havePred || predTgt != di.Target {
+				f.mispredict = true
+				s.blockedOnSeq = di.Seq
+			}
+			stop = true
+
+		case di.Inst.Op == isa.Halt:
+			stop = true
+		}
+
+		s.fetchQ = append(s.fetchQ, f)
+		if stop {
+			break
+		}
+	}
+}
+
+// ---------- dispatch (decode + rename + queue insertion) ----------
+
+func (s *Sim) dispatch() {
+	for n := 0; n < s.cfg.FetchWidth; n++ {
+		if len(s.fetchQ) == 0 {
+			break
+		}
+		f := &s.fetchQ[0]
+		if s.now < f.fetchCycle+s.cfg.FrontEndDepth {
+			break
+		}
+		// Decode-stage PUBS work happens once, in program order, even if
+		// dispatch subsequently stalls on a structural hazard.
+		if !f.decoded {
+			if s.pubs != nil {
+				f.unconf = s.pubs.Decode(f.di.PC, f.di.Inst)
+			}
+			f.decoded = true
+		}
+
+		// Structural hazards (checked oldest-first; dispatch is in-order).
+		if s.rob.Full() {
+			s.st.DispatchStallROB++
+			break
+		}
+		if f.di.Inst.IsMem() && s.lsq.Full() {
+			s.st.DispatchStallLSQ++
+			break
+		}
+		if f.di.Inst.HasDest() {
+			if f.di.Inst.Rd.IsFP() {
+				if s.fpInFlight >= s.cfg.PhysFPRegs-32 {
+					s.st.DispatchStallRegs++
+					break
+				}
+			} else if s.intInFlight >= s.cfg.PhysIntRegs-32 {
+				s.st.DispatchStallRegs++
+				break
+			}
+		}
+
+		h := s.freeU[len(s.freeU)-1]
+		req := iq.Request{Handle: h, Seq: f.di.Seq, FU: int(f.di.Class)}
+		inPriority := false
+		if f.di.Class != isa.ClassNone {
+			ok := false
+			switch {
+			case s.pubs != nil && s.pubs.Active() && s.cfg.PUBS.FlexibleSelect:
+				// Idealized flexible select: mark and dispatch anywhere.
+				req.Marked = f.unconf
+				if s.q.DispatchNormal(req) {
+					ok = true
+				} else {
+					s.st.DispatchStallNormal++
+				}
+			case s.pubs != nil && s.pubs.Active():
+				if f.unconf {
+					if s.q.DispatchPriority(req) {
+						ok, inPriority = true, true
+					} else if s.cfg.PUBS.StallDispatch {
+						s.st.DispatchStallPriority++
+					} else if s.q.DispatchNormal(req) {
+						ok = true
+					} else {
+						s.st.DispatchStallNormal++
+					}
+				} else if s.q.DispatchNormal(req) {
+					ok = true
+				} else {
+					s.st.DispatchStallNormal++
+				}
+			case s.pubs != nil:
+				// PUBS configured but mode-switched off: both free lists
+				// serve everyone, weighted by the entry ratio (§III-B3).
+				if s.q.DispatchWeighted(req, s.rand01()) {
+					ok = true
+				} else {
+					s.st.DispatchStallNormal++
+				}
+			default:
+				if s.q.DispatchNormal(req) {
+					ok = true
+				} else {
+					s.st.DispatchStallNormal++
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		s.freeU = s.freeU[:len(s.freeU)-1]
+
+		u := &s.uops[h]
+		*u = uop{
+			live:          true,
+			di:            f.di,
+			class:         f.di.Class,
+			fetchCycle:    f.fetchCycle,
+			unconf:        f.unconf,
+			inPriority:    inPriority,
+			mispredict:    f.mispredict,
+			predCorrect:   f.predCorrect,
+			dispatchCycle: s.now,
+			issueCycle:    -1,
+		}
+		srcs, nsrc := f.di.Inst.Sources()
+		for i := 0; i < nsrc; i++ {
+			r := srcs[i]
+			if r == isa.RZero {
+				u.srcs[u.nsrc] = src{h: -1}
+			} else {
+				u.srcs[u.nsrc] = s.regProducer[r]
+			}
+			u.nsrc++
+		}
+		if f.di.Inst.IsLoad() {
+			if e, found := s.lsq.ForwardFrom(f.di.Seq, f.di.Addr&^7); found {
+				u.fwd = src{h: e.Handle, seq: e.Seq}
+				u.hasFwd = true
+			}
+		}
+		if f.di.Inst.IsMem() {
+			s.lsq.Alloc(lsq.Entry{
+				Handle:  h,
+				Seq:     f.di.Seq,
+				IsStore: f.di.Inst.IsStore(),
+				Addr:    f.di.Addr &^ 7,
+			})
+		}
+		s.rob.Alloc(h)
+		if f.di.Inst.HasDest() {
+			s.regProducer[f.di.Inst.Rd] = src{h: h, seq: f.di.Seq}
+			if f.di.Inst.Rd.IsFP() {
+				s.fpInFlight++
+			} else {
+				s.intInFlight++
+			}
+		}
+		if f.di.Class == isa.ClassNone {
+			// Nop/Halt/direct jumps need no FU: complete next cycle.
+			u.scheduled = true
+			u.completeCycle = s.now + 1
+		}
+		copy(s.fetchQ, s.fetchQ[1:])
+		s.fetchQ = s.fetchQ[:len(s.fetchQ)-1]
+	}
+}
+
+// ---------- issue + execute scheduling ----------
+
+func (s *Sim) issue() {
+	var remaining [4]int
+	for p := range s.fuBusy {
+		for _, busy := range s.fuBusy[p] {
+			if busy <= s.now {
+				remaining[p]++
+			}
+		}
+	}
+	fuTryAlloc := func(class int) bool {
+		p := fuPool(isa.Class(class))
+		if p < 0 || remaining[p] == 0 {
+			return false
+		}
+		remaining[p]--
+		return true
+	}
+	granted := s.q.Select(s.cfg.IssueWidth, s.opReady, fuTryAlloc)
+	for _, g := range granted {
+		s.schedule(g.Handle)
+	}
+}
+
+// schedule computes the completion time of a granted instruction and, for a
+// blocking mispredicted branch, the fetch-redirect time.
+func (s *Sim) schedule(h int) {
+	u := &s.uops[h]
+	u.issued = true
+	u.scheduled = true
+	u.issueCycle = s.now
+	in := u.di.Inst
+
+	switch {
+	case in.IsLoad():
+		agen := s.now + 1
+		forwarded := false
+		if u.hasFwd {
+			f := &s.uops[u.fwd.h]
+			if f.live && f.di.Seq == u.fwd.seq {
+				forwarded = true
+				done := f.completeCycle
+				if agen > done {
+					done = agen
+				}
+				u.completeCycle = done + 2 // forwarding from the LSQ
+			}
+		}
+		if !forwarded {
+			// The store may have committed but not yet drained: forward
+			// from the store buffer.
+			la := u.di.Addr &^ 7
+			for _, a := range s.storeBuf {
+				if a&^7 == la {
+					forwarded = true
+					u.completeCycle = agen + 2
+					break
+				}
+			}
+		}
+		if forwarded {
+			s.st.LoadsForwarded++
+		} else {
+			start := s.allocDPort(agen)
+			u.completeCycle = s.l1d.Access(u.di.Addr, start, false)
+		}
+	case in.IsStore():
+		u.completeCycle = s.now + 1 // address+data staged into the LSQ
+	default:
+		lat := in.Latency()
+		u.completeCycle = s.now + lat
+		if !in.Pipelined() {
+			s.blockUnit(fuPool(u.class), lat)
+		}
+	}
+	s.st.Issued++
+
+	if u.mispredict && s.blockedOnSeq == u.di.Seq {
+		s.fetchResumeAt = u.completeCycle + s.cfg.RecoveryPenalty
+		s.blockedOnSeq = noSeq
+		s.wrongPathIdx = -1 // squash: stop polluting the tables
+		s.st.MisspecPenaltyCycles += u.completeCycle - u.fetchCycle
+		s.st.RecoveryCycles += s.cfg.RecoveryPenalty
+	}
+}
+
+// SetStaticCode supplies the program's static code, enabling wrong-path
+// decode modelling (Config.WrongPathDecode). RunProgram calls this.
+func (s *Sim) SetStaticCode(code []isa.Inst) { s.code = code }
+
+// decodeWrongPath walks the wrong path at decode width while fetch is
+// blocked, updating the PUBS tables with the instructions a real front end
+// would decode before the squash. The walk follows fall-through on
+// conditional branches and targets on direct jumps, and parks on indirect
+// jumps and halts (targets unknown).
+func (s *Sim) decodeWrongPath() {
+	if s.wrongPathIdx < 0 || s.pubs == nil || s.blockedOnSeq == noSeq {
+		return
+	}
+	for n := 0; n < s.cfg.FetchWidth; n++ {
+		if s.wrongPathLeft <= 0 {
+			s.wrongPathIdx = -1
+			return
+		}
+		idx := s.wrongPathIdx
+		if idx < 0 || idx >= len(s.code) {
+			s.wrongPathIdx = -1
+			return
+		}
+		s.wrongPathLeft--
+		in := s.code[idx]
+		s.pubs.Decode(isa.PC(idx), in)
+		switch {
+		case in.Op == isa.Jmp || in.Op == isa.Jal:
+			s.wrongPathIdx = int(in.Imm)
+		case in.Op == isa.Jr || in.Op == isa.Halt:
+			s.wrongPathIdx = -1 // unknown target: the walk parks
+			return
+		default:
+			s.wrongPathIdx = idx + 1
+		}
+	}
+}
+
+// allocDPort claims a D-cache port at or after cycle `at`, returning the
+// access start cycle.
+func (s *Sim) allocDPort(at int64) int64 {
+	best := 0
+	for i := 1; i < len(s.dports); i++ {
+		if s.dports[i] < s.dports[best] {
+			best = i
+		}
+	}
+	start := at
+	if s.dports[best] > start {
+		start = s.dports[best]
+	}
+	s.dports[best] = start + 1
+	return start
+}
+
+// blockUnit marks one unit of pool p busy for lat cycles (non-pipelined op).
+func (s *Sim) blockUnit(p int, lat int64) {
+	units := s.fuBusy[p]
+	for i := range units {
+		if units[i] <= s.now {
+			units[i] = s.now + lat
+			return
+		}
+	}
+}
+
+// ---------- store buffer ----------
+
+func (s *Sim) drainStores() {
+	if len(s.storeBuf) == 0 {
+		return
+	}
+	// One committed store drains per cycle when a D-port is idle.
+	for i := range s.dports {
+		if s.dports[i] <= s.now {
+			s.dports[i] = s.now + 1
+			s.l1d.Access(s.storeBuf[0], s.now, true)
+			s.storeBuf = s.storeBuf[1:]
+			if len(s.storeBuf) == 0 {
+				s.storeBuf = s.storeBuf[:0:cap(s.storeBuf)]
+			}
+			return
+		}
+	}
+}
+
+// ---------- commit ----------
+
+func (s *Sim) commit() {
+	for n := 0; n < s.cfg.CommitWidth; n++ {
+		h, ok := s.rob.Head()
+		if !ok {
+			break
+		}
+		u := &s.uops[h]
+		if !u.scheduled || u.completeCycle > s.now {
+			break
+		}
+		in := u.di.Inst
+		if in.IsStore() {
+			if len(s.storeBuf) >= s.cfg.StoreBufferSize {
+				break // store buffer full: commit stalls
+			}
+			s.storeBuf = append(s.storeBuf, u.di.Addr)
+		}
+		if in.IsMem() {
+			s.lsq.Pop(h)
+		}
+		if in.IsCondBranch() {
+			s.st.CondBranches++
+			if !u.predCorrect {
+				s.st.Mispredicts++
+			}
+			if s.pubs != nil {
+				s.pubs.BranchExecuted(u.di.PC, u.predCorrect)
+			}
+			if s.brProf != nil {
+				bs := s.brProf[u.di.PC]
+				if bs == nil {
+					bs = &BranchStat{PC: u.di.PC}
+					s.brProf[u.di.PC] = bs
+				}
+				bs.Executed++
+				if !u.predCorrect {
+					bs.Mispredicts++
+				}
+			}
+		}
+		if in.Op == isa.Jr {
+			s.st.IndirectJumps++
+			if u.mispredict {
+				s.st.IndirectMispred++
+			}
+		}
+		if in.HasDest() {
+			if p := s.regProducer[in.Rd]; p.h == h && p.seq == u.di.Seq {
+				s.regProducer[in.Rd] = src{h: -1}
+			}
+			if in.Rd.IsFP() {
+				s.fpInFlight--
+			} else {
+				s.intInFlight--
+			}
+		}
+		if s.pipeTrace != nil && s.pipeTraceLeft > 0 {
+			s.pipeTraceLeft--
+			s.emitPipeTrace(u)
+		}
+		s.rob.Pop()
+		u.live = false
+		s.freeU = append(s.freeU, h)
+		s.st.Committed++
+		s.committedTotal++
+		s.lastCommitAt = s.now
+		if s.pubs != nil && s.pubs.Mode() != nil {
+			s.pubs.Mode().OnCommit(s.l2.Stats().Misses)
+		}
+		if in.Op == isa.Halt {
+			s.halted = true
+			break
+		}
+	}
+}
+
+// ---------- run ----------
+
+// resetMeasurement clears counters at the warm-up boundary while leaving
+// all microarchitectural state (predictors, caches, PUBS tables) warm.
+func (s *Sim) resetMeasurement() {
+	s.st.Reset()
+	s.measureStart = s.now
+	if s.cfg.Profile {
+		s.occHist = stats.NewHistogram(s.cfg.IQSize + 1)
+		s.brProf = make(map[uint64]*BranchStat)
+	}
+	s.baseL1I = *s.l1i.Stats()
+	s.baseL1D = *s.l1d.Stats()
+	s.baseL2 = *s.l2.Stats()
+	if s.pubs != nil {
+		s.basePubs = [3]uint64{s.pubs.UnconfBranches, s.pubs.UnconfSliceInsts, s.pubs.DecodedBranches}
+	}
+}
+
+func sub(a, b cache.Stats) cache.Stats {
+	return cache.Stats{
+		Accesses:      a.Accesses - b.Accesses,
+		Misses:        a.Misses - b.Misses,
+		MSHRMerges:    a.MSHRMerges - b.MSHRMerges,
+		Writebacks:    a.Writebacks - b.Writebacks,
+		PrefetchReqs:  a.PrefetchReqs - b.PrefetchReqs,
+		PrefetchFills: a.PrefetchFills - b.PrefetchFills,
+		PrefetchHits:  a.PrefetchHits - b.PrefetchHits,
+		PrefetchLate:  a.PrefetchLate - b.PrefetchLate,
+	}
+}
+
+// Run simulates until `measure` instructions have committed after a
+// `warmup`-instruction warm-up window (or until the program halts). It
+// returns the measurement-window statistics.
+func (s *Sim) Run(stream InstStream, warmup, measure uint64) (Result, error) {
+	if stream == nil {
+		return Result{}, fmt.Errorf("pipeline %s: nil instruction stream", s.cfg.Name)
+	}
+	if measure == 0 {
+		return Result{}, fmt.Errorf("pipeline %s: measurement window must be positive", s.cfg.Name)
+	}
+	s.stream = stream
+	target := warmup + measure
+	warmedUp := warmup == 0
+	if warmedUp {
+		s.resetMeasurement()
+	}
+
+	for {
+		s.commit()
+		if !warmedUp && s.committedTotal >= warmup {
+			s.resetMeasurement()
+			warmedUp = true
+		}
+		if s.committedTotal >= target || s.halted {
+			break
+		}
+		if s.streamDone && !s.hasPending && len(s.fetchQ) == 0 && s.rob.Empty() {
+			break
+		}
+		s.issue()
+		s.drainStores()
+		s.dispatch()
+		s.decodeWrongPath()
+		s.fetch()
+		if s.occHist != nil {
+			s.occHist.Add(s.q.Occupancy())
+		}
+		s.now++
+		if s.now-s.lastCommitAt > 500_000 {
+			return Result{}, fmt.Errorf("pipeline %s: no commit for %d cycles at cycle %d (seq %d, rob %d, iq %d, fetchq %d) — likely deadlock",
+				s.cfg.Name, s.now-s.lastCommitAt, s.now, s.committedTotal, s.rob.Len(), s.q.Occupancy(), len(s.fetchQ))
+		}
+	}
+
+	s.st.Cycles = s.now - s.measureStart
+	if s.st.Cycles == 0 {
+		s.st.Cycles = 1
+	}
+	res := Result{
+		Sim:      s.st,
+		Name:     s.cfg.Name,
+		Measured: s.st.Committed,
+		L1I:      sub(*s.l1i.Stats(), s.baseL1I),
+		L1D:      sub(*s.l1d.Stats(), s.baseL1D),
+		L2:       sub(*s.l2.Stats(), s.baseL2),
+	}
+	res.L1IAccesses, res.L1IMisses = res.L1I.Accesses, res.L1I.Misses
+	res.L1DAccesses, res.L1DMisses = res.L1D.Accesses, res.L1D.Misses
+	res.LLCAccesses, res.LLCMisses = res.L2.Accesses, res.L2.Misses
+	res.Prefetches = res.L2.PrefetchReqs
+	if s.cfg.Profile {
+		res.IQOccupancy = s.occHist
+		res.TopBranches = topBranches(s.brProf, 10)
+	}
+	if s.pubs != nil {
+		res.UnconfBranches = s.pubs.UnconfBranches - s.basePubs[0]
+		res.UnconfSliceInsts = s.pubs.UnconfSliceInsts - s.basePubs[1]
+		res.DecodedBranches = s.pubs.DecodedBranches - s.basePubs[2]
+		if m := s.pubs.Mode(); m != nil {
+			res.ModeSwitchChecks = m.Checks
+			res.ModeEnabledWindows = m.EnabledWindows
+		}
+	}
+	return res, nil
+}
+
+// SetPipeTrace streams a per-instruction stage log to w for the first
+// maxInsts committed instructions: fetch (F), dispatch (D), issue (I),
+// execution complete (X), and commit (C) cycle numbers, plus PUBS flags
+// (`u` = predicted in an unconfident slice, `P` = held a priority entry,
+// `!` = mispredicted blocking branch). Call before Run.
+func (s *Sim) SetPipeTrace(w io.Writer, maxInsts int64) {
+	s.pipeTrace = w
+	s.pipeTraceLeft = maxInsts
+}
+
+func (s *Sim) emitPipeTrace(u *uop) {
+	flags := ""
+	if u.unconf {
+		flags += "u"
+	}
+	if u.inPriority {
+		flags += "P"
+	}
+	if u.mispredict {
+		flags += "!"
+	}
+	issue := "-"
+	if u.issueCycle >= 0 {
+		issue = fmt.Sprint(u.issueCycle)
+	}
+	fmt.Fprintf(s.pipeTrace, "seq=%-8d pc=%-6d %-24s F=%-8d D=%-8d I=%-8s X=%-8d C=%-8d %s\n",
+		u.di.Seq, u.di.Idx, u.di.Inst, u.fetchCycle, u.dispatchCycle, issue,
+		u.completeCycle, s.now, flags)
+}
+
+// topBranches extracts the n worst mispredicting branches, descending.
+func topBranches(prof map[uint64]*BranchStat, n int) []BranchStat {
+	out := make([]BranchStat, 0, len(prof))
+	for _, bs := range prof {
+		out = append(out, *bs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mispredicts != out[j].Mispredicts {
+			return out[i].Mispredicts > out[j].Mispredicts
+		}
+		return out[i].PC < out[j].PC
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// RunProgram is a convenience wrapper: emulate prog and simulate it.
+func RunProgram(cfg Config, prog *isa.Program, warmup, measure uint64) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	s.SetStaticCode(prog.Code)
+	m, err := emu.New(prog)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(Stream{M: m}, warmup, measure)
+}

@@ -1,0 +1,135 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAscendingStreamDetected(t *testing.T) {
+	s := NewStream(4, 16, 2, 64)
+	if got := s.OnMiss(0 * 64); got != nil {
+		t.Errorf("first miss should only allocate, got %v", got)
+	}
+	got := s.OnMiss(1 * 64)
+	want := []uint64{(1 + 16) * 64, (1 + 17) * 64}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("prefetches = %v, want %v", got, want)
+	}
+	if s.Trained() != 1 {
+		t.Errorf("trained = %d", s.Trained())
+	}
+}
+
+func TestDescendingStreamDetected(t *testing.T) {
+	s := NewStream(4, 4, 2, 64)
+	s.OnMiss(100 * 64)
+	got := s.OnMiss(99 * 64)
+	want := []uint64{(99 - 4) * 64, (99 - 5) * 64}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("descending prefetches = %v, want %v", got, want)
+	}
+}
+
+func TestDescendingStopsAtZero(t *testing.T) {
+	s := NewStream(4, 16, 2, 64)
+	s.OnMiss(3 * 64)
+	got := s.OnMiss(2 * 64) // 2-16 underflows: no prefetch
+	if len(got) != 0 {
+		t.Errorf("underflowing prefetches emitted: %v", got)
+	}
+}
+
+func TestDirectionLock(t *testing.T) {
+	s := NewStream(4, 16, 2, 64)
+	s.OnMiss(10 * 64)
+	s.OnMiss(11 * 64) // ascending lock
+	// A descending step does not extend the ascending stream; it allocates.
+	if got := s.OnMiss(10 * 64); got != nil {
+		t.Errorf("direction-violating extension: %v", got)
+	}
+}
+
+func TestRandomMissesNoPrefetch(t *testing.T) {
+	s := Default()
+	addrs := []uint64{5, 900, 17, 4000, 123, 77777, 42}
+	total := 0
+	for _, a := range addrs {
+		total += len(s.OnMiss(a * 64))
+	}
+	if total != 0 {
+		t.Errorf("random misses produced %d prefetches", total)
+	}
+	if s.Allocated() != uint64(len(addrs)) {
+		t.Errorf("allocated = %d, want %d", s.Allocated(), len(addrs))
+	}
+}
+
+func TestLRUTrackerReplacement(t *testing.T) {
+	s := NewStream(2, 16, 1, 64)
+	s.OnMiss(100 * 64) // tracker A
+	s.OnMiss(200 * 64) // tracker B
+	s.OnMiss(101 * 64) // extend A (B becomes LRU)
+	s.OnMiss(300 * 64) // replaces B
+	// A remains live (and stays MRU).
+	if got := s.OnMiss(102 * 64); len(got) != 1 {
+		t.Errorf("surviving stream broken: %v", got)
+	}
+	// B's continuation no longer extends anything; it allocates instead.
+	if got := s.OnMiss(201 * 64); got != nil {
+		t.Errorf("evicted stream still live: %v", got)
+	}
+}
+
+func TestMultipleConcurrentStreams(t *testing.T) {
+	s := Default()
+	// Interleave four streams; all should train.
+	bases := []uint64{1000, 5000, 9000, 13000}
+	for step := uint64(0); step < 4; step++ {
+		for _, b := range bases {
+			s.OnMiss((b + step) * 64)
+		}
+	}
+	if s.Trained() != uint64(len(bases)*3) {
+		t.Errorf("trained = %d, want %d", s.Trained(), len(bases)*3)
+	}
+}
+
+func TestNilPrefetcher(t *testing.T) {
+	if got := (Nil{}).OnMiss(0x1234); got != nil {
+		t.Errorf("Nil prefetcher returned %v", got)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid parameters should panic")
+		}
+	}()
+	NewStream(0, 16, 2, 64)
+}
+
+// Property: every nominated prefetch address is line-aligned and ahead of
+// the miss in the stream's direction by at least the distance.
+func TestQuickPrefetchGeometry(t *testing.T) {
+	f := func(start uint16, steps uint8) bool {
+		s := NewStream(8, 16, 2, 64)
+		ln := uint64(start) + 1000
+		s.OnMiss(ln * 64)
+		for i := 0; i < int(steps%16)+1; i++ {
+			ln++
+			for _, p := range s.OnMiss(ln * 64) {
+				if p%64 != 0 {
+					return false
+				}
+				if p/64 < ln+16 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,61 @@
+// Package rob implements the reorder buffer: a bounded in-order ring of
+// instruction handles. The pipeline owns per-instruction state; the ROB
+// enforces program-order allocation and retirement and the structural
+// capacity limit (Table I: 128 entries).
+package rob
+
+// ROB is a fixed-capacity FIFO of opaque handles.
+type ROB struct {
+	entries []int
+	head    int
+	count   int
+}
+
+// New returns a ROB with the given capacity.
+func New(capacity int) *ROB {
+	if capacity <= 0 {
+		panic("rob: capacity must be positive")
+	}
+	return &ROB{entries: make([]int, capacity)}
+}
+
+// Cap returns the capacity.
+func (r *ROB) Cap() int { return len(r.entries) }
+
+// Len returns the number of live entries.
+func (r *ROB) Len() int { return r.count }
+
+// Full reports whether allocation would fail.
+func (r *ROB) Full() bool { return r.count == len(r.entries) }
+
+// Empty reports whether the ROB holds no instructions.
+func (r *ROB) Empty() bool { return r.count == 0 }
+
+// Alloc appends a handle in program order.
+func (r *ROB) Alloc(handle int) bool {
+	if r.Full() {
+		return false
+	}
+	r.entries[(r.head+r.count)%len(r.entries)] = handle
+	r.count++
+	return true
+}
+
+// Head returns the oldest handle without removing it.
+func (r *ROB) Head() (handle int, ok bool) {
+	if r.count == 0 {
+		return 0, false
+	}
+	return r.entries[r.head], true
+}
+
+// Pop retires the oldest handle.
+func (r *ROB) Pop() (handle int, ok bool) {
+	if r.count == 0 {
+		return 0, false
+	}
+	h := r.entries[r.head]
+	r.head = (r.head + 1) % len(r.entries)
+	r.count--
+	return h, true
+}

@@ -1,0 +1,94 @@
+package rob
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	r := New(3)
+	for i := 10; i < 13; i++ {
+		if !r.Alloc(i) {
+			t.Fatalf("alloc %d failed", i)
+		}
+	}
+	if r.Alloc(99) {
+		t.Error("full ROB accepted an entry")
+	}
+	for want := 10; want < 13; want++ {
+		if h, ok := r.Head(); !ok || h != want {
+			t.Errorf("head = %d,%v want %d", h, ok, want)
+		}
+		if h, ok := r.Pop(); !ok || h != want {
+			t.Errorf("pop = %d,%v want %d", h, ok, want)
+		}
+	}
+	if !r.Empty() {
+		t.Error("ROB should be empty")
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("empty pop succeeded")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	r := New(2)
+	r.Alloc(1)
+	r.Alloc(2)
+	r.Pop()
+	r.Alloc(3) // wraps
+	if h, _ := r.Pop(); h != 2 {
+		t.Errorf("pop = %d, want 2", h)
+	}
+	if h, _ := r.Pop(); h != 3 {
+		t.Errorf("pop = %d, want 3", h)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity should panic")
+		}
+	}()
+	New(0)
+}
+
+// Property: the ROB is an exact FIFO under random interleavings, and Len
+// never exceeds Cap.
+func TestQuickFIFO(t *testing.T) {
+	r := New(8)
+	var model []int
+	next := 0
+	f := func(ops []byte) bool {
+		for _, op := range ops {
+			if op%2 == 0 {
+				next++
+				if r.Alloc(next) != (len(model) < 8) {
+					return false
+				}
+				if len(model) < 8 {
+					model = append(model, next)
+				}
+			} else {
+				h, ok := r.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if h != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if r.Len() != len(model) || r.Len() > r.Cap() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package sampling implements SMARTS-style sampled simulation: the
+// functional emulator fast-forwards between measurement windows (tens of
+// millions of instructions per second), and the detailed timing model runs
+// only inside each window after a short detailed warm-up. The paper
+// simulates one contiguous 100M window after a 16B skip; sampling gives the
+// same kind of coverage at a fraction of the cost and is the standard way
+// to extend this simulator to much longer workloads.
+package sampling
+
+import (
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+// Config describes a sampling plan.
+type Config struct {
+	Windows     int    // number of measurement windows
+	FastForward uint64 // functionally emulated instructions between windows
+	Warmup      uint64 // detailed (timed, uncounted) instructions per window
+	Measure     uint64 // measured instructions per window
+}
+
+// DefaultPlan samples 8 windows of 100K measured instructions, each after a
+// 50K detailed warm-up, separated by 1M fast-forwarded instructions.
+func DefaultPlan() Config {
+	return Config{Windows: 8, FastForward: 1_000_000, Warmup: 50_000, Measure: 100_000}
+}
+
+// Validate checks the plan.
+func (c Config) Validate() error {
+	if c.Windows <= 0 {
+		return fmt.Errorf("sampling: need at least one window")
+	}
+	if c.Measure == 0 {
+		return fmt.Errorf("sampling: measurement window must be positive")
+	}
+	return nil
+}
+
+// WindowResult is one window's measurement.
+type WindowResult struct {
+	StartInst uint64 // instruction count at the start of the window's warm-up
+	Result    pipeline.Result
+}
+
+// Result aggregates the windows.
+type Result struct {
+	Windows []WindowResult
+	// Aggregate counters: total measured instructions over total cycles
+	// (per-instruction weighting, the SMARTS estimator).
+	Committed uint64
+	Cycles    int64
+}
+
+// IPC returns the aggregate instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles)
+}
+
+// BranchMPKI aggregates conditional-branch mispredictions per kilo-inst.
+func (r Result) BranchMPKI() float64 {
+	var m uint64
+	for _, w := range r.Windows {
+		m += w.Result.Mispredicts
+	}
+	if r.Committed == 0 {
+		return 0
+	}
+	return float64(m) / float64(r.Committed) * 1000
+}
+
+// IPCStdev returns the per-window IPC standard deviation — the phase
+// variability the sample observed.
+func (r Result) IPCStdev() float64 {
+	if len(r.Windows) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, w := range r.Windows {
+		sum += w.Result.IPC()
+	}
+	mean := sum / float64(len(r.Windows))
+	var ss float64
+	for _, w := range r.Windows {
+		d := w.Result.IPC() - mean
+		ss += d * d
+	}
+	return sqrt(ss / float64(len(r.Windows)-1))
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// Run executes the sampling plan: one emulator advances through the
+// program; each window gets a fresh timing model (cold microarchitecture,
+// mitigated by the per-window detailed warm-up).
+func Run(cfg pipeline.Config, prog *isa.Program, plan Config) (Result, error) {
+	if err := plan.Validate(); err != nil {
+		return Result{}, err
+	}
+	m, err := emu.New(prog)
+	if err != nil {
+		return Result{}, err
+	}
+	var out Result
+	for w := 0; w < plan.Windows; w++ {
+		if plan.FastForward > 0 {
+			if ran := m.Run(plan.FastForward); ran < plan.FastForward {
+				break // program halted during fast-forward
+			}
+		}
+		sim, err := pipeline.New(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		start := m.Seq()
+		res, err := sim.Run(pipeline.Stream{M: m}, plan.Warmup, plan.Measure)
+		if err != nil {
+			return Result{}, err
+		}
+		if res.Committed == 0 {
+			break // program ended inside the window
+		}
+		out.Windows = append(out.Windows, WindowResult{StartInst: start, Result: res})
+		out.Committed += res.Committed
+		out.Cycles += res.Cycles
+	}
+	if len(out.Windows) == 0 {
+		return Result{}, fmt.Errorf("sampling: program ended before any window completed")
+	}
+	return out, nil
+}
+
+// Table renders the per-window and aggregate results.
+func (r Result) Table() string {
+	t := stats.NewTable("Sampled simulation", "window", "start-inst", "IPC", "brMPKI")
+	for i, w := range r.Windows {
+		t.Row(i, w.StartInst, w.Result.IPC(), w.Result.BranchMPKI())
+	}
+	return t.String() + fmt.Sprintf("aggregate IPC %.4f (per-window stdev %.4f) over %d instructions\n",
+		r.IPC(), r.IPCStdev(), r.Committed)
+}

@@ -1,0 +1,106 @@
+package sampling
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func TestPlanValidation(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("zero plan accepted")
+	}
+	if err := (Config{Windows: 2}).Validate(); err == nil {
+		t.Error("zero measure accepted")
+	}
+	if err := DefaultPlan().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampledRunProducesWindows(t *testing.T) {
+	plan := Config{Windows: 4, FastForward: 50_000, Warmup: 10_000, Measure: 20_000}
+	res, err := Run(pipeline.BaseConfig(), workload.MustProgram("parser"), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 4 {
+		t.Fatalf("windows = %d", len(res.Windows))
+	}
+	// Window boundaries land on commit-group edges, so each window can be
+	// off by up to the commit width.
+	if res.Committed < 4*(20_000-4) || res.Committed > 4*(20_000+4) {
+		t.Errorf("committed = %d, want ≈80000", res.Committed)
+	}
+	// Windows must advance through the program.
+	for i := 1; i < len(res.Windows); i++ {
+		if res.Windows[i].StartInst <= res.Windows[i-1].StartInst {
+			t.Error("windows did not advance")
+		}
+	}
+	if res.IPC() <= 0 || res.IPC() > 4 {
+		t.Errorf("aggregate IPC %f", res.IPC())
+	}
+	out := res.Table()
+	if !strings.Contains(out, "aggregate IPC") {
+		t.Errorf("table missing aggregate:\n%s", out)
+	}
+}
+
+// TestSampledMatchesContiguous: on a phase-free workload, the sampled IPC
+// estimate must land close to a contiguous measurement.
+func TestSampledMatchesContiguous(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	prog := workload.MustProgram("chess")
+	full, err := pipeline.RunProgram(pipeline.BaseConfig(), prog, 100_000, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Config{Windows: 4, FastForward: 100_000, Warmup: 30_000, Measure: 50_000}
+	sampled, err := Run(pipeline.BaseConfig(), prog, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := sampled.IPC() / full.IPC()
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("sampled IPC %.3f vs contiguous %.3f (ratio %.3f)", sampled.IPC(), full.IPC(), ratio)
+	}
+	if sampled.BranchMPKI() <= 0 {
+		t.Error("sampled branch MPKI missing")
+	}
+}
+
+// TestHaltingProgram: sampling a program that ends mid-plan returns the
+// windows it completed, or a clear error if none did.
+func TestHaltingProgram(t *testing.T) {
+	b := asm.New("short")
+	r2 := isa.R(2)
+	b.Li(r2, 100_000)
+	b.Label("loop")
+	b.Addi(r2, r2, -1)
+	b.Bne(r2, isa.RZero, "loop")
+	b.Halt()
+	prog := b.MustBuild()
+
+	// Plan longer than the program: at least one window, then stop.
+	plan := Config{Windows: 10, FastForward: 20_000, Warmup: 5_000, Measure: 30_000}
+	res, err := Run(pipeline.BaseConfig(), prog, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) == 0 || len(res.Windows) >= 10 {
+		t.Errorf("windows = %d, want a partial plan", len(res.Windows))
+	}
+
+	// Fast-forward longer than the whole program: no windows at all.
+	tiny := Config{Windows: 2, FastForward: 10_000_000, Warmup: 10, Measure: 10}
+	if _, err := Run(pipeline.BaseConfig(), prog, tiny); err == nil {
+		t.Error("plan past the program's end should error")
+	}
+}

@@ -1,0 +1,164 @@
+// Package sliceprof measures branch slices exactly, from the architectural
+// instruction stream: for every dynamic conditional branch it walks the
+// def-use chain backward (bounded by a window approximating the
+// instruction window) and records the slice's size and the fraction of all
+// instructions that belong to at least one branch slice.
+//
+// The PUBS scheme's economics live and die by these numbers — the paper
+// sizes its priority-entry partition (6 of 64 entries) assuming slices are
+// short and a modest share of the in-flight mix. This profiler verifies
+// the synthetic suite exhibits that structure, and it is the tool to reach
+// for when a new workload behaves unexpectedly under PUBS.
+package sliceprof
+
+import (
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+// Profile holds slice statistics for one program window.
+type Profile struct {
+	Insts        uint64
+	Branches     uint64 // conditional branches profiled
+	SliceSizes   *stats.Histogram
+	SliceMembers uint64 // instructions in ≥1 backward slice (within window)
+	WindowInsts  int    // backward horizon per branch
+}
+
+// MeanSliceSize returns the average backward-slice size (instructions,
+// excluding the branch itself).
+func (p Profile) MeanSliceSize() float64 { return p.SliceSizes.Mean() }
+
+// MemberFraction returns the fraction of dynamic instructions that belong
+// to at least one conditional branch's backward slice.
+func (p Profile) MemberFraction() float64 {
+	if p.Insts == 0 {
+		return 0
+	}
+	return float64(p.SliceMembers) / float64(p.Insts)
+}
+
+// Table renders the profile.
+func (p Profile) Table() string {
+	return fmt.Sprintf(
+		"slice profile over %d instructions (%d branches, %d-instruction window):\n"+
+			"  mean slice size   %.1f instructions\n"+
+			"  median / p90      %d / %d\n"+
+			"  slice membership  %.1f%% of all instructions\n",
+		p.Insts, p.Branches, p.WindowInsts,
+		p.MeanSliceSize(), p.SliceSizes.Quantile(0.5), p.SliceSizes.Quantile(0.9),
+		p.MemberFraction()*100)
+}
+
+// ring remembers the last `window` dynamic instructions with their
+// producer links, so slices can be walked backward exactly.
+type ring struct {
+	seqs    []uint64   // dynamic seq per slot
+	prod    [][2]int64 // producer seqs (-1 = outside window / none)
+	inSlice []bool     // member of ≥1 slice (for the membership fraction)
+	visited []uint64   // walk epoch (for per-branch slice size)
+	epoch   uint64
+	n       int
+}
+
+// Analyze runs the profiler over up to n instructions of prog. window
+// bounds each backward walk (128 ≈ the machine's ROB).
+func Analyze(prog *isa.Program, n uint64, window int) (Profile, error) {
+	if window <= 0 {
+		window = 128
+	}
+	m, err := emu.New(prog)
+	if err != nil {
+		return Profile{}, err
+	}
+	p := Profile{
+		SliceSizes:  stats.NewHistogram(window + 1),
+		WindowInsts: window,
+	}
+	rg := ring{
+		seqs:    make([]uint64, window),
+		prod:    make([][2]int64, window),
+		inSlice: make([]bool, window),
+		visited: make([]uint64, window),
+		n:       window,
+	}
+	var lastWriter [isa.NumLogicalRegs]int64
+	for r := range lastWriter {
+		lastWriter[r] = -1
+	}
+
+	for i := uint64(0); i < n; i++ {
+		di, ok := m.Step()
+		if !ok {
+			break
+		}
+		p.Insts++
+		slot := int(di.Seq % uint64(rg.n))
+		// An evicted slot that was in a slice has already been counted.
+		rg.seqs[slot] = di.Seq
+		rg.inSlice[slot] = false
+		srcs, nsrc := di.Inst.Sources()
+		var prods [2]int64
+		prods[0], prods[1] = -1, -1
+		for k := 0; k < nsrc; k++ {
+			if srcs[k] != isa.RZero {
+				prods[k] = lastWriter[srcs[k]]
+			}
+		}
+		rg.prod[slot] = prods
+		if di.Inst.HasDest() {
+			lastWriter[di.Inst.Rd] = int64(di.Seq)
+		}
+
+		if di.Inst.IsCondBranch() {
+			p.Branches++
+			size := rg.walk(int64(di.Seq), prods, &p)
+			p.SliceSizes.Add(size)
+		}
+	}
+	return p, nil
+}
+
+// walk visits the backward slice rooted at the branch's producers. It
+// returns the branch's full slice size (within the window) and credits
+// instructions not previously in any slice toward the membership count.
+func (rg *ring) walk(branchSeq int64, roots [2]int64, p *Profile) int {
+	rg.epoch++
+	stack := make([]int64, 0, 16)
+	for _, r := range roots {
+		if r >= 0 {
+			stack = append(stack, r)
+		}
+	}
+	size := 0
+	horizon := branchSeq - int64(rg.n)
+	for len(stack) > 0 {
+		seq := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seq <= horizon || seq < 0 {
+			continue // producer evicted from the window
+		}
+		slot := int(uint64(seq) % uint64(rg.n))
+		if rg.seqs[slot] != uint64(seq) {
+			continue // slot recycled
+		}
+		if rg.visited[slot] == rg.epoch {
+			continue // already seen in this walk
+		}
+		rg.visited[slot] = rg.epoch
+		size++
+		if !rg.inSlice[slot] {
+			rg.inSlice[slot] = true
+			p.SliceMembers++
+		}
+		for _, q := range rg.prod[slot] {
+			if q >= 0 {
+				stack = append(stack, q)
+			}
+		}
+	}
+	return size
+}

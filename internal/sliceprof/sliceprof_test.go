@@ -1,0 +1,90 @@
+package sliceprof
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// TestKnownSlice: a hand-built loop with an exactly known backward slice.
+func TestKnownSlice(t *testing.T) {
+	b := asm.New("known")
+	base := b.Words(1, 0, 1, 0, 1, 0, 1, 0)
+	r2, r3, r4, r5, acc := isa.R(2), isa.R(3), isa.R(4), isa.R(5), isa.R(6)
+	b.Li(r2, int64(base))
+	b.Label("top")
+	b.Addi(r3, r3, 8)           // slice (induction)
+	b.Andi(r3, r3, 63)          // slice
+	b.Add(r4, r3, r2)           // slice
+	b.Ld(r5, r4, 0)             // slice
+	b.Addi(acc, acc, 1)         // NOT in slice
+	b.Addi(acc, acc, 2)         // NOT in slice
+	b.Bne(r5, isa.RZero, "top") // slice root: depends on r5 (and transitively r3-chain)
+	b.Jmp("top")
+	prog := b.MustBuild()
+
+	p, err := Analyze(prog, 10_000, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Branches == 0 {
+		t.Fatal("no branches profiled")
+	}
+	// Steady state: the walk from Bne reaches ld, add, andi, addi(r3) of
+	// this iteration, then the r3 chain of previous iterations until the
+	// window horizon: slice size ≈ 4 + 2×(iterations in window).
+	if p.MeanSliceSize() < 8 {
+		t.Errorf("mean slice size %.1f too small — transitive chain missed", p.MeanSliceSize())
+	}
+	// Members per 8-instruction iteration: addi r3, andi, add, ld — the two
+	// acc updates, the branch itself, and the jmp are not members: 4/8.
+	frac := p.MemberFraction()
+	if frac < 0.45 || frac > 0.6 {
+		t.Errorf("membership fraction %.2f, want ≈0.5", frac)
+	}
+	if !strings.Contains(p.Table(), "slice membership") {
+		t.Error("table missing content")
+	}
+}
+
+// TestNoBranches: a branch-free program yields an empty profile.
+func TestNoBranches(t *testing.T) {
+	b := asm.New("plain")
+	for i := 0; i < 50; i++ {
+		b.Addi(isa.R(2), isa.R(2), 1)
+	}
+	b.Halt()
+	p, err := Analyze(b.MustBuild(), 1000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Branches != 0 || p.SliceMembers != 0 {
+		t.Errorf("profile not empty: %+v", p)
+	}
+}
+
+// TestSuiteCharacteristics: the D-BP design discipline — slices must be a
+// minority of the instruction mix on the compute D-BP kernels.
+func TestSuiteCharacteristics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, wl := range []string{"chess", "parser", "regex"} {
+		p, err := Analyze(workload.MustProgram(wl), 100_000, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.MemberFraction() > 0.6 {
+			t.Errorf("%s: %.0f%% of instructions in branch slices — priority entries would saturate",
+				wl, p.MemberFraction()*100)
+		}
+		if p.MeanSliceSize() <= 1 {
+			t.Errorf("%s: slices degenerate (mean %.1f)", wl, p.MeanSliceSize())
+		}
+		t.Logf("%-8s mean slice %.1f, median %d, membership %.0f%%",
+			wl, p.MeanSliceSize(), p.SliceSizes.Quantile(0.5), p.MemberFraction()*100)
+	}
+}

@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders labelled horizontal bars in plain text — enough to *see*
+// Fig. 8-style results in a terminal. Negative values extend left of the
+// zero axis.
+type BarChart struct {
+	Title string
+	Unit  string
+	rows  []barRow
+}
+
+type barRow struct {
+	label string
+	value float64
+	note  string
+}
+
+// NewBarChart creates an empty chart.
+func NewBarChart(title, unit string) *BarChart {
+	return &BarChart{Title: title, Unit: unit}
+}
+
+// Bar appends one bar with an optional note rendered after the value.
+func (c *BarChart) Bar(label string, value float64, note string) {
+	c.rows = append(c.rows, barRow{label, value, note})
+}
+
+// String renders the chart with a shared scale across bars.
+func (c *BarChart) String() string {
+	const width = 40 // character cells for the largest magnitude
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	maxMag, maxLabel := 0.0, 0
+	anyNeg := false
+	for _, r := range c.rows {
+		maxMag = math.Max(maxMag, math.Abs(r.value))
+		if len(r.label) > maxLabel {
+			maxLabel = len(r.label)
+		}
+		if r.value < 0 {
+			anyNeg = true
+		}
+	}
+	if maxMag == 0 {
+		maxMag = 1
+	}
+	negWidth := 0
+	if anyNeg {
+		negWidth = width / 2
+	}
+	for _, r := range c.rows {
+		cells := int(math.Round(math.Abs(r.value) / maxMag * float64(width-negWidth)))
+		if r.value != 0 && cells == 0 {
+			cells = 1
+		}
+		fmt.Fprintf(&sb, "%-*s ", maxLabel, r.label)
+		if anyNeg {
+			if r.value < 0 {
+				neg := min(cells, negWidth)
+				sb.WriteString(strings.Repeat(" ", negWidth-neg))
+				sb.WriteString(strings.Repeat("▒", neg))
+			} else {
+				sb.WriteString(strings.Repeat(" ", negWidth))
+			}
+			sb.WriteString("│")
+		}
+		if r.value >= 0 {
+			sb.WriteString(strings.Repeat("█", cells))
+		}
+		fmt.Fprintf(&sb, " %.2f%s", r.value, c.Unit)
+		if r.note != "" {
+			sb.WriteString("  " + r.note)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Scatter renders an x/y point cloud on a character grid (Fig. 9 style).
+type Scatter struct {
+	Title, XLabel, YLabel string
+	pts                   []scatterPt
+}
+
+type scatterPt struct {
+	x, y float64
+	mark rune
+}
+
+// NewScatter creates an empty scatter plot.
+func NewScatter(title, xlabel, ylabel string) *Scatter {
+	return &Scatter{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// Point adds one point with the given mark rune.
+func (s *Scatter) Point(x, y float64, mark rune) {
+	s.pts = append(s.pts, scatterPt{x, y, mark})
+}
+
+// String renders the plot on a 60×16 grid.
+func (s *Scatter) String() string {
+	const w, h = 60, 16
+	if len(s.pts) == 0 {
+		return s.Title + "\n(no points)\n"
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range s.pts {
+		minX, maxX = math.Min(minX, p.x), math.Max(maxX, p.x)
+		minY, maxY = math.Min(minY, p.y), math.Max(maxY, p.y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", w))
+	}
+	for _, p := range s.pts {
+		cx := int(math.Round((p.x - minX) / (maxX - minX) * float64(w-1)))
+		cy := int(math.Round((p.y - minY) / (maxY - minY) * float64(h-1)))
+		grid[h-1-cy][cx] = p.mark
+	}
+	var sb strings.Builder
+	if s.Title != "" {
+		sb.WriteString(s.Title)
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%s (top %.2f, bottom %.2f)\n", s.YLabel, maxY, minY)
+	for _, row := range grid {
+		sb.WriteString("│")
+		sb.WriteString(string(row))
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("└" + strings.Repeat("─", w) + "\n")
+	fmt.Fprintf(&sb, " %s: %.2f … %.2f\n", s.XLabel, minX, maxX)
+	return sb.String()
+}
+
+// Series renders one or more named line series over a shared integer X axis
+// (Fig. 10/11 style), as aligned columns plus a sparkline per series.
+type Series struct {
+	Title  string
+	XName  string
+	xs     []string
+	series []namedSeries
+}
+
+type namedSeries struct {
+	name string
+	ys   []float64
+}
+
+// NewSeries creates an empty series plot with the given X-axis labels.
+func NewSeries(title, xname string, xs ...string) *Series {
+	return &Series{Title: title, XName: xname, xs: xs}
+}
+
+// Add appends one series; ys must match the X-axis length.
+func (s *Series) Add(name string, ys ...float64) *Series {
+	if len(ys) != len(s.xs) {
+		panic(fmt.Sprintf("stats: series %q has %d points for %d x values", name, len(ys), len(s.xs)))
+	}
+	s.series = append(s.series, namedSeries{name, ys})
+	return s
+}
+
+// sparkRunes are the eight block heights used for sparklines.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+func sparkline(ys []float64) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, y := range ys {
+		lo, hi = math.Min(lo, y), math.Max(hi, y)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	out := make([]rune, len(ys))
+	for i, y := range ys {
+		idx := int((y - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		out[i] = sparkRunes[idx]
+	}
+	return string(out)
+}
+
+// String renders the table + sparklines.
+func (s *Series) String() string {
+	t := NewTable(s.Title, append([]string{s.XName}, names(s.series)...)...)
+	for i, x := range s.xs {
+		cells := []any{x}
+		for _, ns := range s.series {
+			cells = append(cells, ns.ys[i])
+		}
+		t.Row(cells...)
+	}
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	for _, ns := range s.series {
+		fmt.Fprintf(&sb, "%-12s %s\n", ns.name, sparkline(ns.ys))
+	}
+	return sb.String()
+}
+
+func names(ss []namedSeries) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.name
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

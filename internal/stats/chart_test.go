@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartPositive(t *testing.T) {
+	c := NewBarChart("speedups", "%")
+	c.Bar("chess", 8.0, "D-BP")
+	c.Bar("sparse", 0.1, "")
+	out := c.String()
+	if !strings.Contains(out, "speedups") || !strings.Contains(out, "chess") {
+		t.Errorf("chart missing content:\n%s", out)
+	}
+	// The larger value gets the longer bar.
+	lines := strings.Split(out, "\n")
+	var chessBar, sparseBar int
+	for _, ln := range lines {
+		if strings.Contains(ln, "chess") {
+			chessBar = strings.Count(ln, "█")
+		}
+		if strings.Contains(ln, "sparse") {
+			sparseBar = strings.Count(ln, "█")
+		}
+	}
+	if chessBar <= sparseBar {
+		t.Errorf("bar lengths not proportional: chess %d, sparse %d", chessBar, sparseBar)
+	}
+	if sparseBar == 0 {
+		t.Error("non-zero value must draw at least one cell")
+	}
+}
+
+func TestBarChartNegative(t *testing.T) {
+	c := NewBarChart("", "%")
+	c.Bar("up", 5, "")
+	c.Bar("down", -5, "")
+	out := c.String()
+	if !strings.Contains(out, "▒") {
+		t.Errorf("negative bar not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "│") {
+		t.Error("zero axis missing with negative values")
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	c := NewBarChart("z", "")
+	c.Bar("a", 0, "")
+	if out := c.String(); !strings.Contains(out, "a") {
+		t.Errorf("zero chart broken:\n%s", out)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	s := NewScatter("corr", "mpki", "speedup")
+	s.Point(1, 1, 'o')
+	s.Point(10, 8, 'x')
+	s.Point(5, 4, 'o')
+	out := s.String()
+	if strings.Count(out, "o") < 2 || !strings.Contains(out, "x") {
+		t.Errorf("points missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1.00 … 10.00") {
+		t.Errorf("x range missing:\n%s", out)
+	}
+	if out := NewScatter("empty", "x", "y").String(); !strings.Contains(out, "no points") {
+		t.Error("empty scatter should say so")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("sweep", "entries", "2", "4", "6")
+	s.Add("stall", 1.0, 3.0, 4.0)
+	s.Add("nonstall", 0.5, 1.0, 2.0)
+	out := s.String()
+	for _, want := range []string{"sweep", "stall", "nonstall", "▁", "█"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched series length should panic")
+		}
+	}()
+	NewSeries("t", "x", "1", "2").Add("bad", 1.0)
+}
+
+func TestSparklineMonotone(t *testing.T) {
+	sp := sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	runes := []rune(sp)
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("sparkline not monotone: %s", sp)
+		}
+	}
+}

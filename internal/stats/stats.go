@@ -1,0 +1,287 @@
+// Package stats provides the counters, derived metrics, and small numeric
+// helpers (geometric mean, histograms, table rendering) shared by the
+// simulator and the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sim aggregates the counters a single simulation run produces. The pipeline
+// increments these; Snapshot/Reset support warm-up windows (counters are
+// cleared at the end of warm-up while microarchitectural state stays warm).
+type Sim struct {
+	Cycles    int64
+	Committed uint64
+
+	// Branches.
+	CondBranches     uint64
+	Mispredicts      uint64
+	IndirectJumps    uint64
+	IndirectMispred  uint64
+	BTBMisses        uint64
+	UnconfBranches   uint64 // branches estimated unconfident at decode
+	UnconfSliceInsts uint64 // non-branch instructions predicted in unconfident slices
+	DecodedBranches  uint64 // conditional branches seen at decode (PUBS machines)
+
+	// Memory hierarchy.
+	L1DAccesses uint64
+	L1DMisses   uint64
+	L1IAccesses uint64
+	L1IMisses   uint64
+	LLCAccesses uint64
+	LLCMisses   uint64 // demand misses at the last-level cache
+	Prefetches  uint64
+
+	// Pipeline events.
+	DispatchStallPriority uint64 // stalls waiting for a free priority entry
+	DispatchStallNormal   uint64 // stalls waiting for a free normal entry
+	DispatchStallROB      uint64
+	DispatchStallLSQ      uint64
+	DispatchStallRegs     uint64
+	Issued                uint64
+	LoadsForwarded        uint64
+
+	// Misspeculation penalty accounting (Fig. 1): cycles from the fetch of a
+	// mispredicted branch until the end of its execution, summed over all
+	// mispredictions, plus the recovery cycles.
+	MisspecPenaltyCycles int64
+	RecoveryCycles       int64
+
+	// Mode switching.
+	ModeSwitchChecks   uint64
+	ModeEnabledWindows uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s Sim) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// BranchMPKI returns conditional-branch mispredictions per kilo-instruction
+// (the paper's D-BP threshold metric; indirect-jump mispredictions are
+// counted separately).
+func (s Sim) BranchMPKI() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Committed) * 1000
+}
+
+// LLCMPKI returns last-level-cache demand misses per kilo-instruction (the
+// paper's memory-intensity metric).
+func (s Sim) LLCMPKI() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.LLCMisses) / float64(s.Committed) * 1000
+}
+
+// MispredictRate returns the fraction of conditional branches mispredicted.
+func (s Sim) MispredictRate() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.CondBranches)
+}
+
+// UnconfidentRate returns the fraction of dynamic conditional branches whose
+// prediction was estimated unconfident (the line plotted in Fig. 11). Both
+// counts come from the decode stage, so the rate is exact even when the
+// measurement window boundary falls between decode and commit.
+func (s Sim) UnconfidentRate() float64 {
+	den := s.DecodedBranches
+	if den == 0 {
+		den = s.CondBranches
+	}
+	if den == 0 {
+		return 0
+	}
+	return float64(s.UnconfBranches) / float64(den)
+}
+
+// Reset zeroes all counters (used at the end of the warm-up window).
+func (s *Sim) Reset() { *s = Sim{} }
+
+// Geomean returns the geometric mean of xs. It returns 1 for an empty slice
+// and panics if any value is non-positive, since speedup ratios must be > 0.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: geomean of non-positive value %g", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Speedup converts an IPC pair into a percentage speedup of new over base.
+func Speedup(baseIPC, newIPC float64) float64 {
+	if baseIPC == 0 {
+		return 0
+	}
+	return (newIPC/baseIPC - 1) * 100
+}
+
+// Histogram is a simple fixed-bucket histogram used for IQ-occupancy and
+// issue-width profiles.
+type Histogram struct {
+	Buckets []uint64
+	over    uint64
+	total   uint64
+}
+
+// NewHistogram returns a histogram with buckets 0..n-1 plus an overflow.
+func NewHistogram(n int) *Histogram {
+	return &Histogram{Buckets: make([]uint64, n)}
+}
+
+// Add records one observation of value v.
+func (h *Histogram) Add(v int) {
+	h.total++
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.Buckets) {
+		h.over++
+		return
+	}
+	h.Buckets[v]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Overflow returns observations beyond the last bucket.
+func (h *Histogram) Overflow() uint64 { return h.over }
+
+// Mean returns the mean observation (overflow counted at the boundary).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, c := range h.Buckets {
+		sum += float64(v) * float64(c)
+	}
+	sum += float64(len(h.Buckets)) * float64(h.over)
+	return sum / float64(h.total)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the observations.
+func (h *Histogram) Quantile(q float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.total))
+	var cum uint64
+	for v, c := range h.Buckets {
+		cum += c
+		if cum > target {
+			return v
+		}
+	}
+	return len(h.Buckets)
+}
+
+// Table renders aligned text tables for experiment output.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Row appends a row; cells are formatted with %v, floats with 3 decimals.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// SortRowsBy sorts data rows by the given column, numerically when possible.
+func (t *Table) SortRowsBy(col int, desc bool) {
+	sort.SliceStable(t.rows, func(i, j int) bool {
+		a, b := t.rows[i][col], t.rows[j][col]
+		var fa, fb float64
+		na, erra := fmt.Sscanf(a, "%g", &fa)
+		nb, errb := fmt.Sscanf(b, "%g", &fb)
+		var less bool
+		if na == 1 && nb == 1 && erra == nil && errb == nil {
+			less = fa < fb
+		} else {
+			less = a < b
+		}
+		if desc {
+			return !less
+		}
+		return less
+	})
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimDerivedMetrics(t *testing.T) {
+	s := Sim{
+		Cycles:       1000,
+		Committed:    2000,
+		CondBranches: 100,
+		Mispredicts:  25,
+		LLCMisses:    10,
+	}
+	if s.IPC() != 2.0 {
+		t.Errorf("IPC = %f", s.IPC())
+	}
+	if s.BranchMPKI() != 12.5 {
+		t.Errorf("branch MPKI = %f", s.BranchMPKI())
+	}
+	if s.LLCMPKI() != 5.0 {
+		t.Errorf("LLC MPKI = %f", s.LLCMPKI())
+	}
+	if s.MispredictRate() != 0.25 {
+		t.Errorf("mispredict rate = %f", s.MispredictRate())
+	}
+}
+
+func TestUnconfidentRatePrefersDecodeCounts(t *testing.T) {
+	s := Sim{CondBranches: 10, UnconfBranches: 8, DecodedBranches: 16}
+	if s.UnconfidentRate() != 0.5 {
+		t.Errorf("rate = %f, want 0.5 (decode-side)", s.UnconfidentRate())
+	}
+	s.DecodedBranches = 0
+	if s.UnconfidentRate() != 0.8 {
+		t.Errorf("fallback rate = %f", s.UnconfidentRate())
+	}
+}
+
+func TestZeroDivisionSafety(t *testing.T) {
+	var s Sim
+	for _, v := range []float64{s.IPC(), s.BranchMPKI(), s.LLCMPKI(), s.MispredictRate(), s.UnconfidentRate()} {
+		if v != 0 {
+			t.Error("zero stats must yield zero metrics")
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := Sim{Cycles: 5, Committed: 5}
+	s.Reset()
+	if s.Cycles != 0 || s.Committed != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if Geomean(nil) != 1 {
+		t.Error("empty geomean should be 1")
+	}
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean = %f, want 4", g)
+	}
+	if g := Geomean([]float64{1.1, 1.1, 1.1}); math.Abs(g-1.1) > 1e-12 {
+		t.Errorf("geomean = %f", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive values should panic")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(1.0, 1.078) < 7.7 || Speedup(1.0, 1.078) > 7.9 {
+		t.Errorf("speedup = %f", Speedup(1.0, 1.078))
+	}
+	if Speedup(0, 5) != 0 {
+		t.Error("zero base should be safe")
+	}
+	if Speedup(2, 1) != -50 {
+		t.Errorf("slowdown = %f", Speedup(2, 1))
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(4)
+	for _, v := range []int{0, 1, 1, 2, 9, -3} {
+		h.Add(v)
+	}
+	if h.Total() != 6 || h.Overflow() != 1 {
+		t.Errorf("total=%d overflow=%d", h.Total(), h.Overflow())
+	}
+	if h.Buckets[0] != 2 || h.Buckets[1] != 2 || h.Buckets[2] != 1 {
+		t.Errorf("buckets = %v", h.Buckets)
+	}
+	if q := h.Quantile(0.5); q != 1 {
+		t.Errorf("median = %d", q)
+	}
+	if m := h.Mean(); m < 1 || m > 2 {
+		t.Errorf("mean = %f", m)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("title", "name", "value")
+	tb.Row("alpha", 1.5)
+	tb.Row("b", 22)
+	out := tb.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "alpha") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows → 5? title+header+rule+2
+		if len(lines) != 5 {
+			t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+	// Columns align: every data line at least as wide as the header.
+	if tb.NumRows() != 2 {
+		t.Error("row count wrong")
+	}
+	if !strings.Contains(out, "1.500") {
+		t.Error("floats should render with 3 decimals")
+	}
+}
+
+func TestTableSort(t *testing.T) {
+	tb := NewTable("", "k", "v")
+	tb.Row("x", 3.0)
+	tb.Row("y", 1.0)
+	tb.Row("z", 2.0)
+	tb.SortRowsBy(1, false)
+	out := tb.String()
+	iy, iz, ix := strings.Index(out, "y"), strings.Index(out, "z"), strings.Index(out, "x")
+	if !(iy < iz && iz < ix) {
+		t.Errorf("ascending sort wrong:\n%s", out)
+	}
+	tb.SortRowsBy(1, true)
+	out = tb.String()
+	iy, ix = strings.Index(out, "y"), strings.Index(out, "x")
+	if ix > iy {
+		t.Errorf("descending sort wrong:\n%s", out)
+	}
+}
+
+// Property: geomean of ratios lies between min and max.
+func TestQuickGeomeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = 0.5 + float64(r)/1000
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := Geomean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

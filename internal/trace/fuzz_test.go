@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// FuzzReader: arbitrary bytes must never panic the reader — they either
+// fail header parsing or terminate the record stream with an error.
+func FuzzReader(f *testing.F) {
+	// Seed with a real trace and some corruptions of it.
+	var buf bytes.Buffer
+	if _, err := Capture(&buf, workload.MustProgram("crypto"), 200); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("PUBSTRC1"))
+	f.Add([]byte{})
+	mutated := append([]byte{}, valid...)
+	if len(mutated) > 40 {
+		mutated[20] ^= 0xFF
+		mutated[40] ^= 0x0F
+	}
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 100_000; i++ {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+		}
+	})
+}

@@ -1,0 +1,266 @@
+// Package trace records and replays dynamic instruction streams in a
+// compact binary format — the trace-driven workflow of SimpleScalar-era
+// simulators (the paper's own methodology). A trace file embeds the static
+// program, so per-instruction records only carry the dynamic facts: the
+// static index, effective addresses for memory operations, and next-PC
+// information for control flow. Replayed traces implement the pipeline's
+// InstStream and produce byte-identical DynInst sequences.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// magic identifies trace files (format version 1).
+const magic = "PUBSTRC1"
+
+// record kind tags.
+const (
+	recPlain   = 0 // no dynamic payload
+	recMem     = 1 // + uvarint effective address
+	recControl = 2 // + flags byte + uvarint next instruction index
+)
+
+// Writer streams dynamic instructions to a trace file.
+type Writer struct {
+	w     *bufio.Writer
+	n     uint64
+	buf   [2 * binary.MaxVarintLen64]byte
+	codeN int
+}
+
+// NewWriter writes the header (embedding the program) and returns a Writer.
+func NewWriter(w io.Writer, prog *isa.Program) (*Writer, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	writeUvarint(bw, uint64(len(prog.Name)))
+	bw.WriteString(prog.Name)
+	writeUvarint(bw, uint64(len(prog.Code)))
+	for _, in := range prog.Code {
+		var rec [12]byte
+		rec[0] = byte(in.Op)
+		rec[1] = byte(in.Rd)
+		rec[2] = byte(in.Rs1)
+		rec[3] = byte(in.Rs2)
+		binary.LittleEndian.PutUint64(rec[4:], uint64(in.Imm))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return nil, err
+		}
+	}
+	// The data image and memory size are not embedded: the trace carries
+	// every architectural effect the timing model needs. Record the memory
+	// size anyway so tools can report it.
+	writeUvarint(bw, uint64(prog.MemSize))
+	return &Writer{w: bw, codeN: len(prog.Code)}, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+// Append writes one dynamic instruction record.
+func (t *Writer) Append(di emu.DynInst) error {
+	if di.Idx < 0 || di.Idx >= t.codeN {
+		return fmt.Errorf("trace: instruction index %d out of range", di.Idx)
+	}
+	switch {
+	case di.Inst.IsMem():
+		t.w.WriteByte(recMem)
+		writeUvarint(t.w, uint64(di.Idx))
+		writeUvarint(t.w, di.Addr)
+	case di.Inst.IsControl():
+		t.w.WriteByte(recControl)
+		writeUvarint(t.w, uint64(di.Idx))
+		flags := byte(0)
+		if di.Taken {
+			flags = 1
+		}
+		t.w.WriteByte(flags)
+		writeUvarint(t.w, di.NextPC/4)
+	default:
+		t.w.WriteByte(recPlain)
+		writeUvarint(t.w, uint64(di.Idx))
+	}
+	t.n++
+	return nil
+}
+
+// Count returns the number of records appended.
+func (t *Writer) Count() uint64 { return t.n }
+
+// Flush flushes buffered records to the underlying writer.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Capture emulates prog for up to n instructions, streaming the trace to w.
+// It returns the number of instructions recorded.
+func Capture(w io.Writer, prog *isa.Program, n uint64) (uint64, error) {
+	tw, err := NewWriter(w, prog)
+	if err != nil {
+		return 0, err
+	}
+	m, err := emu.New(prog)
+	if err != nil {
+		return 0, err
+	}
+	for i := uint64(0); i < n; i++ {
+		di, ok := m.Step()
+		if !ok {
+			break
+		}
+		if err := tw.Append(di); err != nil {
+			return tw.Count(), err
+		}
+	}
+	return tw.Count(), tw.Flush()
+}
+
+// Reader replays a trace file as a pipeline InstStream.
+type Reader struct {
+	r       *bufio.Reader
+	name    string
+	code    []isa.Inst
+	memSize int
+	seq     uint64
+	err     error
+}
+
+// NewReader parses the header and prepares for replay.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: name length: %w", err)
+	}
+	if nameLen > 4096 {
+		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: name: %w", err)
+	}
+	codeLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: code length: %w", err)
+	}
+	if codeLen == 0 || codeLen > 1<<24 {
+		return nil, fmt.Errorf("trace: unreasonable code length %d", codeLen)
+	}
+	code := make([]isa.Inst, codeLen)
+	rec := make([]byte, 12)
+	for i := range code {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("trace: code record %d: %w", i, err)
+		}
+		code[i] = isa.Inst{
+			Op:  isa.Op(rec[0]),
+			Rd:  isa.Reg(rec[1]),
+			Rs1: isa.Reg(rec[2]),
+			Rs2: isa.Reg(rec[3]),
+			Imm: int64(binary.LittleEndian.Uint64(rec[4:])),
+		}
+	}
+	memSize, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: memory size: %w", err)
+	}
+	return &Reader{r: br, name: string(name), code: code, memSize: int(memSize)}, nil
+}
+
+// Name returns the traced program's name.
+func (t *Reader) Name() string { return t.name }
+
+// CodeLen returns the static instruction count.
+func (t *Reader) CodeLen() int { return len(t.code) }
+
+// MemSize returns the traced program's memory size.
+func (t *Reader) MemSize() int { return t.memSize }
+
+// Err returns the first malformed-record error encountered during replay
+// (Next ends the stream on error; inspect Err to distinguish EOF).
+func (t *Reader) Err() error { return t.err }
+
+// Next implements the pipeline's InstStream.
+func (t *Reader) Next() (emu.DynInst, bool) {
+	kind, err := t.r.ReadByte()
+	if err != nil {
+		if err != io.EOF {
+			t.err = err
+		}
+		return emu.DynInst{}, false
+	}
+	idxU, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		t.err = fmt.Errorf("trace: record %d index: %w", t.seq, err)
+		return emu.DynInst{}, false
+	}
+	if idxU >= uint64(len(t.code)) {
+		t.err = fmt.Errorf("trace: record %d index %d out of range", t.seq, idxU)
+		return emu.DynInst{}, false
+	}
+	idx := int(idxU)
+	in := t.code[idx]
+	di := emu.DynInst{
+		Seq:    t.seq,
+		Idx:    idx,
+		PC:     isa.PC(idx),
+		Inst:   in,
+		Class:  in.Class(),
+		NextPC: isa.PC(idx + 1),
+	}
+	switch kind {
+	case recPlain:
+		if in.Op == isa.Halt {
+			di.NextPC = di.PC
+		}
+	case recMem:
+		addr, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			t.err = fmt.Errorf("trace: record %d address: %w", t.seq, err)
+			return emu.DynInst{}, false
+		}
+		di.Addr = addr
+	case recControl:
+		flags, err := t.r.ReadByte()
+		if err != nil {
+			t.err = fmt.Errorf("trace: record %d flags: %w", t.seq, err)
+			return emu.DynInst{}, false
+		}
+		nextIdx, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			t.err = fmt.Errorf("trace: record %d next: %w", t.seq, err)
+			return emu.DynInst{}, false
+		}
+		di.Taken = flags&1 != 0
+		di.NextPC = isa.PC(int(nextIdx))
+		if in.IsCondBranch() {
+			di.Target = isa.PC(int(in.Imm))
+		} else {
+			di.Target = di.NextPC
+		}
+	default:
+		t.err = fmt.Errorf("trace: record %d has unknown kind %d", t.seq, kind)
+		return emu.DynInst{}, false
+	}
+	t.seq++
+	return di, true
+}

