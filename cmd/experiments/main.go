@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,16 +34,19 @@ type charter interface{ Chart() string }
 func wrap[T interface{ Table() string }](f func(*pubsim.Runner) (T, error)) func(*pubsim.Runner) (string, error) {
 	return func(r *pubsim.Runner) (string, error) {
 		res, err := f(r)
-		if err != nil {
+		var ce *pubsim.CampaignError
+		if err != nil && !errors.As(err, &ce) {
 			return "", err
 		}
+		// A campaign error still carries a (possibly partial) figure —
+		// render it and return the error alongside.
 		out := res.Table()
 		if showCharts {
 			if c, ok := any(res).(charter); ok {
 				out += "\n" + c.Chart()
 			}
 		}
-		return out, nil
+		return out, err
 	}
 }
 
@@ -76,14 +80,26 @@ func main() {
 		par      = flag.Int("parallel", 0, "concurrent simulations (default GOMAXPROCS)")
 		markdown = flag.Bool("markdown", false, "wrap output in Markdown sections/code fences")
 		charts   = flag.Bool("charts", false, "append terminal charts to figures that have them")
+		ckptDir  = flag.String("checkpoint", "", "directory for on-disk run checkpoints (resumable campaigns)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget per simulation (0 = none)")
+		retries  = flag.Int("retries", 0, "extra attempts for transient per-run failures")
 	)
 	flag.Parse()
 	showCharts = *charts
 
+	known := map[string]bool{}
+	for _, e := range all {
+		known[e.id] = true
+	}
 	want := map[string]bool{}
 	if !*runAll {
 		for _, id := range strings.Split(*figs, ",") {
-			if id = strings.TrimSpace(id); id != "" {
+			if id = strings.TrimSpace(id); id == "" {
+				continue
+			} else if !known[id] {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment id %q (ids: wchar 8 9 10 11 12 t3 13 15 16 aiq apred atab xdist xflex xnrg xwp)\n", id)
+				os.Exit(2)
+			} else {
 				want[id] = true
 			}
 		}
@@ -104,12 +120,24 @@ func main() {
 		opts.Measure = *measure
 	}
 	opts.Parallelism = *par
+	opts.Timeout = *timeout
+	opts.Retries = *retries
 	runner := pubsim.NewRunner(opts)
+	if *ckptDir != "" {
+		var err error
+		if runner, err = runner.WithCheckpoint(*ckptDir); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *markdown {
 		fmt.Printf("Simulation windows: %d warm-up + %d measured instructions per run.\n\n",
 			runner.Options().Warmup, runner.Options().Measure)
 	}
+	// A failed experiment no longer aborts the campaign: the error (and any
+	// partial figure) is reported and the remaining experiments still run.
+	var failed []string
 	for _, e := range all {
 		if !*runAll && !want[e.id] {
 			continue
@@ -117,13 +145,20 @@ func main() {
 		start := time.Now()
 		table, err := e.run(runner)
 		if err != nil {
+			failed = append(failed, e.id)
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
-			os.Exit(1)
+			if table == "" {
+				continue
+			}
 		}
 		if *markdown {
 			fmt.Printf("## %s\n\n```\n%s```\n\n", e.desc, table)
 		} else {
 			fmt.Printf("=== %s (%.1fs) ===\n%s\n", e.desc, time.Since(start).Seconds(), table)
 		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiments failed: %s\n", len(failed), strings.Join(failed, ", "))
+		os.Exit(1)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/simerr"
 )
 
 // Config holds every PUBS parameter (the paper's Table II plus the knobs
@@ -80,28 +81,32 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. Rejections wrap
+// simerr.ErrInvalidConfig.
 func (c Config) Validate() error {
 	if !c.Enable {
 		return nil
 	}
+	invalid := func(format string, args ...any) error {
+		return fmt.Errorf("%w: core: %s", simerr.ErrInvalidConfig, fmt.Sprintf(format, args...))
+	}
 	if c.PriorityEntries < 0 {
-		return fmt.Errorf("core: negative priority entries")
+		return invalid("negative priority entries")
 	}
 	if c.ConfSets <= 0 || c.ConfSets&(c.ConfSets-1) != 0 {
-		return fmt.Errorf("core: ConfSets must be a positive power of two")
+		return invalid("ConfSets must be a positive power of two")
 	}
 	if c.SliceSets <= 0 || c.SliceSets&(c.SliceSets-1) != 0 {
-		return fmt.Errorf("core: SliceSets must be a positive power of two")
+		return invalid("SliceSets must be a positive power of two")
 	}
 	if c.ConfWays <= 0 || c.SliceWays <= 0 {
-		return fmt.Errorf("core: table ways must be positive")
+		return invalid("table ways must be positive")
 	}
 	if !c.Blind && (c.ConfCounterBits < 1 || c.ConfCounterBits > 8) {
-		return fmt.Errorf("core: ConfCounterBits %d out of range [1,8]", c.ConfCounterBits)
+		return invalid("ConfCounterBits %d out of range [1,8]", c.ConfCounterBits)
 	}
 	if c.ModeSwitch && c.ModeWindowInsts == 0 {
-		return fmt.Errorf("core: mode switch requires a sampling window")
+		return invalid("mode switch requires a sampling window")
 	}
 	return nil
 }
@@ -242,6 +247,24 @@ func (p *PUBS) Decode(pc uint64, inst isa.Inst) bool {
 // BranchExecuted trains conf_tab with a resolved conditional branch.
 func (p *PUBS) BranchExecuted(pc uint64, predictedCorrectly bool) {
 	p.Conf.Update(pc, predictedCorrectly)
+}
+
+// CheckInvariants audits the three tables' structural state: counters
+// within saturation, tags within their fold widths, and the def_tab →
+// brslice_tab → conf_tab pointer chain addressing real sets. Violations
+// wrap simerr.ErrInvariant.
+func (p *PUBS) CheckInvariants() error {
+	confTag, sliceTag := p.cfg.ConfTagBits, p.cfg.SliceTagBits
+	if p.cfg.Tagless {
+		confTag, sliceTag = 0, 0
+	}
+	if err := p.Conf.CheckInvariants(); err != nil {
+		return err
+	}
+	if err := p.Slice.CheckInvariants(p.cfg.ConfSets, confTag); err != nil {
+		return err
+	}
+	return p.Def.CheckInvariants(p.cfg.SliceSets, sliceTag)
 }
 
 // CostBreakdown itemises PUBS storage (Table III).

@@ -7,7 +7,11 @@
 // decision the dispatch stage consumes.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/simerr"
+)
 
 // Ptr is a compressed pointer into a set-associative table: the paper's
 // c = i ‖ t data (index concatenated with hashed tag, Fig. 6).
@@ -332,3 +336,78 @@ func (t *DefTable) Read(r int) (Ptr, bool) {
 
 // CostBits returns def_tab storage: rows × (valid + pointer).
 func (t *DefTable) CostBits() int { return len(t.rows) * (1 + t.ptrBits) }
+
+// ---------------------------------------------------- invariant checking
+
+// tagLimit returns the exclusive upper bound of a `bits`-wide hashed tag.
+func tagLimit(bits int) uint64 {
+	if bits <= 0 {
+		return 1 // tagless tables fold every tag to 0
+	}
+	if bits > 32 {
+		bits = 32
+	}
+	return uint64(1) << bits
+}
+
+// checkPtr validates one stored pointer against the geometry of the table
+// it points into.
+func checkPtr(what string, p Ptr, sets int, tagBits int) error {
+	if !p.Valid {
+		return nil
+	}
+	if int(p.Idx) >= sets {
+		return fmt.Errorf("%w: core: %s index %d outside %d sets", simerr.ErrInvariant, what, p.Idx, sets)
+	}
+	if uint64(p.Tag) >= tagLimit(tagBits) {
+		return fmt.Errorf("%w: core: %s tag %#x wider than %d bits", simerr.ErrInvariant, what, p.Tag, tagBits)
+	}
+	return nil
+}
+
+// CheckInvariants audits conf_tab state: counters within the configured
+// saturation value and tags within the fold width.
+func (t *ConfTable) CheckInvariants() error {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			continue
+		}
+		if e.counter > t.counterMax {
+			return fmt.Errorf("%w: core: conf_tab counter %d above max %d", simerr.ErrInvariant, e.counter, t.counterMax)
+		}
+		if uint64(e.tag) >= tagLimit(t.tagBits) {
+			return fmt.Errorf("%w: core: conf_tab tag %#x wider than %d bits", simerr.ErrInvariant, e.tag, t.tagBits)
+		}
+	}
+	return nil
+}
+
+// CheckInvariants audits brslice_tab state: own tags within the fold width
+// and every stored c_C pointer addressing a real conf_tab set/tag.
+func (t *BrsliceTable) CheckInvariants(confSets, confTagBits int) error {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			continue
+		}
+		if uint64(e.tag) >= tagLimit(t.tagBits) {
+			return fmt.Errorf("%w: core: brslice_tab tag %#x wider than %d bits", simerr.ErrInvariant, e.tag, t.tagBits)
+		}
+		if err := checkPtr("brslice_tab→conf_tab pointer", e.ptr, confSets, confTagBits); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckInvariants audits def_tab state: every stored c_B pointer must
+// address a real brslice_tab set/tag.
+func (t *DefTable) CheckInvariants(sliceSets, sliceTagBits int) error {
+	for r := range t.rows {
+		if err := checkPtr("def_tab→brslice_tab pointer", t.rows[r], sliceSets, sliceTagBits); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RunError is one failed simulation inside a campaign: which workload, on
+// which machine, and the underlying typed error (see internal/simerr for
+// the taxonomy).
+type RunError struct {
+	Workload string
+	Config   string
+	Err      error
+}
+
+// Error implements error.
+func (e RunError) Error() string {
+	return fmt.Sprintf("%s on %s: %v", e.Config, e.Workload, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e RunError) Unwrap() error { return e.Err }
+
+// CampaignError is the typed report of a partially failed campaign: the
+// runs that failed, alongside whatever partial results the caller already
+// holds. errors.Is/As reach through to every underlying failure, so
+// errors.Is(err, simerr.ErrDeadlock) answers "did anything deadlock?".
+type CampaignError struct {
+	Failures []RunError
+}
+
+// Error summarises the failures, one per line.
+func (e *CampaignError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d of the campaign's runs failed:", len(e.Failures))
+	for _, f := range e.Failures {
+		sb.WriteString("\n  ")
+		sb.WriteString(f.Error())
+	}
+	return sb.String()
+}
+
+// Unwrap exposes each failure to errors.Is/As chain traversal.
+func (e *CampaignError) Unwrap() []error {
+	errs := make([]error, len(e.Failures))
+	for i := range e.Failures {
+		errs[i] = e.Failures[i]
+	}
+	return errs
+}
+
+// campaignError builds a CampaignError from collected failures (sorted by
+// workload for deterministic reports), or nil when there were none.
+func campaignError(failures []RunError) error {
+	if len(failures) == 0 {
+		return nil
+	}
+	sort.Slice(failures, func(i, j int) bool {
+		if failures[i].Workload != failures[j].Workload {
+			return failures[i].Workload < failures[j].Workload
+		}
+		return failures[i].Config < failures[j].Config
+	})
+	return &CampaignError{Failures: failures}
+}
+
+// mergeFailures combines the failure lists of any number of campaign
+// errors (nil errors contribute nothing).
+func mergeFailures(errs ...error) []RunError {
+	var out []RunError
+	for _, err := range errs {
+		if ce, ok := err.(*CampaignError); ok && ce != nil {
+			out = append(out, ce.Failures...)
+		}
+	}
+	return out
+}

@@ -6,12 +6,19 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/faultinject"
+	"repro/internal/isa"
 	"repro/internal/pipeline"
+	"repro/internal/simerr"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -24,11 +31,21 @@ const DBPThresholdMPKI = 3.0
 // Fig. 9's colouring: LLC MPKI ≥ 1.0 is memory-intensive.
 const MemIntensityThresholdMPKI = 1.0
 
-// Options controls simulation windows and parallelism.
+// Options controls simulation windows, parallelism, and failure handling.
 type Options struct {
 	Warmup      uint64 // instructions simulated before counters reset
 	Measure     uint64 // measured instructions per run
 	Parallelism int    // concurrent simulations (0 = GOMAXPROCS)
+
+	// Failure handling. Timeout bounds one simulation's wall-clock time
+	// (0 = unbounded); expiry surfaces as simerr.ErrTimeout. Retries is how
+	// many extra attempts a transient failure (simerr.IsTransient) gets;
+	// deterministic failures — deadlock, invariant violation, panic — are
+	// never retried. RetryBackoff is the first retry's delay, doubled each
+	// attempt (0 = 50ms).
+	Timeout      time.Duration
+	Retries      int
+	RetryBackoff time.Duration
 }
 
 // DefaultOptions returns full-size windows: 300K warm-up + 1M measured
@@ -53,13 +70,35 @@ func (o Options) normalized() Options {
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
 	return o
+}
+
+// RunnerStats counts what a campaign actually did — how many detailed
+// simulations ran versus how many were answered from the memo cache or the
+// on-disk checkpoint. Resume tests assert on these.
+type RunnerStats struct {
+	Simulated        uint64 // detailed simulations executed (attempts, including retries)
+	MemoHits         uint64 // answered from the in-memory cache
+	CheckpointHits   uint64 // answered from the on-disk checkpoint
+	Retries          uint64 // transient failures retried
+	Failures         uint64 // runs that failed after exhausting retries
+	CheckpointErrors uint64 // checkpoint writes that failed (non-fatal)
 }
 
 // Runner executes simulations with memoization, so experiments that share
 // runs (e.g. every figure needs the base machine) don't recompute them.
+// With WithCheckpoint the memo cache additionally persists to disk, so a
+// killed campaign resumes where it stopped.
 type Runner struct {
-	opts Options
+	opts  Options
+	ckpt  *checkpoint
+	stats RunnerStats // accessed atomically; read via Stats
 
 	mu    sync.Mutex
 	cache map[string]pipeline.Result
@@ -76,51 +115,157 @@ func NewRunner(o Options) *Runner {
 	}
 }
 
+// WithCheckpoint persists every finished run to dir (creating it if
+// needed) and answers future runs of the same key from disk. Call it
+// before the first Run; it returns the runner for chaining.
+func (r *Runner) WithCheckpoint(dir string) (*Runner, error) {
+	c, err := newCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	r.ckpt = c
+	return r, nil
+}
+
 // Options returns the normalized options in effect.
 func (r *Runner) Options() Options { return r.opts }
+
+// Stats returns a snapshot of the campaign counters.
+func (r *Runner) Stats() RunnerStats {
+	return RunnerStats{
+		Simulated:        atomic.LoadUint64(&r.stats.Simulated),
+		MemoHits:         atomic.LoadUint64(&r.stats.MemoHits),
+		CheckpointHits:   atomic.LoadUint64(&r.stats.CheckpointHits),
+		Retries:          atomic.LoadUint64(&r.stats.Retries),
+		Failures:         atomic.LoadUint64(&r.stats.Failures),
+		CheckpointErrors: atomic.LoadUint64(&r.stats.CheckpointErrors),
+	}
+}
 
 func cfgKey(cfg pipeline.Config, wl string, o Options) string {
 	return fmt.Sprintf("%s|%d|%d|%+v", wl, o.Warmup, o.Measure, cfg)
 }
 
+func (r *Runner) memoLoad(key string) (pipeline.Result, bool) {
+	r.mu.Lock()
+	res, ok := r.cache[key]
+	r.mu.Unlock()
+	return res, ok
+}
+
+func (r *Runner) memoStore(key string, res pipeline.Result) {
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+}
+
 // Run simulates workload wl on cfg (memoized).
 func (r *Runner) Run(cfg pipeline.Config, wl string) (pipeline.Result, error) {
+	return r.RunContext(context.Background(), cfg, wl)
+}
+
+// RunContext simulates workload wl on cfg, answering from the memo cache
+// or checkpoint when possible. Failures are typed (see internal/simerr):
+// transient ones are retried with exponential backoff up to Options.Retries
+// times; panics are recovered into *simerr.PanicError; a per-simulation
+// Options.Timeout surfaces as simerr.ErrTimeout.
+func (r *Runner) RunContext(ctx context.Context, cfg pipeline.Config, wl string) (pipeline.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	key := cfgKey(cfg, wl, r.opts)
-	r.mu.Lock()
-	if res, ok := r.cache[key]; ok {
-		r.mu.Unlock()
+	if res, ok := r.memoLoad(key); ok {
+		atomic.AddUint64(&r.stats.MemoHits, 1)
 		return res, nil
 	}
-	r.mu.Unlock()
 
-	r.sem <- struct{}{}
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return pipeline.Result{}, RunError{Workload: wl, Config: cfg.Name, Err: ctx.Err()}
+	}
 	defer func() { <-r.sem }()
 
 	// Re-check: another goroutine may have filled it while we waited.
-	r.mu.Lock()
-	if res, ok := r.cache[key]; ok {
-		r.mu.Unlock()
+	if res, ok := r.memoLoad(key); ok {
+		atomic.AddUint64(&r.stats.MemoHits, 1)
 		return res, nil
 	}
-	r.mu.Unlock()
+	if r.ckpt != nil {
+		if res, ok := r.ckpt.load(key); ok {
+			atomic.AddUint64(&r.stats.CheckpointHits, 1)
+			r.memoStore(key, res)
+			return res, nil
+		}
+	}
 
 	prog, err := workload.Program(wl)
 	if err != nil {
 		return pipeline.Result{}, err
 	}
-	res, err := pipeline.RunProgram(cfg, prog, r.opts.Warmup, r.opts.Measure)
-	if err != nil {
-		return pipeline.Result{}, fmt.Errorf("experiments: %s on %s: %w", cfg.Name, wl, err)
+	var res pipeline.Result
+	for attempt := 0; ; attempt++ {
+		res, err = r.simulate(ctx, cfg, prog, wl)
+		if err == nil {
+			break
+		}
+		if !simerr.IsTransient(err) || attempt >= r.opts.Retries || ctx.Err() != nil {
+			atomic.AddUint64(&r.stats.Failures, 1)
+			return pipeline.Result{}, RunError{Workload: wl, Config: cfg.Name, Err: err}
+		}
+		atomic.AddUint64(&r.stats.Retries, 1)
+		select {
+		case <-time.After(r.opts.RetryBackoff << attempt):
+		case <-ctx.Done():
+			return pipeline.Result{}, RunError{Workload: wl, Config: cfg.Name, Err: ctx.Err()}
+		}
 	}
-	r.mu.Lock()
-	r.cache[key] = res
-	r.mu.Unlock()
+	r.memoStore(key, res)
+	if r.ckpt != nil {
+		if err := r.ckpt.save(key, wl, cfg.Name, res); err != nil {
+			atomic.AddUint64(&r.stats.CheckpointErrors, 1)
+		}
+	}
 	return res, nil
 }
 
+// simulate is one attempt at one detailed simulation: the worker body the
+// fault-injection harness targets. A panic anywhere below — the timing
+// model included — is recovered into a *simerr.PanicError, failing only
+// this run.
+func (r *Runner) simulate(ctx context.Context, cfg pipeline.Config, prog *isa.Program, wl string) (res pipeline.Result, err error) {
+	if r.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.opts.Timeout)
+		defer cancel()
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			err = &simerr.PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if faultinject.Fire(faultinject.WorkerTransient, wl) {
+		return pipeline.Result{}, simerr.Transient(fmt.Errorf("injected transient worker fault on %s", wl))
+	}
+	if faultinject.Fire(faultinject.WorkerPanic, wl) {
+		panic(fmt.Sprintf("injected worker panic on %s", wl))
+	}
+	atomic.AddUint64(&r.stats.Simulated, 1)
+	return pipeline.RunProgramContext(ctx, cfg, prog, r.opts.Warmup, r.opts.Measure)
+}
+
 // RunAll simulates every named workload on cfg concurrently and returns
-// results keyed by workload name.
+// results keyed by workload name. On failure it returns the successful
+// subset alongside a *CampaignError listing what failed.
 func (r *Runner) RunAll(cfg pipeline.Config, names []string) (map[string]pipeline.Result, error) {
+	return r.RunAllContext(context.Background(), cfg, names)
+}
+
+// RunAllContext is RunAll with cancellation: the context aborts runs that
+// have not started and cuts short those in flight. The returned map always
+// holds every run that completed; the error, when non-nil, is a
+// *CampaignError whose Failures list the rest.
+func (r *Runner) RunAllContext(ctx context.Context, cfg pipeline.Config, names []string) (map[string]pipeline.Result, error) {
 	type out struct {
 		name string
 		res  pipeline.Result
@@ -130,23 +275,27 @@ func (r *Runner) RunAll(cfg pipeline.Config, names []string) (map[string]pipelin
 	for _, name := range names {
 		name := name
 		go func() {
-			res, err := r.Run(cfg, name)
+			res, err := r.RunContext(ctx, cfg, name)
 			ch <- out{name, res, err}
 		}()
 	}
 	results := make(map[string]pipeline.Result, len(names))
-	var firstErr error
+	var failures []RunError
 	for range names {
 		o := <-ch
-		if o.err != nil && firstErr == nil {
-			firstErr = o.err
+		if o.err != nil {
+			// RunContext already returns typed RunErrors; keep them as-is
+			// so the report carries each failure's context exactly once.
+			re, ok := o.err.(RunError)
+			if !ok {
+				re = RunError{Workload: o.name, Config: cfg.Name, Err: o.err}
+			}
+			failures = append(failures, re)
+			continue
 		}
 		results[o.name] = o.res
 	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return results, nil
+	return results, campaignError(failures)
 }
 
 // Classification splits the suite by measured base-machine branch MPKI.

@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/iq"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 // ---------------------------------------------------------------- Fig. 8
@@ -24,27 +27,61 @@ type Fig8Row struct {
 }
 
 // Fig8Result reproduces Fig. 8: per-program speedup of PUBS over the base,
-// with geometric means over the D-BP and E-BP sets.
+// with geometric means over the D-BP and E-BP sets. Failed runs are
+// reported in Failed; the rows and means cover the programs that completed
+// on both machines.
 type Fig8Result struct {
 	Rows      []Fig8Row
 	GMDiffPct float64 // "GM diff": geomean speedup over D-BP programs
 	GMEasyPct float64 // "GM easy": geomean speedup over E-BP programs
+	Failed    []RunError
 }
 
 // Fig8 runs base and PUBS machines over the whole suite.
 func Fig8(r *Runner) (Fig8Result, error) {
-	cls, err := r.Classify()
-	if err != nil {
-		return Fig8Result{}, err
+	return Fig8Context(context.Background(), r)
+}
+
+// Fig8Context is Fig8 with cancellation and partial tolerance: a run that
+// fails (deadlock, panic, timeout) drops only its own program from the
+// figure. The failures come back both in the result's Failed list and as a
+// *CampaignError, so callers can print the partial table and still see a
+// non-nil error.
+func Fig8Context(ctx context.Context, r *Runner) (Fig8Result, error) {
+	base, baseErr := r.RunAllContext(ctx, pipeline.BaseConfig(), workload.Names())
+	if baseErr != nil {
+		if _, ok := baseErr.(*CampaignError); !ok {
+			return Fig8Result{}, baseErr
+		}
 	}
-	pubs, err := r.RunAll(pipeline.PUBSConfig(), append(append([]string{}, cls.DBP...), cls.EBP...))
-	if err != nil {
-		return Fig8Result{}, err
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	pubs, pubsErr := r.RunAllContext(ctx, pipeline.PUBSConfig(), names)
+	if pubsErr != nil {
+		if _, ok := pubsErr.(*CampaignError); !ok {
+			return Fig8Result{}, pubsErr
+		}
+	}
+
+	// Classify the programs that completed on both machines.
+	var dbp, ebp []string
+	for _, n := range names {
+		if _, ok := pubs[n]; !ok {
+			continue
+		}
+		if base[n].BranchMPKI() > DBPThresholdMPKI {
+			dbp = append(dbp, n)
+		} else {
+			ebp = append(ebp, n)
+		}
 	}
 	var out Fig8Result
-	add := func(names []string, dbp bool) {
+	add := func(names []string, dbpFlag bool) {
 		for _, n := range names {
-			b, p := cls.Base[n], pubs[n]
+			b, p := base[n], pubs[n]
 			var analogue string
 			if w, err := lookup(n); err == nil {
 				analogue = w
@@ -57,18 +94,20 @@ func Fig8(r *Runner) (Fig8Result, error) {
 				PUBSIPC:    p.IPC(),
 				BrMPKI:     b.BranchMPKI(),
 				LLCMPKI:    b.LLCMPKI(),
-				DBP:        dbp,
+				DBP:        dbpFlag,
 			})
 		}
 	}
-	add(cls.DBP, true)
-	add(cls.EBP, false)
-	out.GMDiffPct = speedupGM(cls.DBP, cls.Base, pubs)
-	out.GMEasyPct = speedupGM(cls.EBP, cls.Base, pubs)
-	return out, nil
+	add(dbp, true)
+	add(ebp, false)
+	out.GMDiffPct = speedupGM(dbp, base, pubs)
+	out.GMEasyPct = speedupGM(ebp, base, pubs)
+	out.Failed = mergeFailures(baseErr, pubsErr)
+	return out, campaignError(out.Failed)
 }
 
-// Table renders the figure as text.
+// Table renders the figure as text, listing any failed runs after the
+// rows so a partial figure is visibly partial.
 func (f Fig8Result) Table() string {
 	t := stats.NewTable("Fig. 8 — Speedup of PUBS over the base processor",
 		"program", "analogue", "class", "speedup%", "baseIPC", "pubsIPC", "brMPKI", "llcMPKI")
@@ -80,9 +119,20 @@ func (f Fig8Result) Table() string {
 		t.Row(row.Workload, row.Analogue, class,
 			fmt.Sprintf("%+.2f", row.SpeedupPct), row.BaseIPC, row.PUBSIPC, row.BrMPKI, row.LLCMPKI)
 	}
-	t.Row("GM diff", "", "D-BP", fmt.Sprintf("%+.2f", f.GMDiffPct), "", "", "", "")
-	t.Row("GM easy", "", "E-BP", fmt.Sprintf("%+.2f", f.GMEasyPct), "", "", "", "")
-	return t.String()
+	// A geomean over zero completed programs would render as a misleading
+	// +0.00; leave the summary rows out of an empty figure.
+	if len(f.Rows) > 0 {
+		t.Row("GM diff", "", "D-BP", fmt.Sprintf("%+.2f", f.GMDiffPct), "", "", "", "")
+		t.Row("GM easy", "", "E-BP", fmt.Sprintf("%+.2f", f.GMEasyPct), "", "", "", "")
+	}
+	s := t.String()
+	if len(f.Failed) > 0 {
+		s += fmt.Sprintf("partial figure — %d runs failed:\n", len(f.Failed))
+		for _, e := range f.Failed {
+			s += "  " + e.Error() + "\n"
+		}
+	}
+	return s
 }
 
 func lookup(name string) (string, error) {

@@ -1,0 +1,55 @@
+package faultinject
+
+import "testing"
+
+func TestDisarmedNeverFires(t *testing.T) {
+	Reset()
+	if Fire(PipelineHang, "anything") {
+		t.Fatal("disarmed point fired")
+	}
+}
+
+func TestArmMatchAndCount(t *testing.T) {
+	defer Reset()
+	Arm(WorkerPanic, "crypto", 2)
+
+	if Fire(WorkerPanic, "regex") {
+		t.Error("fired on a non-matching victim")
+	}
+	if Fire(WorkerTransient, "crypto") {
+		t.Error("a different point fired")
+	}
+	if !Fire(WorkerPanic, "crypto") || !Fire(WorkerPanic, "crypto") {
+		t.Error("armed point did not fire its two shots")
+	}
+	if Fire(WorkerPanic, "crypto") {
+		t.Error("fired beyond its count")
+	}
+}
+
+func TestEmptyMatchHitsEverything(t *testing.T) {
+	defer Reset()
+	Arm(PipelineHang, "", -1)
+	for _, victim := range []string{"base", "pubs", ""} {
+		if !Fire(PipelineHang, victim) {
+			t.Errorf("unlimited wildcard did not fire for %q", victim)
+		}
+	}
+}
+
+func TestRearmReplacesAndDisarmRemoves(t *testing.T) {
+	defer Reset()
+	Arm(WorkerTransient, "a", 1)
+	Arm(WorkerTransient, "b", 1) // replaces the previous arming
+	if Fire(WorkerTransient, "a") {
+		t.Error("stale arming survived a re-arm")
+	}
+	if !Fire(WorkerTransient, "b") {
+		t.Error("re-armed point did not fire")
+	}
+	Arm(WorkerTransient, "b", -1)
+	Disarm(WorkerTransient)
+	if Fire(WorkerTransient, "b") {
+		t.Error("disarmed point fired")
+	}
+}

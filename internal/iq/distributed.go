@@ -1,5 +1,7 @@
 package iq
 
+import "fmt"
+
 // Distributed models the §III-C2 adaptation of PUBS to a distributed issue
 // queue (AMD Zen style): one queue per function-unit pool, each partitioned
 // into priority and normal entries. The paper argues PUBS applies directly;
@@ -116,3 +118,13 @@ func (d *Distributed) PriorityFree() int {
 
 // Queues exposes the per-pool queues (for tests and stats).
 func (d *Distributed) Queues() []*Queue { return d.qs }
+
+// CheckInvariants audits every per-pool queue.
+func (d *Distributed) CheckInvariants() error {
+	for i, q := range d.qs {
+		if err := q.CheckInvariants(); err != nil {
+			return fmt.Errorf("distributed queue %d: %w", i, err)
+		}
+	}
+	return nil
+}

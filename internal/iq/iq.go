@@ -23,7 +23,11 @@
 // to the highest priority ahead of the positional scan.
 package iq
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/simerr"
+)
 
 // Kind selects the queue organisation.
 type Kind uint8
@@ -388,6 +392,77 @@ func (q *Queue) removeAt(pos int) {
 		q.list = append(q.list[:pos], q.list[pos+1:]...) // compaction
 		q.count--
 	}
+}
+
+// CheckInvariants audits the queue's structural state: occupancy within
+// capacity and consistent with the slot/list contents, priority entries
+// only in the reserved positions and never more than configured, free
+// lists disjoint from used slots, and no stale transient grant marks.
+// Violations wrap simerr.ErrInvariant.
+func (q *Queue) CheckInvariants() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: iq(%s): %s", simerr.ErrInvariant, q.cfg.Kind, fmt.Sprintf(format, args...))
+	}
+	if q.count < 0 || q.count > q.cfg.Size {
+		return bad("occupancy %d outside [0,%d]", q.count, q.cfg.Size)
+	}
+	switch q.cfg.Kind {
+	case Random, Circular:
+		used, priority := 0, 0
+		for pos := range q.slots {
+			s := &q.slots[pos]
+			if !s.used {
+				if s.priority {
+					return bad("free position %d still flagged priority", pos)
+				}
+				continue
+			}
+			used++
+			if s.granted {
+				return bad("position %d holds a stale grant mark", pos)
+			}
+			if s.priority {
+				priority++
+				if pos >= q.cfg.PriorityEntries {
+					return bad("priority instruction in normal position %d", pos)
+				}
+			}
+		}
+		if used != q.count {
+			return bad("occupancy %d but %d used slots", q.count, used)
+		}
+		if priority > q.cfg.PriorityEntries {
+			return bad("%d priority entries in use, %d configured", priority, q.cfg.PriorityEntries)
+		}
+		if q.cfg.Kind == Random {
+			if got, want := q.freePri.len()+priority, q.cfg.PriorityEntries; got != want {
+				return bad("priority free list (%d) + used (%d) ≠ reserved (%d)", q.freePri.len(), priority, want)
+			}
+			if got, want := q.freeNrm.len()+(used-priority), q.cfg.Size-q.cfg.PriorityEntries; got != want {
+				return bad("normal free list (%d) + used (%d) ≠ capacity (%d)", q.freeNrm.len(), used-priority, want)
+			}
+			for _, pos := range q.freePri.buf {
+				if pos < 0 || pos >= q.cfg.PriorityEntries || q.slots[pos].used {
+					return bad("priority free list holds invalid or used position %d", pos)
+				}
+			}
+			for _, pos := range q.freeNrm.buf {
+				if pos < q.cfg.PriorityEntries || pos >= q.cfg.Size || q.slots[pos].used {
+					return bad("normal free list holds invalid or used position %d", pos)
+				}
+			}
+		}
+	case Shifting:
+		if len(q.list) != q.count {
+			return bad("occupancy %d but list length %d", q.count, len(q.list))
+		}
+		for i := 1; i < len(q.list); i++ {
+			if q.list[i].Seq <= q.list[i-1].Seq {
+				return bad("age order broken at position %d (seq %d after %d)", i, q.list[i].Seq, q.list[i-1].Seq)
+			}
+		}
+	}
+	return nil
 }
 
 // Drain empties the queue (used on pipeline reconfiguration in tests).

@@ -5,6 +5,12 @@
 // perfect memory-dependence prediction (documented in DESIGN.md §6).
 package lsq
 
+import (
+	"fmt"
+
+	"repro/internal/simerr"
+)
+
 // Entry is one queued memory operation.
 type Entry struct {
 	Handle  int
@@ -85,4 +91,25 @@ func (q *LSQ) Head() (Entry, bool) {
 		return Entry{}, false
 	}
 	return q.entries[q.head], true
+}
+
+// CheckInvariants audits the ring state: occupancy within capacity, head
+// within range, and the age order ForwardFrom depends on (strictly
+// increasing Seq from head to tail). Violations wrap simerr.ErrInvariant.
+func (q *LSQ) CheckInvariants() error {
+	if q.count < 0 || q.count > len(q.entries) {
+		return fmt.Errorf("%w: lsq: occupancy %d outside [0,%d]", simerr.ErrInvariant, q.count, len(q.entries))
+	}
+	if q.head < 0 || q.head >= len(q.entries) {
+		return fmt.Errorf("%w: lsq: head %d outside [0,%d)", simerr.ErrInvariant, q.head, len(q.entries))
+	}
+	for i := 1; i < q.count; i++ {
+		prev := q.entries[(q.head+i-1)%len(q.entries)]
+		cur := q.entries[(q.head+i)%len(q.entries)]
+		if cur.Seq <= prev.Seq {
+			return fmt.Errorf("%w: lsq: age order broken at offset %d (seq %d after %d)",
+				simerr.ErrInvariant, i, cur.Seq, prev.Seq)
+		}
+	}
+	return nil
 }

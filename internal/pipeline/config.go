@@ -14,6 +14,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/iq"
+	"repro/internal/simerr"
 )
 
 // Config describes one simulated processor.
@@ -91,7 +92,27 @@ type Config struct {
 	// ignored on raw streams. Default off — the ablation quantifies that
 	// the correct-path-only simplification is second-order.
 	WrongPathDecode bool
+
+	// WatchdogCycles is the liveness budget: a run that commits nothing for
+	// this many consecutive cycles is declared deadlocked and aborted with
+	// a DeadlockError (wrapping simerr.ErrDeadlock) carrying an occupancy
+	// dump. 0 selects DefaultWatchdogCycles; negative disables the
+	// watchdog entirely.
+	WatchdogCycles int64
+
+	// Checks enables the structural invariant sweep: every
+	// checkInterval cycles the issue queue, ROB, LSQ, and PUBS tables are
+	// audited (entry counts within capacity, priority-entry usage within
+	// the configured reservation, table pointers within their index/tag
+	// ranges). A violation aborts the run with an error wrapping
+	// simerr.ErrInvariant. Off by default; costs a few percent.
+	Checks bool
 }
+
+// DefaultWatchdogCycles is the liveness budget used when
+// Config.WatchdogCycles is zero. No modelled machine goes anywhere near
+// this long without committing unless its scheduler has genuinely wedged.
+const DefaultWatchdogCycles = 500_000
 
 // BaseConfig returns the paper's base processor (Table I) with PUBS
 // disabled: the "base" every speedup is measured against.
@@ -202,30 +223,34 @@ func ScaledConfig(s Size) Config {
 	return c
 }
 
-// Validate checks structural consistency.
+// Validate checks structural consistency. Every rejection wraps
+// simerr.ErrInvalidConfig so campaign code can classify it with errors.Is.
 func (c Config) Validate() error {
+	invalid := func(format string, args ...any) error {
+		return fmt.Errorf("%w: pipeline %s: %s", simerr.ErrInvalidConfig, c.Name, fmt.Sprintf(format, args...))
+	}
 	switch {
 	case c.FetchWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0:
-		return fmt.Errorf("pipeline %s: widths must be positive", c.Name)
+		return invalid("widths must be positive")
 	case c.FrontEndDepth < 1:
-		return fmt.Errorf("pipeline %s: front-end depth must be ≥ 1", c.Name)
+		return invalid("front-end depth must be ≥ 1")
 	case c.ROBSize <= 0 || c.IQSize <= 0 || c.LSQSize <= 0:
-		return fmt.Errorf("pipeline %s: window sizes must be positive", c.Name)
+		return invalid("window sizes must be positive")
 	case c.PhysIntRegs < 32 || c.PhysFPRegs < 32:
-		return fmt.Errorf("pipeline %s: need at least 32 physical registers per file", c.Name)
+		return invalid("need at least 32 physical registers per file")
 	case c.NumIntALU <= 0 || c.NumIntMulDiv <= 0 || c.NumLdSt <= 0 || c.NumFPU <= 0:
-		return fmt.Errorf("pipeline %s: need at least one unit of each class", c.Name)
+		return invalid("need at least one unit of each class")
 	case c.PUBS.Enable && !c.PUBS.FlexibleSelect && c.PUBS.PriorityEntries >= c.IQSize:
-		return fmt.Errorf("pipeline %s: priority entries (%d) must leave normal entries in a %d-entry IQ",
-			c.Name, c.PUBS.PriorityEntries, c.IQSize)
+		return invalid("priority entries (%d) must leave normal entries in a %d-entry IQ",
+			c.PUBS.PriorityEntries, c.IQSize)
 	case c.PUBS.Enable && c.IQKind != iq.Random:
-		return fmt.Errorf("pipeline %s: PUBS requires the random queue", c.Name)
+		return invalid("PUBS requires the random queue")
 	case c.DistributedIQ && c.IQKind != iq.Random:
-		return fmt.Errorf("pipeline %s: the distributed IQ uses random queues", c.Name)
+		return invalid("the distributed IQ uses random queues")
 	case c.DistributedIQ && c.PUBS.Enable && c.PUBS.FlexibleSelect:
-		return fmt.Errorf("pipeline %s: flexible select is modelled for the unified IQ only", c.Name)
+		return invalid("flexible select is modelled for the unified IQ only")
 	case c.StoreBufferSize <= 0:
-		return fmt.Errorf("pipeline %s: store buffer must be positive", c.Name)
+		return invalid("store buffer must be positive")
 	}
 	if err := c.PUBS.Validate(); err != nil {
 		return fmt.Errorf("pipeline %s: %w", c.Name, err)

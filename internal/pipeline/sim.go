@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -9,11 +11,13 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/emu"
+	"repro/internal/faultinject"
 	"repro/internal/iq"
 	"repro/internal/isa"
 	"repro/internal/lsq"
 	"repro/internal/prefetch"
 	"repro/internal/rob"
+	"repro/internal/simerr"
 	"repro/internal/stats"
 )
 
@@ -41,6 +45,7 @@ type issueQueue interface {
 	Select(int, func(int) bool, func(int) bool) []iq.Request
 	Occupancy() int
 	PriorityFree() int
+	CheckInvariants() error
 }
 
 // fuPool maps an isa.Class to a function-unit pool (loads and stores share
@@ -154,10 +159,11 @@ type Sim struct {
 	haveLine      bool
 	lineReadyAt   int64
 
-	pending    emu.DynInst
-	hasPending bool
-	streamDone bool
-	halted     bool
+	pending      emu.DynInst
+	hasPending   bool
+	streamDone   bool
+	halted       bool
+	hangInjected bool // fault injection wedged the commit stage
 
 	// Wrong-path decode state (Config.WrongPathDecode).
 	code          []isa.Inst
@@ -857,11 +863,32 @@ func sub(a, b cache.Stats) cache.Stats {
 // `warmup`-instruction warm-up window (or until the program halts). It
 // returns the measurement-window statistics.
 func (s *Sim) Run(stream InstStream, warmup, measure uint64) (Result, error) {
+	return s.RunContext(context.Background(), stream, warmup, measure)
+}
+
+// ctxCheckMask throttles the context poll: deadlines and cancellation are
+// observed within ~1K cycles, far below any useful watchdog budget.
+const ctxCheckMask = 1024 - 1
+
+// RunContext is Run with cancellation and deadline support. A context
+// deadline expiring mid-run aborts with an error wrapping
+// simerr.ErrTimeout; cancellation aborts with the context's error. The
+// liveness watchdog (Config.WatchdogCycles) aborts a run that stops
+// committing with a *DeadlockError wrapping simerr.ErrDeadlock.
+func (s *Sim) RunContext(ctx context.Context, stream InstStream, warmup, measure uint64) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if stream == nil {
 		return Result{}, fmt.Errorf("pipeline %s: nil instruction stream", s.cfg.Name)
 	}
 	if measure == 0 {
-		return Result{}, fmt.Errorf("pipeline %s: measurement window must be positive", s.cfg.Name)
+		return Result{}, fmt.Errorf("%w: pipeline %s: measurement window must be positive",
+			simerr.ErrInvalidConfig, s.cfg.Name)
+	}
+	watchdog := s.cfg.WatchdogCycles
+	if watchdog == 0 {
+		watchdog = DefaultWatchdogCycles
 	}
 	s.stream = stream
 	target := warmup + measure
@@ -871,7 +898,14 @@ func (s *Sim) Run(stream InstStream, warmup, measure uint64) (Result, error) {
 	}
 
 	for {
-		s.commit()
+		if s.hangInjected {
+			// Fault injection: the commit stage is wedged; the watchdog
+			// below must diagnose it.
+		} else if faultinject.Fire(faultinject.PipelineHang, s.cfg.Name) {
+			s.hangInjected = true
+		} else {
+			s.commit()
+		}
 		if !warmedUp && s.committedTotal >= warmup {
 			s.resetMeasurement()
 			warmedUp = true
@@ -891,9 +925,23 @@ func (s *Sim) Run(stream InstStream, warmup, measure uint64) (Result, error) {
 			s.occHist.Add(s.q.Occupancy())
 		}
 		s.now++
-		if s.now-s.lastCommitAt > 500_000 {
-			return Result{}, fmt.Errorf("pipeline %s: no commit for %d cycles at cycle %d (seq %d, rob %d, iq %d, fetchq %d) — likely deadlock",
-				s.cfg.Name, s.now-s.lastCommitAt, s.now, s.committedTotal, s.rob.Len(), s.q.Occupancy(), len(s.fetchQ))
+		if watchdog > 0 && s.now-s.lastCommitAt > watchdog {
+			return Result{}, s.deadlockError()
+		}
+		if s.cfg.Checks && s.now%checkInterval == 0 {
+			if err := s.checkInvariants(); err != nil {
+				return Result{}, err
+			}
+		}
+		if s.now&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				if errors.Is(err, context.DeadlineExceeded) {
+					return Result{}, fmt.Errorf("%w: pipeline %s: deadline exceeded at cycle %d (%d committed)",
+						simerr.ErrTimeout, s.cfg.Name, s.now, s.committedTotal)
+				}
+				return Result{}, fmt.Errorf("pipeline %s: canceled at cycle %d (%d committed): %w",
+					s.cfg.Name, s.now, s.committedTotal, err)
+			}
 		}
 	}
 
@@ -979,6 +1027,12 @@ func topBranches(prof map[uint64]*BranchStat, n int) []BranchStat {
 
 // RunProgram is a convenience wrapper: emulate prog and simulate it.
 func RunProgram(cfg Config, prog *isa.Program, warmup, measure uint64) (Result, error) {
+	return RunProgramContext(context.Background(), cfg, prog, warmup, measure)
+}
+
+// RunProgramContext is RunProgram with cancellation and deadline support
+// (see RunContext for the error taxonomy).
+func RunProgramContext(ctx context.Context, cfg Config, prog *isa.Program, warmup, measure uint64) (Result, error) {
 	s, err := New(cfg)
 	if err != nil {
 		return Result{}, err
@@ -988,5 +1042,5 @@ func RunProgram(cfg Config, prog *isa.Program, warmup, measure uint64) (Result, 
 	if err != nil {
 		return Result{}, err
 	}
-	return s.Run(Stream{M: m}, warmup, measure)
+	return s.RunContext(ctx, Stream{M: m}, warmup, measure)
 }

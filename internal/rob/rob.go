@@ -4,6 +4,12 @@
 // capacity limit (Table I: 128 entries).
 package rob
 
+import (
+	"fmt"
+
+	"repro/internal/simerr"
+)
+
 // ROB is a fixed-capacity FIFO of opaque handles.
 type ROB struct {
 	entries []int
@@ -58,4 +64,25 @@ func (r *ROB) Pop() (handle int, ok bool) {
 	r.head = (r.head + 1) % len(r.entries)
 	r.count--
 	return h, true
+}
+
+// CheckInvariants audits the ring state: occupancy within capacity, head
+// within range, and no duplicate live handles (each in-flight instruction
+// occupies exactly one ROB slot). Violations wrap simerr.ErrInvariant.
+func (r *ROB) CheckInvariants() error {
+	if r.count < 0 || r.count > len(r.entries) {
+		return fmt.Errorf("%w: rob: occupancy %d outside [0,%d]", simerr.ErrInvariant, r.count, len(r.entries))
+	}
+	if r.head < 0 || r.head >= len(r.entries) {
+		return fmt.Errorf("%w: rob: head %d outside [0,%d)", simerr.ErrInvariant, r.head, len(r.entries))
+	}
+	seen := make(map[int]bool, r.count)
+	for i := 0; i < r.count; i++ {
+		h := r.entries[(r.head+i)%len(r.entries)]
+		if seen[h] {
+			return fmt.Errorf("%w: rob: handle %d appears twice", simerr.ErrInvariant, h)
+		}
+		seen[h] = true
+	}
+	return nil
 }

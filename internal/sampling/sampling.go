@@ -8,11 +8,13 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/pipeline"
+	"repro/internal/simerr"
 	"repro/internal/stats"
 )
 
@@ -30,13 +32,13 @@ func DefaultPlan() Config {
 	return Config{Windows: 8, FastForward: 1_000_000, Warmup: 50_000, Measure: 100_000}
 }
 
-// Validate checks the plan.
+// Validate checks the plan. Rejections wrap simerr.ErrInvalidConfig.
 func (c Config) Validate() error {
 	if c.Windows <= 0 {
-		return fmt.Errorf("sampling: need at least one window")
+		return fmt.Errorf("%w: sampling: need at least one window", simerr.ErrInvalidConfig)
 	}
 	if c.Measure == 0 {
-		return fmt.Errorf("sampling: measurement window must be positive")
+		return fmt.Errorf("%w: sampling: measurement window must be positive", simerr.ErrInvalidConfig)
 	}
 	return nil
 }
@@ -110,6 +112,17 @@ func sqrt(x float64) float64 {
 // program; each window gets a fresh timing model (cold microarchitecture,
 // mitigated by the per-window detailed warm-up).
 func Run(cfg pipeline.Config, prog *isa.Program, plan Config) (Result, error) {
+	return RunContext(context.Background(), cfg, prog, plan)
+}
+
+// RunContext is Run with cancellation and deadline support: the context is
+// checked between windows and plumbed into each window's detailed
+// simulation, so a cancelled campaign stops mid-window. On error the
+// windows completed so far are returned alongside it.
+func RunContext(ctx context.Context, cfg pipeline.Config, prog *isa.Program, plan Config) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := plan.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -119,6 +132,9 @@ func Run(cfg pipeline.Config, prog *isa.Program, plan Config) (Result, error) {
 	}
 	var out Result
 	for w := 0; w < plan.Windows; w++ {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("sampling: window %d: %w", w, err)
+		}
 		if plan.FastForward > 0 {
 			if ran := m.Run(plan.FastForward); ran < plan.FastForward {
 				break // program halted during fast-forward
@@ -126,12 +142,12 @@ func Run(cfg pipeline.Config, prog *isa.Program, plan Config) (Result, error) {
 		}
 		sim, err := pipeline.New(cfg)
 		if err != nil {
-			return Result{}, err
+			return out, err
 		}
 		start := m.Seq()
-		res, err := sim.Run(pipeline.Stream{M: m}, plan.Warmup, plan.Measure)
+		res, err := sim.RunContext(ctx, pipeline.Stream{M: m}, plan.Warmup, plan.Measure)
 		if err != nil {
-			return Result{}, err
+			return out, fmt.Errorf("sampling: window %d: %w", w, err)
 		}
 		if res.Committed == 0 {
 			break // program ended inside the window

@@ -1,12 +1,16 @@
 package sampling
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/isa"
 	"repro/internal/pipeline"
+	"repro/internal/simerr"
 	"repro/internal/workload"
 )
 
@@ -102,5 +106,56 @@ func TestHaltingProgram(t *testing.T) {
 	tiny := Config{Windows: 2, FastForward: 10_000_000, Warmup: 10, Measure: 10}
 	if _, err := Run(pipeline.BaseConfig(), prog, tiny); err == nil {
 		t.Error("plan past the program's end should error")
+	}
+}
+
+// TestPlanValidationTyped: plan rejections must wrap simerr.ErrInvalidConfig
+// so campaign code classifies them without string matching.
+func TestPlanValidationTyped(t *testing.T) {
+	for _, plan := range []Config{
+		{},                          // zero windows
+		{Windows: -1, Measure: 100}, // negative windows
+		{Windows: 2},                // zero measure
+	} {
+		if err := plan.Validate(); !errors.Is(err, simerr.ErrInvalidConfig) {
+			t.Errorf("plan %+v: err = %v, want ErrInvalidConfig", plan, err)
+		}
+		if _, err := Run(pipeline.BaseConfig(), workload.MustProgram("parser"), plan); !errors.Is(err, simerr.ErrInvalidConfig) {
+			t.Errorf("Run with plan %+v: err = %v, want ErrInvalidConfig", plan, err)
+		}
+	}
+}
+
+// TestRunContextCancelled: a cancelled campaign stops between windows with
+// the completed windows returned alongside the typed error.
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	plan := Config{Windows: 4, FastForward: 50_000, Warmup: 10_000, Measure: 20_000}
+	res, err := RunContext(ctx, pipeline.BaseConfig(), workload.MustProgram("parser"), plan)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.Windows) != 0 {
+		t.Errorf("cancelled-before-start run returned %d windows", len(res.Windows))
+	}
+}
+
+// TestRunContextDeadlineMidWindow: an expiring deadline cuts the plan short
+// mid-window; depending on which check observes it first the error is the
+// pipeline's ErrTimeout or the between-window DeadlineExceeded.
+func TestRunContextDeadlineMidWindow(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	plan := Config{Windows: 1_000, FastForward: 50_000, Warmup: 10_000, Measure: 20_000}
+	res, err := RunContext(ctx, pipeline.BaseConfig(), workload.MustProgram("parser"), plan)
+	if err == nil {
+		t.Fatal("a 1000-window plan finished inside 5ms")
+	}
+	if !errors.Is(err, simerr.ErrTimeout) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrTimeout or DeadlineExceeded", err)
+	}
+	if len(res.Windows) >= 1_000 {
+		t.Errorf("deadline did not cut the plan short (%d windows)", len(res.Windows))
 	}
 }

@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -161,6 +162,30 @@ func (h *Histogram) Add(v int) {
 
 // Total returns the number of observations.
 func (h *Histogram) Total() uint64 { return h.total }
+
+// histogramJSON is the serialized form; the unexported counters must
+// survive the checkpoint round-trip for resumed campaigns to reproduce
+// profiled tables bit-identically.
+type histogramJSON struct {
+	Buckets  []uint64 `json:"buckets"`
+	Overflow uint64   `json:"overflow"`
+	Total    uint64   `json:"total"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{Buckets: h.Buckets, Overflow: h.over, Total: h.total})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var v histogramJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	h.Buckets, h.over, h.total = v.Buckets, v.Overflow, v.Total
+	return nil
+}
 
 // Overflow returns observations beyond the last bucket.
 func (h *Histogram) Overflow() uint64 { return h.over }

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"runtime"
+	"testing"
+
+	"repro/internal/simerr"
+	"repro/internal/workload"
+)
+
+// validTrace captures a small real trace to corrupt.
+func validTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := Capture(&buf, workload.MustProgram("crypto"), 500); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCorruptHeaders: every malformed header must fail fast with an error
+// wrapping simerr.ErrCorruptTrace.
+func TestCorruptHeaders(t *testing.T) {
+	valid := validTrace(t)
+	hugeName := append([]byte(magic), binary.AppendUvarint(nil, 1<<40)...)
+	hugeCode := append([]byte(magic), binary.AppendUvarint(nil, 0)...) // empty name
+	hugeCode = append(hugeCode, binary.AppendUvarint(nil, 1<<40)...)
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short magic", []byte("PUBS")},
+		{"bad magic", []byte("NOTATRCE")},
+		{"magic only", []byte(magic)},
+		{"truncated name", valid[:len(magic)+2]},
+		{"unreasonable name length", hugeName},
+		{"unreasonable code length", hugeCode},
+		{"truncated code section", valid[:len(magic)+20]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewReader(bytes.NewReader(tc.data))
+			if err == nil {
+				// Truncation points that happen to land on a record boundary
+				// parse as a shorter valid header; those belong to the fuzz
+				// harness, not here.
+				t.Fatal("corrupt header accepted")
+			}
+			if !errors.Is(err, simerr.ErrCorruptTrace) {
+				t.Fatalf("error %v does not wrap ErrCorruptTrace", err)
+			}
+		})
+	}
+}
+
+// TestHugeCodeClaimBoundsAllocation: a header claiming a near-limit code
+// section over a truncated stream must fail without allocating anywhere
+// near the claimed size — the reader grows with the bytes actually present.
+func TestHugeCodeClaimBoundsAllocation(t *testing.T) {
+	head := append([]byte(magic), binary.AppendUvarint(nil, 0)...) // empty name
+	head = append(head, binary.AppendUvarint(nil, (1<<24)-1)...)   // ~16M instructions claimed
+	head = append(head, make([]byte, 10*12)...)                    // 10 actually present
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if _, err := NewReader(bytes.NewReader(head)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	runtime.ReadMemStats(&after)
+	// Ten records plus the 64K read buffer fit comfortably in 1 MB; an
+	// up-front make() of the claimed 16M entries would be hundreds of MB.
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 1<<20 {
+		t.Errorf("NewReader allocated %d bytes for a 128-byte stream", grew)
+	}
+}
+
+// TestCorruptRecords: malformed record streams must end replay with Err()
+// wrapping simerr.ErrCorruptTrace.
+func TestCorruptRecords(t *testing.T) {
+	valid := validTrace(t)
+	r, err := NewReader(bytes.NewReader(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	codeLen := r.CodeLen()
+
+	// Rebuild just the header, then append broken records.
+	var header bytes.Buffer
+	if _, err := Capture(&header, workload.MustProgram("crypto"), 0); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		rec  []byte
+	}{
+		{"unknown kind", []byte{99, 0}},
+		{"index out of range", append([]byte{recPlain}, binary.AppendUvarint(nil, uint64(codeLen))...)},
+		{"truncated index", []byte{recPlain}},
+		{"truncated address", append([]byte{recMem}, binary.AppendUvarint(nil, 0)...)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := append(append([]byte{}, header.Bytes()...), tc.rec...)
+			rd, err := NewReader(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				if _, ok := rd.Next(); !ok {
+					break
+				}
+			}
+			if !errors.Is(rd.Err(), simerr.ErrCorruptTrace) {
+				t.Fatalf("Err() = %v, want ErrCorruptTrace", rd.Err())
+			}
+		})
+	}
+}

@@ -7,9 +7,9 @@ import (
 	"repro/internal/workload"
 )
 
-// FuzzReader: arbitrary bytes must never panic the reader — they either
+// FuzzTraceReader: arbitrary bytes must never panic the reader — they either
 // fail header parsing or terminate the record stream with an error.
-func FuzzReader(f *testing.F) {
+func FuzzTraceReader(f *testing.F) {
 	// Seed with a real trace and some corruptions of it.
 	var buf bytes.Buffer
 	if _, err := Capture(&buf, workload.MustProgram("crypto"), 200); err != nil {
@@ -26,6 +26,18 @@ func FuzzReader(f *testing.F) {
 		mutated[40] ^= 0x0F
 	}
 	f.Add(mutated)
+	// A header whose code-length claim vastly exceeds the stream: the reader
+	// must fail on the missing bytes, not allocate the claim.
+	huge := append([]byte(magic), 0)            // empty name
+	huge = append(huge, 0xFF, 0xFF, 0xFF, 0x07) // uvarint (1<<24)-1
+	huge = append(huge, make([]byte, 64)...)
+	f.Add(huge)
+	// A valid header followed by an unknown record kind.
+	var hdr bytes.Buffer
+	if _, err := Capture(&hdr, workload.MustProgram("crypto"), 0); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append(hdr.Bytes(), 99, 0))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))

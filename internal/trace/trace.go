@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/emu"
 	"repro/internal/isa"
+	"repro/internal/simerr"
 )
 
 // magic identifies trace files (format version 1).
@@ -137,51 +138,63 @@ type Reader struct {
 	err     error
 }
 
-// NewReader parses the header and prepares for replay.
+// corrupt builds a header-parsing error wrapping simerr.ErrCorruptTrace.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", simerr.ErrCorruptTrace, fmt.Sprintf(format, args...))
+}
+
+// NewReader parses the header and prepares for replay. A malformed or
+// truncated header fails with an error wrapping simerr.ErrCorruptTrace;
+// allocations are bounded by the bytes actually present in the stream, not
+// by the sizes the (possibly corrupt) header claims.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("trace: short header: %w", err)
+		return nil, corrupt("short header: %v", err)
 	}
 	if string(head) != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", head)
+		return nil, corrupt("bad magic %q", head)
 	}
 	nameLen, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("trace: name length: %w", err)
+		return nil, corrupt("name length: %v", err)
 	}
 	if nameLen > 4096 {
-		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
+		return nil, corrupt("unreasonable name length %d", nameLen)
 	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("trace: name: %w", err)
+		return nil, corrupt("name: %v", err)
 	}
 	codeLen, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("trace: code length: %w", err)
+		return nil, corrupt("code length: %v", err)
 	}
 	if codeLen == 0 || codeLen > 1<<24 {
-		return nil, fmt.Errorf("trace: unreasonable code length %d", codeLen)
+		return nil, corrupt("unreasonable code length %d", codeLen)
 	}
-	code := make([]isa.Inst, codeLen)
-	rec := make([]byte, 12)
-	for i := range code {
-		if _, err := io.ReadFull(br, rec); err != nil {
-			return nil, fmt.Errorf("trace: code record %d: %w", i, err)
+	// The code slice grows with append's amortized doubling rather than a
+	// single make(codeLen): a truncated stream whose header claims a huge
+	// code section then allocates in proportion to the bytes it actually
+	// carries, not to the corrupt claim.
+	var code []isa.Inst
+	var rec [12]byte
+	for i := uint64(0); i < codeLen; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, corrupt("code record %d of %d: %v", i, codeLen, err)
 		}
-		code[i] = isa.Inst{
+		code = append(code, isa.Inst{
 			Op:  isa.Op(rec[0]),
 			Rd:  isa.Reg(rec[1]),
 			Rs1: isa.Reg(rec[2]),
 			Rs2: isa.Reg(rec[3]),
 			Imm: int64(binary.LittleEndian.Uint64(rec[4:])),
-		}
+		})
 	}
 	memSize, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("trace: memory size: %w", err)
+		return nil, corrupt("memory size: %v", err)
 	}
 	return &Reader{r: br, name: string(name), code: code, memSize: int(memSize)}, nil
 }
@@ -199,22 +212,23 @@ func (t *Reader) MemSize() int { return t.memSize }
 // (Next ends the stream on error; inspect Err to distinguish EOF).
 func (t *Reader) Err() error { return t.err }
 
-// Next implements the pipeline's InstStream.
+// Next implements the pipeline's InstStream. Malformed records end the
+// stream with Err() wrapping simerr.ErrCorruptTrace.
 func (t *Reader) Next() (emu.DynInst, bool) {
 	kind, err := t.r.ReadByte()
 	if err != nil {
 		if err != io.EOF {
-			t.err = err
+			t.err = corrupt("record %d kind: %v", t.seq, err)
 		}
 		return emu.DynInst{}, false
 	}
 	idxU, err := binary.ReadUvarint(t.r)
 	if err != nil {
-		t.err = fmt.Errorf("trace: record %d index: %w", t.seq, err)
+		t.err = corrupt("record %d index: %v", t.seq, err)
 		return emu.DynInst{}, false
 	}
 	if idxU >= uint64(len(t.code)) {
-		t.err = fmt.Errorf("trace: record %d index %d out of range", t.seq, idxU)
+		t.err = corrupt("record %d index %d out of range", t.seq, idxU)
 		return emu.DynInst{}, false
 	}
 	idx := int(idxU)
@@ -235,19 +249,19 @@ func (t *Reader) Next() (emu.DynInst, bool) {
 	case recMem:
 		addr, err := binary.ReadUvarint(t.r)
 		if err != nil {
-			t.err = fmt.Errorf("trace: record %d address: %w", t.seq, err)
+			t.err = corrupt("record %d address: %v", t.seq, err)
 			return emu.DynInst{}, false
 		}
 		di.Addr = addr
 	case recControl:
 		flags, err := t.r.ReadByte()
 		if err != nil {
-			t.err = fmt.Errorf("trace: record %d flags: %w", t.seq, err)
+			t.err = corrupt("record %d flags: %v", t.seq, err)
 			return emu.DynInst{}, false
 		}
 		nextIdx, err := binary.ReadUvarint(t.r)
 		if err != nil {
-			t.err = fmt.Errorf("trace: record %d next: %w", t.seq, err)
+			t.err = corrupt("record %d next: %v", t.seq, err)
 			return emu.DynInst{}, false
 		}
 		di.Taken = flags&1 != 0
@@ -258,7 +272,7 @@ func (t *Reader) Next() (emu.DynInst, bool) {
 			di.Target = di.NextPC
 		}
 	default:
-		t.err = fmt.Errorf("trace: record %d has unknown kind %d", t.seq, kind)
+		t.err = corrupt("record %d has unknown kind %d", t.seq, kind)
 		return emu.DynInst{}, false
 	}
 	t.seq++

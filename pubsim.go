@@ -33,6 +33,7 @@
 package pubsim
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/asm"
@@ -46,6 +47,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/pipeline"
 	"repro/internal/sampling"
+	"repro/internal/simerr"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -74,13 +76,52 @@ type (
 	Builder = asm.Builder
 	// Reg names a logical register (R(0..31) integer, F(0..31) FP).
 	Reg = isa.Reg
-	// Options controls experiment windows and parallelism.
+	// Options controls experiment windows, parallelism, and failure
+	// handling (per-simulation timeout, transient-failure retries).
 	Options = experiments.Options
-	// Runner executes memoized experiment simulations.
+	// Runner executes memoized experiment simulations; WithCheckpoint makes
+	// campaigns resumable across process restarts.
 	Runner = experiments.Runner
+	// RunnerStats counts simulations run vs answered from cache/checkpoint.
+	RunnerStats = experiments.RunnerStats
 	// Table renders aligned text tables.
 	Table = stats.Table
 )
+
+// Failure taxonomy: every simulator and campaign error wraps exactly one of
+// these sentinels, so callers classify failures with errors.Is.
+var (
+	// ErrInvalidConfig marks a structurally impossible configuration.
+	ErrInvalidConfig = simerr.ErrInvalidConfig
+	// ErrCorruptTrace marks a malformed or truncated trace stream.
+	ErrCorruptTrace = simerr.ErrCorruptTrace
+	// ErrDeadlock marks a run the liveness watchdog stopped (no commit for
+	// Config.WatchdogCycles cycles); errors.As to *DeadlockError for the dump.
+	ErrDeadlock = simerr.ErrDeadlock
+	// ErrTimeout marks a run cut off by its context deadline.
+	ErrTimeout = simerr.ErrTimeout
+	// ErrInvariant marks a failed structural invariant check (Config.Checks).
+	ErrInvariant = simerr.ErrInvariant
+	// ErrPanic marks a recovered worker panic (errors.As to *PanicError).
+	ErrPanic = simerr.ErrPanic
+)
+
+// Typed failure reports.
+type (
+	// DeadlockError carries the watchdog's diagnosis: IQ/ROB/LSQ occupancy
+	// and the oldest stalled instruction at the time commit stopped.
+	DeadlockError = pipeline.DeadlockError
+	// PanicError preserves a recovered worker panic's value and stack.
+	PanicError = simerr.PanicError
+	// RunError is one failed simulation inside a campaign.
+	RunError = experiments.RunError
+	// CampaignError aggregates a campaign's failed runs; the successful
+	// subset is still returned alongside it.
+	CampaignError = experiments.CampaignError
+)
+
+// DefaultWatchdogCycles is the liveness watchdog's default no-commit budget.
+const DefaultWatchdogCycles = pipeline.DefaultWatchdogCycles
 
 // Issue-queue organisations.
 const (
@@ -140,9 +181,25 @@ func Run(cfg Config, workloadName string, warmup, measure uint64) (Result, error
 	return pipeline.RunProgram(cfg, prog, warmup, measure)
 }
 
+// RunContext is Run with cancellation and deadline support: the context is
+// polled inside the cycle loop, so a cancelled or expired context stops the
+// simulation within ~1K cycles (deadline expiry surfaces as ErrTimeout).
+func RunContext(ctx context.Context, cfg Config, workloadName string, warmup, measure uint64) (Result, error) {
+	prog, err := workload.Program(workloadName)
+	if err != nil {
+		return Result{}, err
+	}
+	return pipeline.RunProgramContext(ctx, cfg, prog, warmup, measure)
+}
+
 // RunProgram simulates a custom program (built with NewProgram) on cfg.
 func RunProgram(cfg Config, prog *Program, warmup, measure uint64) (Result, error) {
 	return pipeline.RunProgram(cfg, prog, warmup, measure)
+}
+
+// RunProgramContext is RunProgram with cancellation and deadline support.
+func RunProgramContext(ctx context.Context, cfg Config, prog *Program, warmup, measure uint64) (Result, error) {
+	return pipeline.RunProgramContext(ctx, cfg, prog, warmup, measure)
 }
 
 // RunWithPipeTrace is Run plus a stage-by-stage log of the first maxInsts
@@ -228,6 +285,13 @@ type (
 
 // Fig8 reproduces the headline speedup figure.
 func Fig8(r *Runner) (Fig8Result, error) { return experiments.Fig8(r) }
+
+// Fig8Context is Fig8 with cancellation and partial tolerance: failed runs
+// drop only their own program; the rest of the figure is returned alongside
+// a *CampaignError listing the failures.
+func Fig8Context(ctx context.Context, r *Runner) (Fig8Result, error) {
+	return experiments.Fig8Context(ctx, r)
+}
 
 // Fig9 reproduces the speedup/branch-MPKI correlation scatter.
 func Fig9(r *Runner) (Fig9Result, error) { return experiments.Fig9(r) }
@@ -355,6 +419,17 @@ func RunSampled(cfg Config, workloadName string, plan SamplingPlan) (SampledResu
 		return SampledResult{}, err
 	}
 	return sampling.Run(cfg, prog, plan)
+}
+
+// RunSampledContext is RunSampled with cancellation: the context is checked
+// between windows and inside each window's detailed simulation. On error
+// the windows completed so far are returned alongside it.
+func RunSampledContext(ctx context.Context, cfg Config, workloadName string, plan SamplingPlan) (SampledResult, error) {
+	prog, err := workload.Program(workloadName)
+	if err != nil {
+		return SampledResult{}, err
+	}
+	return sampling.RunContext(ctx, cfg, prog, plan)
 }
 
 // --- energy model ---
