@@ -1,0 +1,215 @@
+package main
+
+// Benchmark-regression harness: -bench-out runs a fixed set of simulations
+// under testing.Benchmark and writes a machine-readable report (BENCH_2.json
+// schema); -bench-baseline compares the fresh report against a committed
+// baseline and fails on a >20% sims/sec regression or any growth in
+// steady-state allocations, which are machine-independent.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+
+	pubsim "repro"
+)
+
+// benchTolerance is the accepted fractional sims/sec drop before the
+// comparison fails (CI machines jitter; the allocation gate is exact).
+const benchTolerance = 0.20
+
+// benchAllocSlack absorbs harness-level allocation noise (result structs,
+// goroutine bookkeeping) that is not per-cycle work. The per-cycle
+// zero-allocation invariant itself is enforced exactly by the pipeline
+// package's regression tests.
+const benchAllocSlack = 512
+
+type benchEntry struct {
+	Name         string  `json:"name"` // machine/workload
+	NsPerSim     int64   `json:"ns_per_sim"`
+	AllocsPerSim int64   `json:"allocs_per_sim"`
+	BytesPerSim  int64   `json:"bytes_per_sim"`
+	SimsPerSec   float64 `json:"sims_per_sec"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	InstsPerSec  float64 `json:"insts_per_sec"`
+}
+
+type benchReport struct {
+	Schema            string       `json:"schema"`
+	GoOS              string       `json:"goos"`
+	GoArch            string       `json:"goarch"`
+	Warmup            uint64       `json:"warmup_insts"`
+	Measure           uint64       `json:"measure_insts"`
+	Entries           []benchEntry `json:"entries"`
+	GeomeanSimsPerSec float64      `json:"geomean_sims_per_sec"`
+}
+
+// benchSet is the fixed simulation mix: the two headline machines on the
+// branchy and memory-bound ends of the suite, plus the select variants
+// whose hot paths were rewritten (age matrix, distributed queues).
+func benchSet() []struct {
+	name     string
+	cfg      pubsim.Config
+	workload string
+} {
+	age := pubsim.PUBSConfig()
+	age.Name = "pubs+age"
+	age.AgeMatrix = true
+	dist := pubsim.PUBSConfig()
+	dist.Name = "pubs-distributed"
+	dist.DistributedIQ = true
+	return []struct {
+		name     string
+		cfg      pubsim.Config
+		workload string
+	}{
+		{"base/chess", pubsim.BaseConfig(), "chess"},
+		{"pubs/chess", pubsim.PUBSConfig(), "chess"},
+		{"pubs/goplay", pubsim.PUBSConfig(), "goplay"},
+		{"pubs+age/parser", age, "parser"},
+		{"pubs-distributed/fft", dist, "fft"},
+	}
+}
+
+// runBenchReport measures the benchmark set with the given windows.
+func runBenchReport(warmup, measure uint64) (*benchReport, error) {
+	rep := &benchReport{
+		Schema:  "pubsim-bench/2",
+		GoOS:    runtime.GOOS,
+		GoArch:  runtime.GOARCH,
+		Warmup:  warmup,
+		Measure: measure,
+	}
+	for _, bc := range benchSet() {
+		var last pubsim.Result
+		var runErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := pubsim.Run(bc.cfg, bc.workload, warmup, measure)
+				if err != nil {
+					runErr = fmt.Errorf("bench %s: %w", bc.name, err)
+					b.FailNow()
+				}
+				last = res
+			}
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+		ns := r.NsPerOp()
+		if ns <= 0 {
+			ns = 1
+		}
+		e := benchEntry{
+			Name:         bc.name,
+			NsPerSim:     ns,
+			AllocsPerSim: r.AllocsPerOp(),
+			BytesPerSim:  r.AllocedBytesPerOp(),
+			SimsPerSec:   1e9 / float64(ns),
+			CyclesPerSec: float64(last.Cycles) * 1e9 / float64(ns),
+			InstsPerSec:  float64(last.Committed) * 1e9 / float64(ns),
+		}
+		rep.Entries = append(rep.Entries, e)
+		fmt.Fprintf(os.Stderr, "bench %-22s %8.2f ms/sim  %6.3f sims/sec  %9.0f cycles/sec  %6d allocs/sim\n",
+			bc.name, float64(ns)/1e6, e.SimsPerSec, e.CyclesPerSec, e.AllocsPerSim)
+	}
+	var logSum float64
+	for _, e := range rep.Entries {
+		logSum += math.Log(e.SimsPerSec)
+	}
+	rep.GeomeanSimsPerSec = math.Exp(logSum / float64(len(rep.Entries)))
+	return rep, nil
+}
+
+func writeBenchReport(rep *benchReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+func loadBenchReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench baseline %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareBenchReports returns the regressions of cur against base.
+func compareBenchReports(base, cur *benchReport) []string {
+	var regressions []string
+	byName := map[string]benchEntry{}
+	for _, e := range base.Entries {
+		byName[e.Name] = e
+	}
+	for _, e := range cur.Entries {
+		b, ok := byName[e.Name]
+		if !ok {
+			continue // new entry: nothing to compare against
+		}
+		if e.SimsPerSec < b.SimsPerSec*(1-benchTolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.3f sims/sec is a %.0f%% regression from baseline %.3f",
+				e.Name, e.SimsPerSec, (1-e.SimsPerSec/b.SimsPerSec)*100, b.SimsPerSec))
+		}
+		if e.AllocsPerSim > b.AllocsPerSim+benchAllocSlack {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d allocs/sim exceeds baseline %d — a hot-path allocation crept back in",
+				e.Name, e.AllocsPerSim, b.AllocsPerSim))
+		}
+	}
+	if base.GeomeanSimsPerSec > 0 &&
+		cur.GeomeanSimsPerSec < base.GeomeanSimsPerSec*(1-benchTolerance) {
+		regressions = append(regressions, fmt.Sprintf(
+			"geomean: %.3f sims/sec is a %.0f%% regression from baseline %.3f",
+			cur.GeomeanSimsPerSec,
+			(1-cur.GeomeanSimsPerSec/base.GeomeanSimsPerSec)*100,
+			base.GeomeanSimsPerSec))
+	}
+	return regressions
+}
+
+// runBenchMode executes the -bench-out / -bench-baseline flow; it returns
+// a process exit code.
+func runBenchMode(warmup, measure uint64, outPath, baselinePath string) int {
+	rep, err := runBenchReport(warmup, measure)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
+	}
+	if outPath != "" {
+		if err := writeBenchReport(rep, outPath); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "bench report written to %s (geomean %.3f sims/sec)\n",
+			outPath, rep.GeomeanSimsPerSec)
+	}
+	if baselinePath != "" {
+		base, err := loadBenchReport(baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		if regs := compareBenchReports(base, rep); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "experiments: bench regression: %s\n", r)
+			}
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "bench within %.0f%% of baseline %s (geomean %.3f vs %.3f sims/sec)\n",
+			benchTolerance*100, baselinePath, rep.GeomeanSimsPerSec, base.GeomeanSimsPerSec)
+	}
+	return 0
+}

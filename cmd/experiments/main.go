@@ -83,9 +83,22 @@ func main() {
 		ckptDir  = flag.String("checkpoint", "", "directory for on-disk run checkpoints (resumable campaigns)")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget per simulation (0 = none)")
 		retries  = flag.Int("retries", 0, "extra attempts for transient per-run failures")
+		benchOut = flag.String("bench-out", "", "run the benchmark set and write a JSON report (BENCH_2.json schema) to this file")
+		benchCmp = flag.String("bench-baseline", "", "compare the benchmark run against this baseline report; exit 1 on >20% sims/sec regression")
 	)
 	flag.Parse()
 	showCharts = *charts
+
+	if *benchOut != "" || *benchCmp != "" {
+		w, m := pubsim.QuickOptions().Warmup, pubsim.QuickOptions().Measure
+		if *warmup > 0 {
+			w = *warmup
+		}
+		if *measure > 0 {
+			m = *measure
+		}
+		os.Exit(runBenchMode(w, m, *benchOut, *benchCmp))
+	}
 
 	known := map[string]bool{}
 	for _, e := range all {

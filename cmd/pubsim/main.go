@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	pubsim "repro"
@@ -34,6 +36,8 @@ func main() {
 		profile   = flag.Bool("profile", false, "print IQ occupancy and the worst mispredicting branches")
 		pipetrace = flag.Int64("pipetrace", 0, "print a stage-by-stage trace of the first N committed instructions")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile taken after the simulation to this file")
 	)
 	flag.Parse()
 
@@ -61,6 +65,20 @@ func main() {
 		cfg.PUBS.FlexibleSelect = *flexible
 	}
 
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var res pubsim.Result
 	if *pipetrace > 0 {
 		res, err = pubsim.RunWithPipeTrace(cfg, *wl, *warmup, *insts, os.Stdout, *pipetrace)
@@ -70,6 +88,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC() // flush garbage so the profile shows live hot-path state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	fmt.Printf("machine            %s\n", cfg.Name)

@@ -29,7 +29,9 @@ type Level interface {
 // internal/prefetch.
 type Prefetcher interface {
 	// OnMiss is called with the line-aligned byte address of a demand miss
-	// and returns line-aligned addresses to prefetch.
+	// and returns line-aligned addresses to prefetch. The returned slice may
+	// alias a buffer the prefetcher reuses; callers must consume it before
+	// the next OnMiss call.
 	OnMiss(lineAddr uint64) []uint64
 }
 

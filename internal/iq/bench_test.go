@@ -1,0 +1,102 @@
+package iq
+
+// Select microbenchmarks: one op is one select cycle (grant up to the issue
+// width, then refill the freed entries). Run with
+//
+//	go test -bench Select -benchmem ./internal/iq
+//
+// allocs/op must stay 0 — the bitset scan and reused grant buffers exist
+// precisely so the per-cycle select never touches the heap.
+
+import "testing"
+
+const benchIssueWidth = 8
+
+func benchFUBudget() [4]int { return [4]int{4, 4, 2, 2} }
+
+func BenchmarkSelect(b *testing.B) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"random", Config{Size: 60, Kind: Random}},
+		{"random-priority6", Config{Size: 60, PriorityEntries: 6, Kind: Random}},
+		{"random-age", Config{Size: 60, Kind: Random, AgeMatrix: true}},
+		{"flexible", Config{Size: 60, Kind: Random, Flexible: true}},
+		{"shifting", Config{Size: 60, Kind: Shifting}},
+		{"circular", Config{Size: 60, Kind: Circular}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			q := New(tc.cfg)
+			seq := uint64(0)
+			dispatch := func() bool {
+				seq++
+				r := Request{Handle: int(seq % 4096), Seq: seq, FU: int(seq % 4), Marked: seq%3 == 0}
+				if tc.cfg.PriorityEntries > 0 && r.Marked && q.DispatchPriority(r) {
+					return true
+				}
+				return q.DispatchNormal(r)
+			}
+			for dispatch() {
+			}
+			var fuLeft [4]int
+			fuAlloc := func(fu int) bool {
+				if fuLeft[fu] == 0 {
+					return false
+				}
+				fuLeft[fu]--
+				return true
+			}
+			ready := func(h int) bool { return h&1 == 0 }
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fuLeft = benchFUBudget()
+				granted := q.Select(benchIssueWidth, ready, fuAlloc)
+				for range granted {
+					dispatch()
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSelectDistributed(b *testing.B) {
+	d := NewDistributed(DistributedConfig{
+		NumQueues:       4,
+		TotalSize:       60,
+		PriorityEntries: 6,
+		Router:          func(fu int) int { return fu & 3 },
+	})
+	seq := uint64(0)
+	dispatch := func() bool {
+		seq++
+		r := Request{Handle: int(seq % 4096), Seq: seq, FU: int(seq % 4), Marked: seq%3 == 0}
+		if r.Marked && d.DispatchPriority(r) {
+			return true
+		}
+		return d.DispatchNormal(r)
+	}
+	for dispatch() {
+	}
+	var fuLeft [4]int
+	fuAlloc := func(fu int) bool {
+		if fuLeft[fu] == 0 {
+			return false
+		}
+		fuLeft[fu]--
+		return true
+	}
+	ready := func(h int) bool { return h&1 == 0 }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fuLeft = benchFUBudget()
+		granted := d.Select(benchIssueWidth, ready, fuAlloc)
+		for range granted {
+			dispatch()
+		}
+	}
+}

@@ -11,8 +11,9 @@ import "fmt"
 // dispatch routes by the request's function-unit class, and select walks
 // the queues in pool order sharing the machine's total issue width.
 type Distributed struct {
-	qs     []*Queue
-	router func(fu int) int
+	qs       []*Queue
+	router   func(fu int) int
+	grantBuf []Request // Select result buffer, reused across calls
 }
 
 // DistributedConfig sizes a distributed queue complex.
@@ -87,14 +88,17 @@ func (d *Distributed) DispatchWeighted(r Request, pick float64) bool {
 
 // Select walks the queues in pool order, sharing the total issue width.
 // Each per-pool select still enforces the FU constraints via fuTryAlloc.
+// The returned slice aliases an internal buffer and is only valid until the
+// next Select call.
 func (d *Distributed) Select(issueWidth int, ready func(int) bool, fuTryAlloc func(int) bool) []Request {
-	var granted []Request
+	granted := d.grantBuf[:0]
 	for _, q := range d.qs {
 		if issueWidth <= len(granted) {
 			break
 		}
 		granted = append(granted, q.Select(issueWidth-len(granted), ready, fuTryAlloc)...)
 	}
+	d.grantBuf = granted
 	return granted
 }
 

@@ -25,6 +25,7 @@ package iq
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/simerr"
 )
@@ -77,14 +78,23 @@ type Config struct {
 }
 
 // Queue is one issue queue instance.
+//
+// Select runs every cycle, so the queue is built to be allocation-free in
+// steady state: used positions are tracked in a word bitset (usedMask) that
+// the select scan iterates with trailing-zero counts instead of probing
+// every slot, and grants accumulate into buffers reused across calls.
 type Queue struct {
-	cfg     Config
-	slots   []slot    // physical positions 0..Size-1 (Random/Circular)
-	list    []Request // compacted age-ordered list (Shifting)
-	freePri freeList
-	freeNrm freeList
-	count   int
-	tail    int // Circular dispatch point
+	cfg      Config
+	slots    []slot    // physical positions 0..Size-1 (Random/Circular)
+	list     []Request // compacted age-ordered list (Shifting)
+	usedMask []uint64  // bit per used position (Random/Circular)
+	freePri  freeList
+	freeNrm  freeList
+	count    int
+	tail     int // Circular dispatch point
+
+	grantBuf []Request // Select result buffer, reused across calls
+	posBuf   []int     // granted positions, reused across calls
 }
 
 // freeList hands out free entry positions uniformly at random (seeded,
@@ -149,6 +159,7 @@ func New(cfg Config) *Queue {
 	switch cfg.Kind {
 	case Random, Circular:
 		q.slots = make([]slot, cfg.Size)
+		q.usedMask = make([]uint64, (cfg.Size+63)/64)
 	case Shifting:
 		q.list = make([]Request, 0, cfg.Size)
 	default:
@@ -200,6 +211,7 @@ func (q *Queue) DispatchPriority(r Request) bool {
 	}
 	pos := q.freePri.pop()
 	q.slots[pos] = slot{used: true, priority: true, req: r}
+	q.usedMask[pos>>6] |= 1 << (pos & 63)
 	q.count++
 	return true
 }
@@ -213,6 +225,7 @@ func (q *Queue) DispatchNormal(r Request) bool {
 		}
 		pos := q.freeNrm.pop()
 		q.slots[pos] = slot{used: true, req: r}
+		q.usedMask[pos>>6] |= 1 << (pos & 63)
 		q.count++
 		return true
 	case Shifting:
@@ -227,6 +240,7 @@ func (q *Queue) DispatchNormal(r Request) bool {
 			return false // tail blocked even if holes exist elsewhere
 		}
 		q.slots[q.tail] = slot{used: true, req: r}
+		q.usedMask[q.tail>>6] |= 1 << (q.tail & 63)
 		q.tail = (q.tail + 1) % q.cfg.Size
 		q.count++
 		return true
@@ -260,12 +274,15 @@ func (q *Queue) DispatchWeighted(r Request, pick float64) bool {
 // ready reports whether a handle's operands are available this cycle;
 // fuTryAlloc attempts to claim a function unit of the request's class and
 // returns false when none is free this cycle.
+//
+// The returned slice aliases an internal buffer and is only valid until the
+// next Select call on this queue.
 func (q *Queue) Select(issueWidth int, ready func(handle int) bool, fuTryAlloc func(fu int) bool) []Request {
 	if issueWidth <= 0 || q.count == 0 {
 		return nil
 	}
-	granted := make([]Request, 0, issueWidth)
-	grantedPos := make([]int, 0, issueWidth)
+	granted := q.grantBuf[:0]
+	positions := q.posBuf[:0]
 	grantedAt := -1 // age-matrix grant position, skipped by the scan
 
 	if q.cfg.AgeMatrix {
@@ -273,97 +290,133 @@ func (q *Queue) Select(issueWidth int, ready func(handle int) bool, fuTryAlloc f
 		// grants it ahead of the positional arbiter (§V-G1).
 		oldest := -1
 		var oldestSeq uint64
-		q.scan(func(pos int, s *slot) bool {
-			if ready(s.req.Handle) && (oldest == -1 || s.req.Seq < oldestSeq) {
-				oldest, oldestSeq = pos, s.req.Seq
+		for it := q.usedPositions(); ; {
+			pos, ok := it.next()
+			if !ok {
+				break
 			}
-			return true
-		})
+			r := q.requestAt(pos)
+			if ready(r.Handle) && (oldest == -1 || r.Seq < oldestSeq) {
+				oldest, oldestSeq = pos, r.Seq
+			}
+		}
 		if oldest >= 0 {
-			s := q.slotAt(oldest)
-			if fuTryAlloc(s.req.FU) {
-				granted = append(granted, s.req)
-				grantedPos = append(grantedPos, oldest)
+			r := q.requestAt(oldest)
+			if fuTryAlloc(r.FU) {
+				granted = append(granted, *r)
+				positions = append(positions, oldest)
 				grantedAt = oldest
 			}
 		}
 	}
 
-	passes := [][2]bool{{false, true}} // one pass, any mark
+	passes := 1
 	if q.cfg.Flexible {
 		// Idealized flexible priority: marked requests first, then the rest.
-		passes = [][2]bool{{true, false}, {false, false}}
+		passes = 2
 	}
-	for _, pass := range passes {
-		wantMarked, any := pass[0], pass[1]
-		q.scan(func(pos int, s *slot) bool {
-			if len(granted) >= issueWidth {
-				return false
+	for pass := 0; pass < passes; pass++ {
+		wantMarked := q.cfg.Flexible && pass == 0
+		any := !q.cfg.Flexible
+		it := q.usedPositions()
+		for len(granted) < issueWidth {
+			pos, ok := it.next()
+			if !ok {
+				break
 			}
-			if pos == grantedAt || s.granted {
-				return true
+			if pos == grantedAt {
+				continue
 			}
-			if !any && s.req.Marked != wantMarked {
-				return true
+			r := q.requestAt(pos)
+			if q.cfg.Kind != Shifting && q.slots[pos].granted {
+				continue
 			}
-			if !ready(s.req.Handle) {
-				return true
+			if !any && r.Marked != wantMarked {
+				continue
 			}
-			if !fuTryAlloc(s.req.FU) {
-				return true
+			if !ready(r.Handle) {
+				continue
 			}
-			s.granted = true
-			granted = append(granted, s.req)
-			grantedPos = append(grantedPos, pos)
-			return true
-		})
+			if !fuTryAlloc(r.FU) {
+				continue
+			}
+			if q.cfg.Kind != Shifting {
+				q.slots[pos].granted = true
+			}
+			granted = append(granted, *r)
+			positions = append(positions, pos)
+		}
 	}
 
-	// Free granted entries by position. For the shifting queue, removing in
-	// descending position order keeps earlier indices valid.
-	for i := len(grantedPos) - 1; i >= 0; i-- {
-		max := i
-		for j := 0; j < i; j++ {
-			if grantedPos[j] > grantedPos[max] {
-				max = j
-			}
+	// Free granted entries in descending position order: shifting-queue
+	// compaction keeps earlier indices valid, and the free-list push order
+	// is part of the deterministic placement RNG stream. Positions arrive
+	// nearly sorted ascending, so the insertion sort is effectively linear.
+	for i := 1; i < len(positions); i++ {
+		p := positions[i]
+		j := i - 1
+		for j >= 0 && positions[j] < p {
+			positions[j+1] = positions[j]
+			j--
 		}
-		grantedPos[i], grantedPos[max] = grantedPos[max], grantedPos[i]
-		q.removeAt(grantedPos[i])
+		positions[j+1] = p
 	}
+	for _, p := range positions {
+		q.removeAt(p)
+	}
+	q.grantBuf, q.posBuf = granted, positions
 	return granted
 }
 
-// scan visits used entries in position-priority order.
-func (q *Queue) scan(visit func(pos int, s *slot) bool) {
-	switch q.cfg.Kind {
-	case Random, Circular:
-		seen := 0
-		for i := range q.slots {
-			if q.slots[i].used {
-				if !visit(i, &q.slots[i]) {
-					return
-				}
-				seen++
-				if seen == q.count {
-					return
-				}
-			}
+// usedIter walks used positions in ascending (priority) order. For the
+// Random and Circular kinds it consumes the used bitset word by word with
+// trailing-zero counts; for Shifting it indexes the compacted list. It is a
+// value type so the per-cycle select loop stays allocation-free.
+type usedIter struct {
+	q    *Queue
+	kind Kind
+	word int
+	bits uint64
+	idx  int // Shifting index
+}
+
+func (q *Queue) usedPositions() usedIter {
+	it := usedIter{q: q, kind: q.cfg.Kind}
+	if it.kind != Shifting && len(q.usedMask) > 0 {
+		it.bits = q.usedMask[0]
+	}
+	return it
+}
+
+func (it *usedIter) next() (int, bool) {
+	if it.kind == Shifting {
+		if it.idx >= len(it.q.list) {
+			return 0, false
 		}
-	case Shifting:
-		for i := range q.list {
-			if !visit(i, &slot{used: true, req: q.list[i]}) {
-				return
-			}
+		pos := it.idx
+		it.idx++
+		return pos, true
+	}
+	for {
+		if it.bits != 0 {
+			pos := it.word<<6 + bits.TrailingZeros64(it.bits)
+			it.bits &= it.bits - 1
+			return pos, true
 		}
+		it.word++
+		if it.word >= len(it.q.usedMask) {
+			return 0, false
+		}
+		it.bits = it.q.usedMask[it.word]
 	}
 }
 
-func (q *Queue) slotAt(pos int) *slot {
+// requestAt returns the queued request at a used position.
+func (q *Queue) requestAt(pos int) *Request {
 	if q.cfg.Kind == Shifting {
-		return &slot{used: true, req: q.list[pos]}
+		return &q.list[pos]
 	}
-	return &q.slots[pos]
+	return &q.slots[pos].req
 }
 
 // removeAt frees the entry at a known position.
@@ -380,6 +433,7 @@ func (q *Queue) removeAt(pos int) {
 			q.freeNrm.push(pos)
 		}
 		*s = slot{}
+		q.usedMask[pos>>6] &^= 1 << (pos & 63)
 		q.count--
 	case Circular:
 		s := &q.slots[pos]
@@ -387,6 +441,7 @@ func (q *Queue) removeAt(pos int) {
 			panic(fmt.Sprintf("iq: removeAt of free position %d", pos))
 		}
 		*s = slot{}
+		q.usedMask[pos>>6] &^= 1 << (pos & 63)
 		q.count--
 	case Shifting:
 		q.list = append(q.list[:pos], q.list[pos+1:]...) // compaction
@@ -411,6 +466,9 @@ func (q *Queue) CheckInvariants() error {
 		used, priority := 0, 0
 		for pos := range q.slots {
 			s := &q.slots[pos]
+			if got := q.usedMask[pos>>6]&(1<<(pos&63)) != 0; got != s.used {
+				return bad("used bitset disagrees with slot %d (bit %v, slot %v)", pos, got, s.used)
+			}
 			if !s.used {
 				if s.priority {
 					return bad("free position %d still flagged priority", pos)

@@ -1,0 +1,141 @@
+package pipeline
+
+// Golden-equivalence gate for the hot-path rewrite: every issue-queue
+// organisation and PUBS mode must produce bit-identical measurement
+// statistics before and after any optimisation of the per-cycle loop.
+// The table below was generated against the pre-rewrite implementation
+// (selection-sort IQ select, slice-drained store buffer, map-based branch
+// profile); regenerate it only for an intentional model change:
+//
+//	PIPELINE_GOLDEN_GEN=1 go test -run TestGoldenEquivalence -v ./internal/pipeline
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/iq"
+)
+
+type goldenCase struct {
+	name     string
+	workload string
+	cfg      Config
+}
+
+func goldenCases() []goldenCase {
+	kind := func(k iq.Kind, name string) Config {
+		cfg := BaseConfig()
+		cfg.Name = name
+		cfg.IQKind = k
+		return cfg
+	}
+	pubs := func(name string, mutate func(*Config)) Config {
+		cfg := PUBSConfig()
+		cfg.Name = name
+		mutate(&cfg)
+		return cfg
+	}
+	age := BaseConfig()
+	age.Name = "age"
+	age.AgeMatrix = true
+	profile := PUBSConfig()
+	profile.Name = "profile"
+	profile.Profile = true
+	wrongPath := PUBSConfig()
+	wrongPath.Name = "wrongpath"
+	wrongPath.WrongPathDecode = true
+	return []goldenCase{
+		{"base-random", "chess", kind(iq.Random, "base-random")},
+		{"base-shifting", "chess", kind(iq.Shifting, "base-shifting")},
+		{"base-circular", "chess", kind(iq.Circular, "base-circular")},
+		{"base-age", "chess", age},
+		{"pubs-stall", "chess", pubs("pubs-stall", func(*Config) {})},
+		{"pubs-goplay", "goplay", pubs("pubs-goplay", func(*Config) {})},
+		{"pubs-nostall", "chess", pubs("pubs-nostall", func(c *Config) { c.PUBS.StallDispatch = false })},
+		{"pubs-noswitch", "chess", pubs("pubs-noswitch", func(c *Config) { c.PUBS.ModeSwitch = false })},
+		{"pubs-flexible", "chess", pubs("pubs-flexible", func(c *Config) { c.PUBS.FlexibleSelect = true })},
+		{"pubs-blind", "chess", pubs("pubs-blind", func(c *Config) { c.PUBS.Blind = true })},
+		{"pubs-age", "chess", pubs("pubs-age", func(c *Config) { c.AgeMatrix = true })},
+		{"pubs-distributed", "chess", pubs("pubs-distributed", func(c *Config) { c.DistributedIQ = true })},
+		{"pubs-profile", "chess", profile},
+		{"pubs-wrongpath", "chess", wrongPath},
+	}
+}
+
+// goldenFingerprint folds every measurement statistic of a Result — the
+// counter block, the per-level cache stats, and (when profiled) the
+// occupancy histogram and branch profile — into one FNV-1a hash.
+func goldenFingerprint(res Result) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v|%+v|%+v|%+v", res.Sim, res.L1I, res.L1D, res.L2)
+	if res.IQOccupancy != nil {
+		fmt.Fprintf(h, "|%v|%d|%d", res.IQOccupancy.Buckets, res.IQOccupancy.Total(), res.IQOccupancy.Overflow())
+	}
+	fmt.Fprintf(h, "|%+v", res.TopBranches)
+	return h.Sum64()
+}
+
+type goldenValue struct {
+	cycles      int64
+	fingerprint uint64
+}
+
+// goldenTable: generated against the pre-rewrite implementation (see the
+// file comment). Keys match goldenCases names.
+var goldenTable = map[string]goldenValue{
+	"base-random":      {13014, 0xf57fe0680296931e},
+	"base-shifting":    {14964, 0xd94858769fd59d17},
+	"base-circular":    {13962, 0xb687630d13644595},
+	"base-age":         {13839, 0xc5957c452a874893},
+	"pubs-stall":       {12408, 0x2727bd86541bb049},
+	"pubs-goplay":      {11679, 0x804b3c08c50358f0},
+	"pubs-nostall":     {12448, 0x2bf6f4369cb5e8de},
+	"pubs-noswitch":    {12408, 0xf53ebd3de8d4c48f},
+	"pubs-flexible":    {12327, 0x95c852206d6c1880},
+	"pubs-blind":       {12418, 0x1aad6a3d0deda672},
+	"pubs-age":         {12097, 0xce710d1d20da7233},
+	"pubs-distributed": {14609, 0x20c22eb57d2619e9},
+	"pubs-profile":     {12408, 0x965d315b8a32f082},
+	"pubs-wrongpath":   {12389, 0xd6ac6d1dda342ad9},
+}
+
+const goldenWarmup, goldenMeasure = 5_000, 20_000
+
+func TestGoldenEquivalence(t *testing.T) {
+	gen := os.Getenv("PIPELINE_GOLDEN_GEN") != ""
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			res := runBench(t, gc.cfg, gc.workload, goldenWarmup, goldenMeasure)
+			fp := goldenFingerprint(res)
+			if gen {
+				fmt.Printf("\t%q: {%d, 0x%x},\n", gc.name, res.Cycles, fp)
+				return
+			}
+			want, ok := goldenTable[gc.name]
+			if !ok {
+				t.Fatalf("no golden entry for %s; regenerate with PIPELINE_GOLDEN_GEN=1", gc.name)
+			}
+			if res.Cycles != want.cycles || fp != want.fingerprint {
+				t.Errorf("%s: cycles=%d fingerprint=0x%x, want cycles=%d fingerprint=0x%x — "+
+					"hot-path change altered simulation results", gc.name, res.Cycles, fp, want.cycles, want.fingerprint)
+			}
+		})
+	}
+}
+
+// TestResultBitIdentical: two runs with identical Config, workload, and
+// seeds must agree on the entire Result, including profile instrumentation —
+// the determinism contract the checkpoint/resume machinery depends on.
+func TestResultBitIdentical(t *testing.T) {
+	cfg := PUBSConfig()
+	cfg.Profile = true
+	a := runBench(t, cfg, "goplay", goldenWarmup, goldenMeasure)
+	b := runBench(t, cfg, "goplay", goldenWarmup, goldenMeasure)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical runs diverged:\n  a: %+v\n  b: %+v", a, b)
+	}
+}

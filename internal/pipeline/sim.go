@@ -150,7 +150,13 @@ type Sim struct {
 	uops  []uop
 	freeU []int
 
+	// fetchQ is a fixed-capacity ring buffer: fqHead indexes the oldest
+	// entry, fqLen counts occupancy. A ring keeps dispatch O(1) per
+	// instruction (the previous head-slicing drain copied the whole queue
+	// forward on every dispatch).
 	fetchQ []fqEntry
+	fqHead int
+	fqLen  int
 
 	now           int64
 	fetchResumeAt int64
@@ -174,10 +180,23 @@ type Sim struct {
 	intInFlight int
 	fpInFlight  int
 
-	fuBusy [4][]int64 // per pool, per unit: busy-until (non-pipelined ops)
-	dports []int64    // D-cache ports: next-free cycle
+	fuBusy      [4][]int64 // per pool, per unit: busy-until (non-pipelined ops)
+	fuRemaining [4]int     // per pool: units still grantable this cycle
+	dports      []int64    // D-cache ports: next-free cycle
 
+	// The select predicates are bound once at construction: method values
+	// created inside the cycle loop would allocate a closure per cycle.
+	readyFn func(int) bool
+	fuFn    func(int) bool
+
+	// storeBuf is a fixed-capacity ring buffer of committed store addresses
+	// awaiting drain: sbHead indexes the oldest, sbLen counts occupancy.
+	// (The previous slice drain re-sliced from the head and reset with
+	// [:0:cap], so front capacity shrank monotonically and steady state
+	// reallocated on every refill.)
 	storeBuf []uint64
+	sbHead   int
+	sbLen    int
 
 	rng uint64
 
@@ -186,7 +205,7 @@ type Sim struct {
 
 	st             stats.Sim
 	occHist        *stats.Histogram
-	brProf         map[uint64]*BranchStat
+	brProf         *branchProfile
 	committedTotal uint64
 	lastCommitAt   int64
 	measureStart   int64
@@ -261,12 +280,103 @@ func New(cfg Config) (*Sim, error) {
 	s.fuBusy[2] = make([]int64, cfg.NumLdSt)
 	s.fuBusy[3] = make([]int64, cfg.NumFPU)
 	s.dports = make([]int64, 2)
-	s.fetchQ = make([]fqEntry, 0, 4*cfg.FetchWidth)
+	s.fetchQ = make([]fqEntry, 4*cfg.FetchWidth)
+	s.storeBuf = make([]uint64, cfg.StoreBufferSize)
+	s.readyFn = s.opReady
+	s.fuFn = s.fuTryAlloc
 	if cfg.Profile {
 		s.occHist = stats.NewHistogram(cfg.IQSize + 1)
-		s.brProf = make(map[uint64]*BranchStat)
+		s.brProf = newBranchProfile()
 	}
 	return s, nil
+}
+
+// branchProfile is an open-addressed PC → BranchStat table (linear probing,
+// power-of-two capacity). It replaces a map[uint64]*BranchStat on the commit
+// path: no per-branch pointer allocations, and reset reuses the backing
+// arrays so the warm-up boundary does not reallocate.
+type branchProfile struct {
+	used  []bool
+	keys  []uint64
+	stats []BranchStat
+	n     int
+}
+
+const branchProfileMinSize = 256
+
+func newBranchProfile() *branchProfile {
+	return &branchProfile{
+		used:  make([]bool, branchProfileMinSize),
+		keys:  make([]uint64, branchProfileMinSize),
+		stats: make([]BranchStat, branchProfileMinSize),
+	}
+}
+
+// get returns the entry for pc, inserting it if absent. The pointer is
+// valid until the next get (a grow rehashes in place).
+func (p *branchProfile) get(pc uint64) *BranchStat {
+	if p.n >= len(p.keys)-len(p.keys)/4 {
+		p.grow()
+	}
+	mask := uint64(len(p.keys) - 1)
+	i := (pc * 0x9E3779B97F4A7C15) & mask
+	for p.used[i] {
+		if p.keys[i] == pc {
+			return &p.stats[i]
+		}
+		i = (i + 1) & mask
+	}
+	p.used[i], p.keys[i] = true, pc
+	p.stats[i] = BranchStat{PC: pc}
+	p.n++
+	return &p.stats[i]
+}
+
+func (p *branchProfile) grow() {
+	oldUsed, oldKeys, oldStats := p.used, p.keys, p.stats
+	size := 2 * len(oldKeys)
+	p.used = make([]bool, size)
+	p.keys = make([]uint64, size)
+	p.stats = make([]BranchStat, size)
+	p.n = 0
+	for i, u := range oldUsed {
+		if u {
+			*p.get(oldKeys[i]) = oldStats[i]
+		}
+	}
+}
+
+// reset empties the table, keeping the backing arrays.
+func (p *branchProfile) reset() {
+	if p == nil {
+		return
+	}
+	clear(p.used)
+	p.n = 0
+}
+
+// top extracts the n worst mispredicting branches, descending; nil-safe
+// (a non-profile run never allocates the table).
+func (p *branchProfile) top(n int) []BranchStat {
+	if p == nil {
+		return nil
+	}
+	out := make([]BranchStat, 0, p.n)
+	for i, u := range p.used {
+		if u {
+			out = append(out, p.stats[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mispredicts != out[j].Mispredicts {
+			return out[i].Mispredicts > out[j].Mispredicts
+		}
+		return out[i].PC < out[j].PC
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
 }
 
 // rand01 returns a deterministic uniform value in [0,1) (xorshift64*).
@@ -332,7 +442,7 @@ func (s *Sim) fetch() {
 		return
 	}
 	for n := 0; n < s.cfg.FetchWidth; n++ {
-		if len(s.fetchQ) == cap(s.fetchQ) {
+		if s.fqLen == len(s.fetchQ) {
 			break
 		}
 		di, ok := s.peek()
@@ -378,7 +488,7 @@ func (s *Sim) fetch() {
 					} else {
 						s.wrongPathIdx = int(di.Inst.Imm)
 					}
-					s.wrongPathLeft = cap(s.fetchQ) + s.cfg.FetchWidth*int(s.cfg.FrontEndDepth)
+					s.wrongPathLeft = len(s.fetchQ) + s.cfg.FetchWidth*int(s.cfg.FrontEndDepth)
 				}
 			} else if pred {
 				// Correctly predicted taken: target must come from the BTB
@@ -421,7 +531,8 @@ func (s *Sim) fetch() {
 			stop = true
 		}
 
-		s.fetchQ = append(s.fetchQ, f)
+		s.fetchQ[(s.fqHead+s.fqLen)%len(s.fetchQ)] = f
+		s.fqLen++
 		if stop {
 			break
 		}
@@ -432,10 +543,10 @@ func (s *Sim) fetch() {
 
 func (s *Sim) dispatch() {
 	for n := 0; n < s.cfg.FetchWidth; n++ {
-		if len(s.fetchQ) == 0 {
+		if s.fqLen == 0 {
 			break
 		}
-		f := &s.fetchQ[0]
+		f := &s.fetchQ[s.fqHead]
 		if s.now < f.fetchCycle+s.cfg.FrontEndDepth {
 			break
 		}
@@ -571,34 +682,38 @@ func (s *Sim) dispatch() {
 			u.scheduled = true
 			u.completeCycle = s.now + 1
 		}
-		copy(s.fetchQ, s.fetchQ[1:])
-		s.fetchQ = s.fetchQ[:len(s.fetchQ)-1]
+		s.fqHead = (s.fqHead + 1) % len(s.fetchQ)
+		s.fqLen--
 	}
 }
 
 // ---------- issue + execute scheduling ----------
 
 func (s *Sim) issue() {
-	var remaining [4]int
 	for p := range s.fuBusy {
+		free := 0
 		for _, busy := range s.fuBusy[p] {
 			if busy <= s.now {
-				remaining[p]++
+				free++
 			}
 		}
+		s.fuRemaining[p] = free
 	}
-	fuTryAlloc := func(class int) bool {
-		p := fuPool(isa.Class(class))
-		if p < 0 || remaining[p] == 0 {
-			return false
-		}
-		remaining[p]--
-		return true
-	}
-	granted := s.q.Select(s.cfg.IssueWidth, s.opReady, fuTryAlloc)
+	granted := s.q.Select(s.cfg.IssueWidth, s.readyFn, s.fuFn)
 	for _, g := range granted {
 		s.schedule(g.Handle)
 	}
+}
+
+// fuTryAlloc is the per-cycle function-unit claim passed to the IQ select;
+// issue() refreshes fuRemaining before each Select.
+func (s *Sim) fuTryAlloc(class int) bool {
+	p := fuPool(isa.Class(class))
+	if p < 0 || s.fuRemaining[p] == 0 {
+		return false
+	}
+	s.fuRemaining[p]--
+	return true
 }
 
 // schedule computes the completion time of a granted instruction and, for a
@@ -629,8 +744,8 @@ func (s *Sim) schedule(h int) {
 			// The store may have committed but not yet drained: forward
 			// from the store buffer.
 			la := u.di.Addr &^ 7
-			for _, a := range s.storeBuf {
-				if a&^7 == la {
+			for i := 0; i < s.sbLen; i++ {
+				if s.storeBuf[(s.sbHead+i)%len(s.storeBuf)]&^7 == la {
 					forwarded = true
 					u.completeCycle = agen + 2
 					break
@@ -732,18 +847,16 @@ func (s *Sim) blockUnit(p int, lat int64) {
 // ---------- store buffer ----------
 
 func (s *Sim) drainStores() {
-	if len(s.storeBuf) == 0 {
+	if s.sbLen == 0 {
 		return
 	}
 	// One committed store drains per cycle when a D-port is idle.
 	for i := range s.dports {
 		if s.dports[i] <= s.now {
 			s.dports[i] = s.now + 1
-			s.l1d.Access(s.storeBuf[0], s.now, true)
-			s.storeBuf = s.storeBuf[1:]
-			if len(s.storeBuf) == 0 {
-				s.storeBuf = s.storeBuf[:0:cap(s.storeBuf)]
-			}
+			s.l1d.Access(s.storeBuf[s.sbHead], s.now, true)
+			s.sbHead = (s.sbHead + 1) % len(s.storeBuf)
+			s.sbLen--
 			return
 		}
 	}
@@ -763,10 +876,11 @@ func (s *Sim) commit() {
 		}
 		in := u.di.Inst
 		if in.IsStore() {
-			if len(s.storeBuf) >= s.cfg.StoreBufferSize {
+			if s.sbLen >= len(s.storeBuf) {
 				break // store buffer full: commit stalls
 			}
-			s.storeBuf = append(s.storeBuf, u.di.Addr)
+			s.storeBuf[(s.sbHead+s.sbLen)%len(s.storeBuf)] = u.di.Addr
+			s.sbLen++
 		}
 		if in.IsMem() {
 			s.lsq.Pop(h)
@@ -780,11 +894,7 @@ func (s *Sim) commit() {
 				s.pubs.BranchExecuted(u.di.PC, u.predCorrect)
 			}
 			if s.brProf != nil {
-				bs := s.brProf[u.di.PC]
-				if bs == nil {
-					bs = &BranchStat{PC: u.di.PC}
-					s.brProf[u.di.PC] = bs
-				}
+				bs := s.brProf.get(u.di.PC)
 				bs.Executed++
 				if !u.predCorrect {
 					bs.Mispredicts++
@@ -835,8 +945,11 @@ func (s *Sim) resetMeasurement() {
 	s.st.Reset()
 	s.measureStart = s.now
 	if s.cfg.Profile {
-		s.occHist = stats.NewHistogram(s.cfg.IQSize + 1)
-		s.brProf = make(map[uint64]*BranchStat)
+		// Reuse the profiling structures across the warm-up boundary —
+		// reallocating them here put a map rebuild on the reset path and
+		// leaked the warm-up histogram.
+		s.occHist.Reset()
+		s.brProf.reset()
 	}
 	s.baseL1I = *s.l1i.Stats()
 	s.baseL1D = *s.l1d.Stats()
@@ -913,7 +1026,7 @@ func (s *Sim) RunContext(ctx context.Context, stream InstStream, warmup, measure
 		if s.committedTotal >= target || s.halted {
 			break
 		}
-		if s.streamDone && !s.hasPending && len(s.fetchQ) == 0 && s.rob.Empty() {
+		if s.streamDone && !s.hasPending && s.fqLen == 0 && s.rob.Empty() {
 			break
 		}
 		s.issue()
@@ -963,7 +1076,7 @@ func (s *Sim) RunContext(ctx context.Context, stream InstStream, warmup, measure
 	res.Prefetches = res.L2.PrefetchReqs
 	if s.cfg.Profile {
 		res.IQOccupancy = s.occHist
-		res.TopBranches = topBranches(s.brProf, 10)
+		res.TopBranches = s.brProf.top(10)
 	}
 	if s.pubs != nil {
 		res.UnconfBranches = s.pubs.UnconfBranches - s.basePubs[0]
@@ -1005,24 +1118,6 @@ func (s *Sim) emitPipeTrace(u *uop) {
 	fmt.Fprintf(s.pipeTrace, "seq=%-8d pc=%-6d %-24s F=%-8d D=%-8d I=%-8s X=%-8d C=%-8d %s\n",
 		u.di.Seq, u.di.Idx, u.di.Inst, u.fetchCycle, u.dispatchCycle, issue,
 		u.completeCycle, s.now, flags)
-}
-
-// topBranches extracts the n worst mispredicting branches, descending.
-func topBranches(prof map[uint64]*BranchStat, n int) []BranchStat {
-	out := make([]BranchStat, 0, len(prof))
-	for _, bs := range prof {
-		out = append(out, *bs)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Mispredicts != out[j].Mispredicts {
-			return out[i].Mispredicts > out[j].Mispredicts
-		}
-		return out[i].PC < out[j].PC
-	})
-	if len(out) > n {
-		out = out[:n]
-	}
-	return out
 }
 
 // RunProgram is a convenience wrapper: emulate prog and simulate it.

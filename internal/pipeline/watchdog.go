@@ -72,7 +72,7 @@ func (s *Sim) deadlockError() *DeadlockError {
 		IQSize:       s.cfg.IQSize,
 		LSQLen:       s.lsq.Len(),
 		LSQCap:       s.lsq.Cap(),
-		FetchQLen:    len(s.fetchQ),
+		FetchQLen:    s.fqLen,
 		PriorityFree: s.q.PriorityFree(),
 	}
 	if h, ok := s.rob.Head(); ok {

@@ -14,6 +14,7 @@ type Stream struct {
 	degree   int
 	lineSize uint64
 	tick     uint64
+	out      []uint64 // OnMiss result buffer, reused across calls
 
 	trained   uint64
 	allocated uint64
@@ -65,7 +66,7 @@ func (s *Stream) OnMiss(lineAddr uint64) []uint64 {
 		t.lastLine = ln
 		t.lru = s.tick
 		s.trained++
-		out := make([]uint64, 0, s.degree)
+		out := s.out[:0] // reused: valid until the next OnMiss
 		for d := 0; d < s.degree; d++ {
 			step := s.distance + uint64(d)
 			var target uint64
@@ -79,6 +80,7 @@ func (s *Stream) OnMiss(lineAddr uint64) []uint64 {
 			}
 			out = append(out, target*s.lineSize)
 		}
+		s.out = out
 		return out
 	}
 

@@ -163,6 +163,13 @@ func (h *Histogram) Add(v int) {
 // Total returns the number of observations.
 func (h *Histogram) Total() uint64 { return h.total }
 
+// Reset clears all observations, keeping the bucket allocation (used at the
+// warm-up boundary so the measurement reset stays allocation-free).
+func (h *Histogram) Reset() {
+	clear(h.Buckets)
+	h.over, h.total = 0, 0
+}
+
 // histogramJSON is the serialized form; the unexported counters must
 // survive the checkpoint round-trip for resumed campaigns to reproduce
 // profiled tables bit-identically.
