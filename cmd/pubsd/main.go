@@ -1,0 +1,210 @@
+// Command pubsd is the campaign service daemon: simulation-as-a-service
+// over an HTTP JSON API, backed by a bounded job queue, a worker pool
+// that shards (machine × workload) grids, and a content-addressed result
+// cache with singleflight dedup so identical submissions execute once.
+//
+// Usage:
+//
+//	pubsd serve    -addr :8080 [-workers N] [-checkpoint DIR]
+//	pubsd loadtest -addr http://host:8080 [-jobs N] [-out BENCH_3.json]
+//	pubsd loadtest -self [-jobs N] [-out BENCH_3.json]
+//
+// serve runs until SIGINT/SIGTERM, then drains: submissions are refused
+// (503) while accepted jobs run to completion, bounded by -drain-timeout.
+//
+// loadtest generates duplicate-heavy traffic against a running daemon
+// (or, with -self, against one it boots in-process) and writes a
+// pubsd-load/1 report with exact latency quantiles and the daemon's
+// dedup counters.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/service"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = serve(os.Args[2:])
+	case "loadtest":
+		err = loadtest(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "pubsd: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pubsd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  pubsd serve    -addr :8080 [-workers N] [-queue N] [-max-active N]
+                 [-warmup N] [-insts N] [-checkpoint DIR] [-drain-timeout D]
+  pubsd loadtest (-addr URL | -self) [-jobs N] [-concurrency N]
+                 [-warmup N] [-insts N] [-out FILE]`)
+}
+
+// serviceFlags registers the flags shared by both subcommands that size
+// the daemon and its default simulation windows.
+func serviceFlags(fs *flag.FlagSet) *service.Config {
+	cfg := &service.Config{}
+	fs.IntVar(&cfg.Workers, "workers", 0, "cell worker pool size (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.QueueDepth, "queue", 64, "bounded job queue depth")
+	fs.IntVar(&cfg.MaxActiveJobs, "max-active", 4, "campaigns executing concurrently")
+	fs.IntVar(&cfg.MaxCellsPerJob, "max-cells", 4096, "largest grid accepted per job")
+	fs.Uint64Var(&cfg.DefaultOptions.Warmup, "warmup", 300_000, "default warm-up instructions")
+	fs.Uint64Var(&cfg.DefaultOptions.Measure, "insts", 1_000_000, "default measured instructions")
+	fs.StringVar(&cfg.CheckpointDir, "checkpoint", "", "persist results here; a restarted daemon answers from disk")
+	return cfg
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("pubsd serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	drain := fs.Duration("drain-timeout", 5*time.Minute, "max time to finish accepted jobs at shutdown")
+	timeout := fs.Duration("cell-timeout", 0, "per-simulation timeout (0 = none)")
+	cfg := serviceFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg.DefaultOptions.Timeout = *timeout
+
+	s, err := service.New(*cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "pubsd: serving on %s (%d workers, queue %d)\n",
+		ln.Addr(), s.Workers(), cfg.QueueDepth)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // second signal kills immediately via default handler
+	fmt.Fprintln(os.Stderr, "pubsd: draining (new submissions refused)...")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := s.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "pubsd: drain incomplete: %v\n", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "pubsd: drained")
+	}
+	httpCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	return srv.Shutdown(httpCtx)
+}
+
+func loadtest(args []string) error {
+	fs := flag.NewFlagSet("pubsd loadtest", flag.ExitOnError)
+	addr := fs.String("addr", "", "base URL of a running daemon (e.g. http://127.0.0.1:8080)")
+	self := fs.Bool("self", false, "boot an in-process daemon on a loopback port and load-test it")
+	jobs := fs.Int("jobs", 16, "total jobs to submit")
+	conc := fs.Int("concurrency", 4, "in-flight submissions")
+	out := fs.String("out", "", "write the pubsd-load/1 JSON report here (default stdout)")
+	warmup := fs.Uint64("warmup", 20_000, "per-job warm-up instructions")
+	insts := fs.Uint64("insts", 80_000, "per-job measured instructions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*addr == "") == !*self {
+		return errors.New("loadtest: need exactly one of -addr or -self")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	baseURL := *addr
+	if *self {
+		s, err := service.New(service.Config{
+			DefaultOptions: experiments.Options{Warmup: *warmup, Measure: *insts},
+		})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: s.Handler()}
+		go func() { _ = srv.Serve(ln) }()
+		baseURL = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "pubsd: self-test daemon on %s\n", baseURL)
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			_ = s.Shutdown(sctx)
+			_ = srv.Shutdown(sctx)
+		}()
+	}
+
+	// A short ring of small campaigns; jobs cycle through it, so beyond
+	// the first lap every submission is a duplicate the daemon should
+	// answer from cache or merge onto in-flight work.
+	cfg := service.LoadtestConfig{
+		BaseURL: baseURL, Jobs: *jobs, Concurrency: *conc,
+		Specs: []service.CampaignSpec{
+			{Machines: []service.MachineSpec{{Machine: "base"}, {Machine: "pubs"}},
+				Workloads: []string{"matmul", "chess"}, Warmup: *warmup, Measure: *insts},
+			{Machines: []service.MachineSpec{{Machine: "pubs"}},
+				Workloads: []string{"goplay", "pathfind"}, Warmup: *warmup, Measure: *insts},
+			{Machines: []service.MachineSpec{{Machine: "pubs"}, {Machine: "pubs+age"}},
+				Workloads: []string{"chess"}, Warmup: *warmup, Measure: *insts},
+		},
+	}
+	rep, err := service.Loadtest(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pubsd: loadtest done: %d jobs, p50 %.0fms p99 %.0fms, %d sims (%d merged, %d cached) → %s\n",
+		rep.Jobs, rep.LatencyP50MS, rep.LatencyP99MS, rep.SimsExecuted, rep.Merged, rep.CacheHits, *out)
+	return nil
+}

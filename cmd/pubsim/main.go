@@ -9,12 +9,15 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
-	"strings"
+	"syscall"
 
 	pubsim "repro"
 )
@@ -35,6 +38,7 @@ func main() {
 		wrongp    = flag.Bool("wrongpath", false, "model wrong-path pollution of the PUBS tables")
 		profile   = flag.Bool("profile", false, "print IQ occupancy and the worst mispredicting branches")
 		pipetrace = flag.Int64("pipetrace", 0, "print a stage-by-stage trace of the first N committed instructions")
+		jsonOut   = flag.Bool("json", false, "emit the result as one JSON object (the pubsd job-result schema)")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile taken after the simulation to this file")
@@ -79,11 +83,16 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	// Ctrl-C / SIGTERM cancel the simulation (observed within ~1K cycles)
+	// instead of killing the process mid-run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var res pubsim.Result
 	if *pipetrace > 0 {
 		res, err = pubsim.RunWithPipeTrace(cfg, *wl, *warmup, *insts, os.Stdout, *pipetrace)
 	} else {
-		res, err = pubsim.Run(cfg, *wl, *warmup, *insts)
+		res, err = pubsim.RunContext(ctx, cfg, *wl, *warmup, *insts)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -102,6 +111,21 @@ func main() {
 			os.Exit(1)
 		}
 		f.Close()
+	}
+
+	if *jsonOut {
+		// One CellResult object — the same schema pubsd serves from
+		// GET /v1/results/{key}, same content key included, so CLI runs and
+		// daemon results are directly comparable (and diffable with jq).
+		cell := pubsim.Cell{Config: cfg, Workload: *wl}
+		opts := pubsim.Options{Warmup: *warmup, Measure: *insts}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(pubsim.NewCellResult(cell, opts, res)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("machine            %s\n", cfg.Name)
@@ -138,43 +162,14 @@ func main() {
 	}
 }
 
+// buildConfig delegates to the shared machine-name resolver so the CLI and
+// the pubsd service accept exactly the same machine vocabulary.
 func buildConfig(machine string) (pubsim.Config, error) {
-	sizes := map[string]pubsim.Size{
-		"small": pubsim.Small, "medium": pubsim.Medium,
-		"large": pubsim.Large, "huge": pubsim.Huge,
+	cfg, err := pubsim.MachineConfig(machine)
+	if err != nil {
+		return pubsim.Config{}, fmt.Errorf("pubsim: unknown machine %q (base, pubs, age, pubs+age, {base,pubs}-{small,medium,large,huge})", machine)
 	}
-	switch machine {
-	case "base":
-		return pubsim.BaseConfig(), nil
-	case "pubs":
-		return pubsim.PUBSConfig(), nil
-	case "age":
-		cfg := pubsim.BaseConfig()
-		cfg.Name = "age"
-		cfg.AgeMatrix = true
-		return cfg, nil
-	case "pubs+age":
-		cfg := pubsim.PUBSConfig()
-		cfg.Name = "pubs+age"
-		cfg.AgeMatrix = true
-		return cfg, nil
-	}
-	if kind, size, ok := strings.Cut(machine, "-"); ok {
-		sz, found := sizes[size]
-		if !found {
-			return pubsim.Config{}, fmt.Errorf("pubsim: unknown size %q", size)
-		}
-		cfg := pubsim.ScaledConfig(sz)
-		switch kind {
-		case "base":
-			return cfg, nil
-		case "pubs":
-			cfg.Name = "pubs-" + size
-			cfg.PUBS = pubsim.DefaultPUBS()
-			return cfg, nil
-		}
-	}
-	return pubsim.Config{}, fmt.Errorf("pubsim: unknown machine %q", machine)
+	return cfg, nil
 }
 
 func pct(a, b uint64) float64 {

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -41,8 +39,7 @@ func newCheckpoint(dir string) (*checkpoint, error) {
 }
 
 func (c *checkpoint) path(key string) string {
-	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+	return filepath.Join(c.dir, KeyHash(key)+".json")
 }
 
 // load returns the stored result for key, or ok=false on any miss (absent,

@@ -98,7 +98,8 @@ type RunnerStats struct {
 type Runner struct {
 	opts  Options
 	ckpt  *checkpoint
-	stats RunnerStats // accessed atomically; read via Stats
+	base  context.Context // optional campaign-wide context (BindContext)
+	stats RunnerStats     // accessed atomically; read via Stats
 
 	mu    sync.Mutex
 	cache map[string]pipeline.Result
@@ -125,6 +126,31 @@ func (r *Runner) WithCheckpoint(dir string) (*Runner, error) {
 	}
 	r.ckpt = c
 	return r, nil
+}
+
+// BindContext attaches a campaign-wide context to the runner: every
+// subsequent Run/RunAll/figure call observes it in addition to its own
+// per-call context. This is how cmd-level signal handling (SIGINT/SIGTERM
+// via signal.NotifyContext) reaches runs buried inside figure functions
+// that predate context plumbing — cancellation aborts in-flight cells
+// while everything already finished stays memoized and checkpointed, so an
+// interrupted campaign resumes instead of dying mid-cell. Call it before
+// the first Run; it returns the runner for chaining.
+func (r *Runner) BindContext(ctx context.Context) *Runner {
+	r.base = ctx
+	return r
+}
+
+// withBase merges the per-call context with the bound campaign context:
+// the returned context is done as soon as either is. The stop function
+// releases the linkage and must be called when the run finishes.
+func (r *Runner) withBase(ctx context.Context) (context.Context, func()) {
+	if r.base == nil || r.base == ctx {
+		return ctx, func() {}
+	}
+	merged, cancel := context.WithCancelCause(ctx)
+	release := context.AfterFunc(r.base, func() { cancel(r.base.Err()) })
+	return merged, func() { release(); cancel(nil) }
 }
 
 // Options returns the normalized options in effect.
@@ -173,6 +199,8 @@ func (r *Runner) RunContext(ctx context.Context, cfg pipeline.Config, wl string)
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, unbind := r.withBase(ctx)
+	defer unbind()
 	key := cfgKey(cfg, wl, r.opts)
 	if res, ok := r.memoLoad(key); ok {
 		atomic.AddUint64(&r.stats.MemoHits, 1)

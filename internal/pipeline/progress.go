@@ -1,0 +1,37 @@
+package pipeline
+
+import "context"
+
+// Progress reporting is carried on the context rather than the Config so
+// that (a) it composes with every existing entry point — RunProgramContext,
+// sampling windows, the experiment Runner — without new signatures, and
+// (b) Config stays a pure value: its fmt-rendered form is the memoization
+// and checkpoint key, which a function pointer field would poison with a
+// nondeterministic address.
+
+type progressKey struct{}
+
+type progressHook struct {
+	every uint64
+	fn    func(committed uint64)
+}
+
+// WithProgress returns a context under which any simulation reports
+// committed-instruction progress: fn is called synchronously from the
+// simulation goroutine roughly every `every` committed instructions,
+// warm-up included (the caller knows its warmup+measure target). fn must be
+// fast and must not block; a service streaming NDJSON progress should hand
+// the count to a channel or buffer, not do I/O inline. A zero interval or
+// nil fn leaves the context unchanged.
+func WithProgress(ctx context.Context, every uint64, fn func(committed uint64)) context.Context {
+	if every == 0 || fn == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, progressKey{}, progressHook{every: every, fn: fn})
+}
+
+// progressFrom extracts the hook; the zero hook (nil fn) means disabled.
+func progressFrom(ctx context.Context) progressHook {
+	h, _ := ctx.Value(progressKey{}).(progressHook)
+	return h
+}

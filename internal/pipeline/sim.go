@@ -1009,6 +1009,8 @@ func (s *Sim) RunContext(ctx context.Context, stream InstStream, warmup, measure
 	if warmedUp {
 		s.resetMeasurement()
 	}
+	hook := progressFrom(ctx)
+	nextProgress := hook.every
 
 	for {
 		if s.hangInjected {
@@ -1022,6 +1024,12 @@ func (s *Sim) RunContext(ctx context.Context, stream InstStream, warmup, measure
 		if !warmedUp && s.committedTotal >= warmup {
 			s.resetMeasurement()
 			warmedUp = true
+		}
+		if hook.fn != nil && s.committedTotal >= nextProgress {
+			hook.fn(s.committedTotal)
+			for nextProgress <= s.committedTotal {
+				nextProgress += hook.every
+			}
 		}
 		if s.committedTotal >= target || s.halted {
 			break

@@ -118,7 +118,10 @@ func Run(cfg pipeline.Config, prog *isa.Program, plan Config) (Result, error) {
 // RunContext is Run with cancellation and deadline support: the context is
 // checked between windows and plumbed into each window's detailed
 // simulation, so a cancelled campaign stops mid-window. On error the
-// windows completed so far are returned alongside it.
+// windows completed so far are returned alongside it. A progress hook
+// installed with pipeline.WithProgress flows into every window: the
+// reported counts are per-window (each window is a fresh timing model), so
+// streaming consumers see them restart at each window boundary.
 func RunContext(ctx context.Context, cfg pipeline.Config, prog *isa.Program, plan Config) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()

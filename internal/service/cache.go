@@ -1,0 +1,96 @@
+package service
+
+import "sync"
+
+// cacheOutcome says how a cell was satisfied: a fresh execution, a
+// content-address hit on a completed result, or a merge onto an execution
+// another submission already had in flight (singleflight).
+type cacheOutcome int
+
+const (
+	outcomeRun cacheOutcome = iota
+	outcomeHit
+	outcomeMerged
+)
+
+func (o cacheOutcome) String() string {
+	switch o {
+	case outcomeHit:
+		return "cached"
+	case outcomeMerged:
+		return "merged"
+	default:
+		return "simulated"
+	}
+}
+
+// flight is one in-progress execution that late arrivals wait on.
+type flight struct {
+	done chan struct{}
+	res  CellResult
+	err  error
+}
+
+// resultCache is the daemon's content-addressed result store: finished
+// cells keyed by their Cell.Key (the checkpoint store's hashing
+// discipline), plus a singleflight table so concurrent identical cells —
+// two users submitting the same sweep at once — execute exactly once.
+// Failures are never cached: an error propagates to every merged waiter,
+// and the next submission retries fresh.
+type resultCache struct {
+	mu       sync.Mutex
+	done     map[string]CellResult
+	inflight map[string]*flight
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{
+		done:     make(map[string]CellResult),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Do returns the cached result for key, joins an in-flight execution of
+// it, or runs build itself — whichever applies. The outcome reports which
+// path was taken so the metrics layer can expose the dedup rate.
+func (c *resultCache) Do(key string, build func() (CellResult, error)) (CellResult, cacheOutcome, error) {
+	c.mu.Lock()
+	if res, ok := c.done[key]; ok {
+		c.mu.Unlock()
+		return res, outcomeHit, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.res, outcomeMerged, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.res, f.err = build()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.done[key] = f.res
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.res, outcomeRun, f.err
+}
+
+// Get returns a completed result by content key.
+func (c *resultCache) Get(key string) (CellResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.done[key]
+	return res, ok
+}
+
+// Len returns the number of completed entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}

@@ -1,0 +1,224 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job lifecycle: queued → running → done | failed. A job with any failed
+// cell finishes failed but still carries every completed cell's result —
+// the partial-figure discipline the CLI campaign runner established.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// terminal reports whether the state is final.
+func (s JobState) terminal() bool { return s == JobDone || s == JobFailed }
+
+// Event is one NDJSON line of GET /v1/jobs/{id}/events.
+type Event struct {
+	Type      string    `json:"type"` // queued | started | progress | cell | done | failed
+	Job       string    `json:"job"`
+	Time      time.Time `json:"time"`
+	Key       string    `json:"key,omitempty"`      // cell events: content address
+	Machine   string    `json:"machine,omitempty"`  // cell events
+	Workload  string    `json:"workload,omitempty"` // cell events
+	Outcome   string    `json:"outcome,omitempty"`  // cell events: simulated | cached | merged
+	Committed uint64    `json:"committed,omitempty"` // progress events: instructions committed so far
+	Completed int       `json:"completed,omitempty"`
+	Total     int       `json:"total,omitempty"`
+	Error     string    `json:"error,omitempty"`
+}
+
+// maxJobEvents bounds a job's event history; past the cap, progress events
+// are dropped (terminal and cell events always land).
+const maxJobEvents = 8192
+
+// Job is one submitted campaign: its cells, their results as they land,
+// and an event log streamed to any number of subscribers.
+type Job struct {
+	id    string
+	spec  CampaignSpec
+	cells []experiments.Cell
+	opts  experiments.Options
+
+	cellWG sync.WaitGroup
+
+	mu        sync.Mutex
+	state     JobState
+	results   []CellResult // indexed like cells; zero Key = pending
+	cellErrs  []string
+	completed int
+	failed    int
+	events    []Event
+	dropped   int
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	done      chan struct{}
+}
+
+func newJob(id string, spec CampaignSpec, cells []experiments.Cell, opts experiments.Options) *Job {
+	j := &Job{
+		id:        id,
+		spec:      spec,
+		cells:     cells,
+		opts:      opts,
+		state:     JobQueued,
+		results:   make([]CellResult, len(cells)),
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	j.events = append(j.events, Event{Type: "queued", Job: id, Time: j.submitted, Total: len(cells)})
+	return j
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// append adds an event under j.mu.
+func (j *Job) append(e Event) {
+	if len(j.events) >= maxJobEvents && e.Type == "progress" {
+		j.dropped++
+		return
+	}
+	e.Job = j.id
+	e.Time = time.Now()
+	j.events = append(j.events, e)
+}
+
+func (j *Job) start() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.append(Event{Type: "started", Total: len(j.cells)})
+}
+
+// progress records a cell's committed-instruction count mid-simulation.
+func (j *Job) progress(cell experiments.Cell, key string, committed uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.append(Event{
+		Type: "progress", Key: key,
+		Machine: cell.Config.Name, Workload: cell.Workload,
+		Committed: committed, Completed: j.completed, Total: len(j.cells),
+	})
+}
+
+// cellDone records one finished cell.
+func (j *Job) cellDone(idx int, res CellResult, outcome cacheOutcome, err error) {
+	cell := j.cells[idx]
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e := Event{
+		Type: "cell", Key: res.Key,
+		Machine: cell.Config.Name, Workload: cell.Workload,
+		Outcome: outcome.String(), Total: len(j.cells),
+	}
+	if err != nil {
+		j.failed++
+		j.cellErrs = append(j.cellErrs, cell.Config.Name+"/"+cell.Workload+": "+err.Error())
+		e.Error = err.Error()
+	} else {
+		j.results[idx] = res
+		j.completed++
+	}
+	e.Completed = j.completed
+	j.append(e)
+}
+
+// finalize moves the job to its terminal state.
+func (j *Job) finalize() {
+	j.mu.Lock()
+	j.finished = time.Now()
+	typ := "done"
+	j.state = JobDone
+	if j.failed > 0 {
+		typ = "failed"
+		j.state = JobFailed
+	}
+	j.append(Event{Type: typ, Completed: j.completed, Total: len(j.cells)})
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// eventsSince returns a copy of the events from index from on, plus the
+// current state — the polling contract of the NDJSON stream handler.
+func (j *Job) eventsSince(from int) ([]Event, JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from >= len(j.events) {
+		return nil, j.state
+	}
+	out := make([]Event, len(j.events)-from)
+	copy(out, j.events[from:])
+	return out, j.state
+}
+
+// latency returns submit-to-finish wall time (zero until terminal).
+func (j *Job) latency() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.finished.IsZero() {
+		return 0
+	}
+	return j.finished.Sub(j.submitted)
+}
+
+// JobStatus is the GET /v1/jobs/{id} document.
+type JobStatus struct {
+	ID             string       `json:"id"`
+	State          JobState     `json:"state"`
+	TotalCells     int          `json:"total_cells"`
+	CompletedCells int          `json:"completed_cells"`
+	FailedCells    int          `json:"failed_cells"`
+	SubmittedAt    time.Time    `json:"submitted_at"`
+	StartedAt      *time.Time   `json:"started_at,omitempty"`
+	FinishedAt     *time.Time   `json:"finished_at,omitempty"`
+	DurationMS     int64        `json:"duration_ms,omitempty"`
+	Errors         []string     `json:"errors,omitempty"`
+	Results        []CellResult `json:"results,omitempty"`
+}
+
+// Status snapshots the job. Results lists the cells completed so far, in
+// grid order.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:             j.id,
+		State:          j.state,
+		TotalCells:     len(j.cells),
+		CompletedCells: j.completed,
+		FailedCells:    j.failed,
+		SubmittedAt:    j.submitted,
+		Errors:         append([]string(nil), j.cellErrs...),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+		st.DurationMS = j.finished.Sub(j.submitted).Milliseconds()
+	}
+	for _, r := range j.results {
+		if r.Key != "" {
+			st.Results = append(st.Results, r)
+		}
+	}
+	return st
+}

@@ -1,0 +1,270 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LoadtestConfig drives `pubsd loadtest`: a stream of campaign submissions
+// against a running daemon, with deliberate duplicates so the cache and
+// singleflight layers are exercised, not just the workers.
+type LoadtestConfig struct {
+	// BaseURL of the daemon, e.g. http://127.0.0.1:8080.
+	BaseURL string `json:"base_url"`
+	// Jobs to submit in total (default 16).
+	Jobs int `json:"jobs"`
+	// Concurrency is the number of in-flight submissions (default 4).
+	Concurrency int `json:"concurrency"`
+	// Specs is the ring of campaign specs to cycle through. Because the
+	// ring is shorter than Jobs, repeats are duplicates by construction.
+	Specs []CampaignSpec `json:"specs"`
+	// PollInterval paces job-status polling (default 100ms).
+	PollInterval time.Duration `json:"-"`
+}
+
+func (c LoadtestConfig) normalized() LoadtestConfig {
+	if c.Jobs <= 0 {
+		c.Jobs = 16
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 4
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 100 * time.Millisecond
+	}
+	if len(c.Specs) == 0 {
+		c.Specs = []CampaignSpec{
+			{Machines: []MachineSpec{{Machine: "base"}, {Machine: "pubs"}},
+				Workloads: []string{"matmul", "chess"}},
+			{Machines: []MachineSpec{{Machine: "pubs"}},
+				Workloads: []string{"goplay", "pathfind"}},
+		}
+	}
+	c.BaseURL = strings.TrimRight(c.BaseURL, "/")
+	return c
+}
+
+// LoadtestReport is the BENCH_3.json document.
+type LoadtestReport struct {
+	Schema      string    `json:"schema"` // "pubsd-load/1"
+	Timestamp   time.Time `json:"timestamp"`
+	BaseURL     string    `json:"base_url"`
+	Jobs        int       `json:"jobs"`
+	Concurrency int       `json:"concurrency"`
+	SpecRing    int       `json:"spec_ring"`
+
+	DurationMS int64   `json:"duration_ms"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	Failed     int     `json:"failed_jobs"`
+	Rejected   int     `json:"rejected_jobs"` // 429/503 refusals (resubmitted)
+
+	// Exact submit-to-terminal latency quantiles over all completed jobs,
+	// from the sorted sample set (unlike the daemon's bucketed histogram).
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP90MS float64 `json:"latency_p90_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+	LatencyMaxMS float64 `json:"latency_max_ms"`
+
+	// Daemon-side counters scraped from /metrics after the run: how much
+	// work the traffic actually cost versus how much was deduplicated.
+	SimsExecuted uint64 `json:"sims_executed"`
+	CacheHits    uint64 `json:"cache_hits"`
+	Merged       uint64 `json:"singleflight_merged"`
+	MemoHits     uint64 `json:"runner_memo_hits"`
+}
+
+// Loadtest submits cfg.Jobs campaigns at cfg.Concurrency, polls each to a
+// terminal state, and reports latency quantiles plus the daemon's dedup
+// counters.
+func Loadtest(ctx context.Context, cfg LoadtestConfig) (LoadtestReport, error) {
+	cfg = cfg.normalized()
+	client := &http.Client{Timeout: 30 * time.Second}
+	rep := LoadtestReport{
+		Schema: "pubsd-load/1", Timestamp: time.Now(),
+		BaseURL: cfg.BaseURL, Jobs: cfg.Jobs,
+		Concurrency: cfg.Concurrency, SpecRing: len(cfg.Specs),
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		failed    int
+		rejected  int
+		firstErr  error
+	)
+	start := time.Now()
+	sem := make(chan struct{}, cfg.Concurrency)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Jobs; i++ {
+		spec := cfg.Specs[i%len(cfg.Specs)]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			lat, retries, err := runOneJob(ctx, client, cfg, spec)
+			mu.Lock()
+			defer mu.Unlock()
+			rejected += retries
+			if err != nil {
+				failed++
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			latencies = append(latencies, float64(lat.Milliseconds()))
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep.DurationMS = elapsed.Milliseconds()
+	rep.Failed = failed
+	rep.Rejected = rejected
+	if elapsed > 0 {
+		rep.JobsPerSec = float64(cfg.Jobs-failed) / elapsed.Seconds()
+	}
+	sort.Float64s(latencies)
+	rep.LatencyP50MS = quantileExact(latencies, 0.5)
+	rep.LatencyP90MS = quantileExact(latencies, 0.9)
+	rep.LatencyP99MS = quantileExact(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		rep.LatencyMaxMS = latencies[n-1]
+	}
+
+	if counters, err := scrapeMetrics(ctx, client, cfg.BaseURL); err == nil {
+		rep.SimsExecuted = counters["pubsd_sims_executed_total"]
+		rep.CacheHits = counters["pubsd_cache_hits_total"]
+		rep.Merged = counters["pubsd_singleflight_merged_total"]
+		rep.MemoHits = counters["pubsd_runner_memo_hits_total"]
+	} else if firstErr == nil {
+		firstErr = fmt.Errorf("loadtest: scraping /metrics: %w", err)
+	}
+	return rep, firstErr
+}
+
+// runOneJob submits one spec (retrying refusals with backoff) and polls it
+// to a terminal state, returning its submit-to-terminal latency and how
+// many times the daemon refused the submission.
+func runOneJob(ctx context.Context, client *http.Client, cfg LoadtestConfig, spec CampaignSpec) (time.Duration, int, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	var id string
+	retries := 0
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			cfg.BaseURL+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return 0, retries, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, retries, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, retries, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			retries++
+			select {
+			case <-ctx.Done():
+				return 0, retries, ctx.Err()
+			case <-time.After(cfg.PollInterval):
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return 0, retries, fmt.Errorf("loadtest: submit: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+		}
+		var sub submitResponse
+		if err := json.Unmarshal(data, &sub); err != nil {
+			return 0, retries, err
+		}
+		id = sub.ID
+		break
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			return 0, retries, ctx.Err()
+		case <-time.After(cfg.PollInterval):
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			cfg.BaseURL+"/v1/jobs/"+id, nil)
+		if err != nil {
+			return 0, retries, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, retries, err
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return 0, retries, err
+		}
+		if st.State.terminal() {
+			if st.State == JobFailed {
+				return 0, retries, fmt.Errorf("loadtest: job %s failed: %v", id, st.Errors)
+			}
+			return time.Since(start), retries, nil
+		}
+	}
+}
+
+// quantileExact returns the q-quantile of sorted samples (nearest-rank).
+func quantileExact(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// scrapeMetrics fetches /metrics and parses the un-labeled numeric lines.
+func scrapeMetrics(ctx context.Context, client *http.Client, baseURL string) (map[string]uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]uint64)
+	for _, ln := range strings.Split(string(data), "\n") {
+		name, val, ok := strings.Cut(strings.TrimSpace(ln), " ")
+		if !ok || strings.Contains(name, "{") {
+			continue
+		}
+		if v, err := strconv.ParseUint(val, 10, 64); err == nil {
+			out[name] = v
+		}
+	}
+	return out, nil
+}

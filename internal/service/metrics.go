@@ -1,0 +1,136 @@
+package service
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// metrics is the daemon's observable state: queue/worker gauges, traffic
+// and dedup counters, and a per-job latency histogram. Rendered as
+// Prometheus-style text by /metrics.
+type metrics struct {
+	start time.Time
+
+	jobsSubmitted atomic.Uint64
+	jobsRejected  atomic.Uint64 // queue-full and draining refusals
+	jobsDone      atomic.Uint64
+	jobsFailed    atomic.Uint64
+
+	cellsCompleted atomic.Uint64
+	cellsFailed    atomic.Uint64
+	cacheHits      atomic.Uint64
+	cacheMisses    atomic.Uint64 // fresh executions
+	merged         atomic.Uint64 // singleflight-deduped concurrent cells
+
+	activeJobs  atomic.Int64
+	workersBusy atomic.Int64
+
+	// Latency histogram: log2 buckets of whole milliseconds (bucket i
+	// covers [2^(i-1), 2^i) ms, bucket 0 is <1 ms), reusing the stats
+	// package histogram; quantiles are bucket upper bounds.
+	latMu sync.Mutex
+	lat   *stats.Histogram
+}
+
+// latBuckets covers up to ~2^39 ms (≈17 years) of job latency.
+const latBuckets = 40
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), lat: stats.NewHistogram(latBuckets)}
+}
+
+func (m *metrics) observeLatency(d time.Duration) {
+	ms := d.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	m.latMu.Lock()
+	m.lat.Add(bits.Len64(uint64(ms)))
+	m.latMu.Unlock()
+}
+
+// latencyQuantileMS returns the upper bound in ms of the bucket holding
+// the q-quantile observation.
+func (m *metrics) latencyQuantileMS(q float64) int64 {
+	m.latMu.Lock()
+	defer m.latMu.Unlock()
+	if m.lat.Total() == 0 {
+		return 0
+	}
+	idx := m.lat.Quantile(q)
+	if idx == 0 {
+		return 1
+	}
+	return 1 << idx
+}
+
+// snapshotGauges is what the Service contributes at render time.
+type snapshotGauges struct {
+	queueDepth   int
+	workers      int
+	cacheEntries int
+	simulated    uint64 // detailed simulations actually executed (runner stats)
+	memoHits     uint64
+	ckptHits     uint64
+	retries      uint64
+	draining     bool
+}
+
+// render emits the metrics in Prometheus text exposition format.
+func (m *metrics) render(g snapshotGauges) string {
+	var sb strings.Builder
+	up := time.Since(m.start).Seconds()
+	line := func(name string, v any) {
+		fmt.Fprintf(&sb, "%s %v\n", name, v)
+	}
+	b := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	line("pubsd_uptime_seconds", fmt.Sprintf("%.3f", up))
+	line("pubsd_draining", b(g.draining))
+
+	line("pubsd_queue_depth", g.queueDepth)
+	line("pubsd_active_jobs", m.activeJobs.Load())
+	line("pubsd_workers", g.workers)
+	line("pubsd_workers_busy", m.workersBusy.Load())
+
+	line("pubsd_jobs_submitted_total", m.jobsSubmitted.Load())
+	line("pubsd_jobs_rejected_total", m.jobsRejected.Load())
+	line("pubsd_jobs_completed_total", m.jobsDone.Load())
+	line("pubsd_jobs_failed_total", m.jobsFailed.Load())
+
+	line("pubsd_cells_completed_total", m.cellsCompleted.Load())
+	line("pubsd_cells_failed_total", m.cellsFailed.Load())
+	line("pubsd_cache_entries", g.cacheEntries)
+	line("pubsd_cache_hits_total", m.cacheHits.Load())
+	line("pubsd_cache_misses_total", m.cacheMisses.Load())
+	line("pubsd_singleflight_merged_total", m.merged.Load())
+
+	line("pubsd_sims_executed_total", g.simulated)
+	line("pubsd_runner_memo_hits_total", g.memoHits)
+	line("pubsd_runner_checkpoint_hits_total", g.ckptHits)
+	line("pubsd_runner_retries_total", g.retries)
+	rate := 0.0
+	if up > 0 {
+		rate = float64(g.simulated) / up
+	}
+	line("pubsd_sims_per_second", fmt.Sprintf("%.3f", rate))
+
+	m.latMu.Lock()
+	total := m.lat.Total()
+	m.latMu.Unlock()
+	line("pubsd_job_latency_count", total)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		fmt.Fprintf(&sb, "pubsd_job_latency_ms{quantile=\"%g\"} %d\n", q, m.latencyQuantileMS(q))
+	}
+	return sb.String()
+}

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// apiError is the JSON error envelope for non-2xx responses.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// submitResponse is the 202 body of POST /v1/jobs.
+type submitResponse struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Cells int    `json:"cells"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/jobs                submit a CampaignSpec; 202 + job ID
+//	GET  /v1/jobs                list job statuses
+//	GET  /v1/jobs/{id}           one job's status + completed results
+//	GET  /v1/jobs/{id}/events    NDJSON event stream until the job ends
+//	GET  /v1/results/{key}       a completed cell by content address
+//	GET  /healthz                200 serving | 503 draining
+//	GET  /metrics                Prometheus text exposition
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec CampaignSpec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		job, err := s.Submit(spec)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		st := job.Status()
+		writeJSON(w, http.StatusAccepted, submitResponse{
+			ID: job.ID(), State: string(st.State), Cells: st.TotalCells,
+		})
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.JobStatuses())
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("service: no such job"))
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Status())
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("service: no such job"))
+			return
+		}
+		s.streamEvents(w, r, job)
+	})
+
+	mux.HandleFunc("GET /v1/results/{key}", func(w http.ResponseWriter, r *http.Request) {
+		res, ok := s.Result(r.PathValue("key"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("service: no result under that key"))
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeError(w, http.StatusServiceUnavailable, ErrDraining)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(s.MetricsText()))
+	})
+
+	return mux
+}
+
+// eventPollInterval paces the NDJSON stream's checks for new events.
+const eventPollInterval = 50 * time.Millisecond
+
+// streamEvents writes the job's event log as NDJSON, flushing each line,
+// until the job reaches a terminal state (its final event is always
+// delivered) or the client goes away.
+func (s *Service) streamEvents(w http.ResponseWriter, r *http.Request, job *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	next := 0
+	ticker := time.NewTicker(eventPollInterval)
+	defer ticker.Stop()
+	for {
+		events, state := job.eventsSince(next)
+		for _, e := range events {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		next += len(events)
+		if flusher != nil && len(events) > 0 {
+			flusher.Flush()
+		}
+		if state.terminal() {
+			// Drain anything appended between the snapshot and finalize.
+			if tail, _ := job.eventsSince(next); len(tail) == 0 {
+				return
+			}
+			continue
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-job.Done():
+			// Loop once more to flush the terminal event.
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,406 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/pipeline"
+)
+
+// Submission refusals. The HTTP layer maps these to 429 and 503.
+var (
+	// ErrQueueFull means the bounded job queue is at capacity.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining means the daemon is shutting down and no longer accepts
+	// jobs; in-flight and queued work still completes.
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Workers is the cell-execution pool size (0 = GOMAXPROCS). It bounds
+	// detailed simulations in flight across all jobs.
+	Workers int
+	// QueueDepth bounds jobs queued behind the active set (0 = 64).
+	QueueDepth int
+	// MaxActiveJobs bounds campaigns expanded and executing concurrently
+	// (0 = 4). Cells from active jobs interleave on the worker pool.
+	MaxActiveJobs int
+	// MaxCellsPerJob rejects degenerate grids at submission (0 = 4096).
+	MaxCellsPerJob int
+	// DefaultOptions supplies windows for specs that omit them and the
+	// failure handling (timeout, retries) for every run. Zero windows mean
+	// experiments.DefaultOptions.
+	DefaultOptions experiments.Options
+	// CheckpointDir, when set, persists every finished run so a restarted
+	// daemon answers repeat traffic from disk.
+	CheckpointDir string
+}
+
+func (c Config) normalized() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxActiveJobs <= 0 {
+		c.MaxActiveJobs = 4
+	}
+	if c.MaxCellsPerJob <= 0 {
+		c.MaxCellsPerJob = 4096
+	}
+	if c.DefaultOptions.Warmup == 0 && c.DefaultOptions.Measure == 0 {
+		c.DefaultOptions = experiments.DefaultOptions()
+	}
+	c.DefaultOptions.Parallelism = c.Workers
+	return c
+}
+
+// task is one cell of one job, scheduled onto the worker pool.
+type task struct {
+	job *Job
+	idx int
+}
+
+// Service is the campaign daemon: a bounded job queue feeding a dispatcher
+// that shards each job's grid across a fixed worker pool, with results
+// landing in the content-addressed cache.
+type Service struct {
+	cfg   Config
+	cache *resultCache
+	m     *metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	runners  map[windowKey]*experiments.Runner
+	draining bool
+	seq      uint64
+
+	queue chan *Job
+	tasks chan task
+
+	rootCtx context.Context
+	cancel  context.CancelFunc
+
+	jobWG    sync.WaitGroup // submitted jobs not yet finalized
+	workerWG sync.WaitGroup
+	dispWG   sync.WaitGroup
+}
+
+// windowKey distinguishes runners by simulation window; every other option
+// is shared daemon-wide.
+type windowKey struct{ warmup, measure uint64 }
+
+// New builds and starts a daemon: workers and dispatcher run until
+// Shutdown.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.normalized()
+	s := &Service{
+		cfg:     cfg,
+		cache:   newResultCache(),
+		m:       newMetrics(),
+		jobs:    make(map[string]*Job),
+		runners: make(map[windowKey]*experiments.Runner),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		tasks:   make(chan task, cfg.Workers*2),
+	}
+	// Fail fast on an unusable checkpoint directory.
+	if cfg.CheckpointDir != "" {
+		if _, err := s.runnerFor(cfg.DefaultOptions); err != nil {
+			return nil, err
+		}
+	}
+	s.rootCtx, s.cancel = context.WithCancel(context.Background())
+	s.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	s.dispWG.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// runnerFor returns (creating on demand) the runner for a window pair.
+// All runners share the worker pool's parallelism bound and, when
+// configured, the same checkpoint directory — keys embed the windows, so
+// the records never collide.
+func (s *Service) runnerFor(o experiments.Options) (*experiments.Runner, error) {
+	k := windowKey{o.Warmup, o.Measure}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.runners[k]; ok {
+		return r, nil
+	}
+	r := experiments.NewRunner(o)
+	if s.cfg.CheckpointDir != "" {
+		var err error
+		if r, err = r.WithCheckpoint(s.cfg.CheckpointDir); err != nil {
+			return nil, err
+		}
+	}
+	s.runners[k] = r
+	return r, nil
+}
+
+// Submit validates a spec, assigns a job ID, and enqueues it. It never
+// blocks: a full queue returns ErrQueueFull, a draining daemon
+// ErrDraining.
+func (s *Service) Submit(spec CampaignSpec) (*Job, error) {
+	cells, err := spec.Cells(s.cfg.MaxCellsPerJob)
+	if err != nil {
+		s.m.jobsRejected.Add(1)
+		return nil, err
+	}
+	opts := spec.options(s.cfg.DefaultOptions)
+	if _, err := s.runnerFor(opts); err != nil {
+		s.m.jobsRejected.Add(1)
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.m.jobsRejected.Add(1)
+		return nil, ErrDraining
+	}
+	s.seq++
+	id := fmt.Sprintf("j%06d", s.seq)
+	job := newJob(id, spec, cells, opts)
+	select {
+	case s.queue <- job:
+	default:
+		s.mu.Unlock()
+		s.m.jobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	s.jobWG.Add(1)
+	s.mu.Unlock()
+	s.m.jobsSubmitted.Add(1)
+	return job, nil
+}
+
+// Job looks a job up by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// JobStatuses snapshots every job in submission order.
+func (s *Service) JobStatuses() []JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.Job(id); ok {
+			out = append(out, j.Status())
+		}
+	}
+	return out
+}
+
+// Result returns a completed cell by content key.
+func (s *Service) Result(key string) (CellResult, bool) { return s.cache.Get(key) }
+
+// dispatch pulls queued jobs and runs each on its own goroutine, at most
+// MaxActiveJobs at a time. Concurrent active jobs are what give the
+// singleflight layer work: two identical campaigns in flight share every
+// cell execution.
+func (s *Service) dispatch() {
+	defer s.dispWG.Done()
+	sem := make(chan struct{}, s.cfg.MaxActiveJobs)
+	for job := range s.queue {
+		sem <- struct{}{}
+		go func(j *Job) {
+			defer func() { <-sem }()
+			s.runJob(j)
+		}(job)
+	}
+}
+
+// runJob expands a job onto the task channel and finalizes it when every
+// cell reports back.
+func (s *Service) runJob(j *Job) {
+	defer s.jobWG.Done()
+	s.m.activeJobs.Add(1)
+	defer s.m.activeJobs.Add(-1)
+	j.start()
+	j.cellWG.Add(len(j.cells))
+	for i := range j.cells {
+		select {
+		case s.tasks <- task{job: j, idx: i}:
+		case <-s.rootCtx.Done():
+			// Forced shutdown mid-expansion: fail the remaining cells here;
+			// cells already queued are failed by the workers.
+			j.cellDone(i, CellResult{}, outcomeRun, s.rootCtx.Err())
+			j.cellWG.Done()
+		}
+	}
+	j.cellWG.Wait()
+	j.finalize()
+	st := j.Status()
+	if st.State == JobFailed {
+		s.m.jobsFailed.Add(1)
+	} else {
+		s.m.jobsDone.Add(1)
+	}
+	s.m.observeLatency(j.latency())
+}
+
+// worker executes tasks until the task channel closes at shutdown.
+func (s *Service) worker() {
+	defer s.workerWG.Done()
+	for t := range s.tasks {
+		s.m.workersBusy.Add(1)
+		s.execute(t)
+		s.m.workersBusy.Add(-1)
+	}
+}
+
+// execute runs one cell through the cache/singleflight layer and the
+// panic-recovering runner.
+func (s *Service) execute(t task) {
+	defer t.job.cellWG.Done()
+	cell := t.job.cells[t.idx]
+	if err := s.rootCtx.Err(); err != nil {
+		t.job.cellDone(t.idx, CellResult{}, outcomeRun, err)
+		s.m.cellsFailed.Add(1)
+		return
+	}
+	runner, err := s.runnerFor(t.job.opts)
+	if err != nil {
+		t.job.cellDone(t.idx, CellResult{}, outcomeRun, err)
+		s.m.cellsFailed.Add(1)
+		return
+	}
+	opts := runner.Options()
+	key := cell.Key(opts)
+	// Progress streams to the job that triggered the execution; a merged
+	// submission sees cell completions but not mid-cell progress.
+	every := (opts.Warmup + opts.Measure) / 4
+	ctx := pipeline.WithProgress(s.rootCtx, every, func(committed uint64) {
+		t.job.progress(cell, key, committed)
+	})
+	res, outcome, err := s.cache.Do(key, func() (CellResult, error) {
+		r, err := runner.RunCell(ctx, cell)
+		if err != nil {
+			return CellResult{}, err
+		}
+		return NewCellResult(cell, opts, r), nil
+	})
+	switch outcome {
+	case outcomeHit:
+		s.m.cacheHits.Add(1)
+	case outcomeMerged:
+		s.m.merged.Add(1)
+	default:
+		s.m.cacheMisses.Add(1)
+	}
+	if err != nil {
+		s.m.cellsFailed.Add(1)
+	} else {
+		s.m.cellsCompleted.Add(1)
+	}
+	t.job.cellDone(t.idx, res, outcome, err)
+}
+
+// runnerStats sums the campaign counters across all runners.
+func (s *Service) runnerStats() experiments.RunnerStats {
+	s.mu.Lock()
+	runners := make([]*experiments.Runner, 0, len(s.runners))
+	for _, r := range s.runners {
+		runners = append(runners, r)
+	}
+	s.mu.Unlock()
+	var sum experiments.RunnerStats
+	for _, r := range runners {
+		st := r.Stats()
+		sum.Simulated += st.Simulated
+		sum.MemoHits += st.MemoHits
+		sum.CheckpointHits += st.CheckpointHits
+		sum.Retries += st.Retries
+		sum.Failures += st.Failures
+		sum.CheckpointErrors += st.CheckpointErrors
+	}
+	return sum
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the daemon: submissions are refused immediately, every
+// accepted job (queued or active) runs to completion, then the pool stops.
+// If ctx expires first, in-flight simulations are canceled — they fail
+// with the cancellation and their jobs finalize as failed — and Shutdown
+// returns the context's error after the pool exits. Safe to call once.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("service: already shut down")
+	}
+	s.draining = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancel() // abort in-flight simulations (observed within ~1K cycles)
+		<-drained
+	}
+	s.dispWG.Wait()
+	close(s.tasks)
+	s.workerWG.Wait()
+	s.cancel()
+	return err
+}
+
+// Workers returns the worker-pool size.
+func (s *Service) Workers() int { return s.cfg.Workers }
+
+// QueueDepth returns the number of jobs currently queued (not yet active).
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// DefaultOptions returns the daemon's default (normalized) run options.
+func (s *Service) DefaultOptions() experiments.Options { return s.cfg.DefaultOptions }
+
+// MetricsText renders the /metrics document.
+func (s *Service) MetricsText() string {
+	rs := s.runnerStats()
+	return s.m.render(snapshotGauges{
+		queueDepth:   s.QueueDepth(),
+		workers:      s.cfg.Workers,
+		cacheEntries: s.cache.Len(),
+		simulated:    rs.Simulated,
+		memoHits:     rs.MemoHits,
+		ckptHits:     rs.CheckpointHits,
+		retries:      rs.Retries,
+		draining:     s.Draining(),
+	})
+}
+
+// Uptime reports how long the daemon has been serving.
+func (s *Service) Uptime() time.Duration { return time.Since(s.m.start) }

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+)
+
+// TestRebuildDeterminism verifies every generator is a pure function of
+// its fixed seed: building a benchmark twice (bypassing the program cache)
+// yields programs whose dynamic streams are step-for-step identical. This
+// is the property the content-addressed result cache rests on — if a
+// generator consulted time, map order, or a shared RNG, identical cache
+// keys would name different programs.
+func TestRebuildDeterminism(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			p1, p2 := w.Build(), w.Build()
+			if len(p1.Code) != len(p2.Code) {
+				t.Fatalf("code length differs: %d vs %d", len(p1.Code), len(p2.Code))
+			}
+			m1, m2 := emu.MustNew(p1), emu.MustNew(p2)
+			const n = 20_000
+			for i := 0; i < n; i++ {
+				a, ok1 := m1.Step()
+				b, ok2 := m2.Step()
+				if ok1 != ok2 || a != b {
+					t.Fatalf("rebuilt streams diverge at step %d: %+v vs %+v", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestBranchMixBounds pins each generator's branch mix inside sanity
+// bands, so a future edit can't silently turn a benchmark degenerate
+// (all-taken loops look easy to any predictor; a branch-free program gives
+// PUBS nothing to prioritize). Bounds are deliberately loose around the
+// measured suite (branch fractions 1.8%–21.6%; D-BP taken rates 13%–87%).
+func TestBranchMixBounds(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			m := emu.MustNew(MustProgram(w.Name))
+			var branches, taken uint64
+			const n = 100_000
+			for i := 0; i < n; i++ {
+				di, ok := m.Step()
+				if !ok {
+					t.Fatalf("halted after %d instructions", i)
+				}
+				if di.Inst.IsCondBranch() {
+					branches++
+					if di.Taken {
+						taken++
+					}
+				}
+			}
+			frac := float64(branches) / n
+			if frac < 0.015 || frac > 0.30 {
+				t.Errorf("branch fraction %.1f%% outside [1.5%%, 30%%]", frac*100)
+			}
+			if w.HardBranches {
+				// D-BP programs need genuinely mixed outcomes: a strongly
+				// biased branch is predictable regardless of slice tracking.
+				tr := float64(taken) / float64(branches)
+				if tr < 0.08 || tr > 0.92 {
+					t.Errorf("D-BP taken rate %.1f%% outside [8%%, 92%%]", tr*100)
+				}
+			}
+		})
+	}
+}
+
+// TestRNGDeterminism pins the xorshift64* data-image generator: fixed
+// seeds give fixed sequences, and the zero seed is remapped (xorshift
+// sticks at zero otherwise).
+func TestRNGDeterminism(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.next(), b.next(); x != y {
+			t.Fatalf("same-seed sequences diverge at %d: %d vs %d", i, x, y)
+		}
+	}
+	if newRNG(1).next() == newRNG(2).next() {
+		t.Error("different seeds produced the same first word")
+	}
+	z := newRNG(0)
+	if z.next() == 0 && z.next() == 0 {
+		t.Error("zero seed not remapped; generator is stuck")
+	}
+	w := newRNG(7).words(64)
+	if len(w) != 64 {
+		t.Fatalf("words(64) returned %d", len(w))
+	}
+	seen := map[uint64]bool{}
+	for _, x := range w {
+		if seen[x] {
+			t.Fatal("xorshift64* repeated a word within 64 draws")
+		}
+		seen[x] = true
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/pipeline"
 	"repro/internal/sampling"
+	"repro/internal/service"
 	"repro/internal/simerr"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -362,6 +363,53 @@ func Characterize(r *Runner) (CharResult, error) {
 // by enabling wrong-path decode pollution of the PUBS tables.
 func ExtWrongPath(r *Runner) (ExtWrongPathResult, error) {
 	return experiments.ExtWrongPath(r)
+}
+
+// --- campaign grids and the service daemon ---
+
+// Campaign service types (see cmd/pubsd): a CampaignSpec expands to a
+// (machine × workload) grid of Cells; each finished Cell is a CellResult
+// addressed by the same content key the checkpoint store uses.
+type (
+	// Cell is one (configuration, workload) point of a campaign grid.
+	Cell = experiments.Cell
+	// MachineSpec names a machine plus optional PUBS overrides (the JSON
+	// mirror of cmd/pubsim's machine flags).
+	MachineSpec = service.MachineSpec
+	// CampaignSpec is a grid submission: machines × workloads + windows.
+	CampaignSpec = service.CampaignSpec
+	// CellResult is the wire schema shared by pubsd and `pubsim -json`.
+	CellResult = service.CellResult
+	// Service is the campaign daemon behind cmd/pubsd.
+	Service = service.Service
+	// ServiceConfig sizes a Service (workers, queue, windows, checkpoints).
+	ServiceConfig = service.Config
+)
+
+// Grid enumerates the (configuration × workload) campaign grid in
+// deterministic order: configurations outer, workloads inner.
+func Grid(cfgs []Config, workloads []string) []Cell { return experiments.Grid(cfgs, workloads) }
+
+// MachineConfig resolves a machine name (base, pubs, age, pubs+age,
+// {base,pubs}-{small,medium,large,huge}) to its configuration — one naming
+// scheme shared by cmd/pubsim, cmd/pubsd, and CampaignSpec.
+func MachineConfig(name string) (Config, error) { return service.MachineConfig(name) }
+
+// NewCellResult assembles the shared wire record for a finished cell.
+func NewCellResult(cell Cell, o Options, res Result) CellResult {
+	return service.NewCellResult(cell, o, res)
+}
+
+// NewService builds and starts a campaign daemon; see cmd/pubsd for the
+// HTTP front end.
+func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
+
+// WithProgress returns a context that delivers in-simulation progress
+// callbacks: fn is invoked (on the simulation goroutine) roughly every
+// `every` committed instructions by any Run*Context under the returned
+// context. Progress observation never changes simulation results.
+func WithProgress(ctx context.Context, every uint64, fn func(committed uint64)) context.Context {
+	return pipeline.WithProgress(ctx, every, fn)
 }
 
 // --- trace capture and replay ---

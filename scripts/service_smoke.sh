@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Service smoke test: boot pubsd, submit a tiny campaign over HTTP, poll it
+# to completion, then re-submit the identical spec and assert the daemon
+# answered from the content-addressed cache without running any new
+# simulations. Finishes with a graceful SIGTERM drain.
+#
+# Usage: scripts/service_smoke.sh [path-to-pubsd-binary]
+set -euo pipefail
+
+PUBSD=${1:-}
+if [[ -z "$PUBSD" ]]; then
+  go build -o /tmp/pubsd ./cmd/pubsd
+  PUBSD=/tmp/pubsd
+fi
+
+ADDR=127.0.0.1:8321
+BASE=http://$ADDR
+SPEC='{"machines":[{"machine":"base"},{"machine":"pubs"}],"workloads":["matmul","chess"],"warmup":2000,"measure":8000}'
+
+"$PUBSD" serve -addr "$ADDR" -workers 2 -warmup 2000 -insts 8000 &
+PID=$!
+trap 'kill -9 $PID 2>/dev/null || true' EXIT
+
+for i in $(seq 1 50); do
+  curl -sf "$BASE/healthz" >/dev/null && break
+  [[ $i == 50 ]] && { echo "daemon never became healthy"; exit 1; }
+  sleep 0.2
+done
+
+submit_and_wait() {
+  local id
+  id=$(curl -sf -X POST "$BASE/v1/jobs" -d "$SPEC" | jq -r .id)
+  [[ -n "$id" && "$id" != null ]] || { echo "submission failed"; exit 1; }
+  for i in $(seq 1 100); do
+    state=$(curl -sf "$BASE/v1/jobs/$id" | jq -r .state)
+    case "$state" in
+      done) echo "$id"; return 0 ;;
+      failed) echo "job $id failed:" >&2
+              curl -sf "$BASE/v1/jobs/$id" | jq .errors >&2; exit 1 ;;
+    esac
+    sleep 0.2
+  done
+  echo "job $id never finished (state=$state)" >&2; exit 1
+}
+
+metric() { curl -sf "$BASE/metrics" | awk -v m="$1" '$1 == m {print $2}'; }
+
+JOB1=$(submit_and_wait)
+SIMS1=$(metric pubsd_sims_executed_total)
+[[ "$SIMS1" == 4 ]] || { echo "expected 4 sims after first job, got $SIMS1"; exit 1; }
+
+# The identical spec again: must complete from cache, zero new simulations.
+JOB2=$(submit_and_wait)
+SIMS2=$(metric pubsd_sims_executed_total)
+HITS=$(metric pubsd_cache_hits_total)
+[[ "$SIMS2" == "$SIMS1" ]] || { echo "re-submission re-simulated: $SIMS1 -> $SIMS2"; exit 1; }
+[[ "$HITS" -ge 4 ]] || { echo "expected >=4 cache hits, got $HITS"; exit 1; }
+
+# Both jobs returned identical result sets.
+R1=$(curl -sf "$BASE/v1/jobs/$JOB1" | jq -S .results)
+R2=$(curl -sf "$BASE/v1/jobs/$JOB2" | jq -S .results)
+[[ "$R1" == "$R2" ]] || { echo "duplicate jobs returned different results"; exit 1; }
+
+# Each result is addressable by its content key.
+KEY=$(echo "$R1" | jq -r '.[0].key')
+curl -sf "$BASE/v1/results/$KEY" | jq -e --arg k "$KEY" '.key == $k' >/dev/null
+
+# A daemon cell is bit-identical to the equivalent CLI run.
+CLI=$(go run ./cmd/pubsim -machine "$(echo "$R1" | jq -r '.[0].machine')" \
+  -workload "$(echo "$R1" | jq -r '.[0].workload')" \
+  -warmup 2000 -insts 8000 -json | jq -S .)
+DAEMON=$(curl -sf "$BASE/v1/results/$KEY" | jq -S .)
+[[ "$CLI" == "$DAEMON" ]] || { echo "CLI and daemon results differ for $KEY"; exit 1; }
+
+# Graceful drain: SIGTERM flips healthz to 503, then the process exits 0.
+kill -TERM $PID
+for i in $(seq 1 50); do
+  kill -0 $PID 2>/dev/null || break
+  sleep 0.2
+done
+if kill -0 $PID 2>/dev/null; then echo "daemon did not drain"; exit 1; fi
+wait $PID || { echo "daemon exited non-zero"; exit 1; }
+trap - EXIT
+
+echo "service smoke OK: $SIMS1 sims, $HITS cache hits, CLI==daemon"
