@@ -1,0 +1,310 @@
+package main
+
+// Parallel-sampling benchmark harness: -bench-sampling-out measures
+// multi-machine sampled campaigns two ways — the serial-unshared reference
+// (every machine pays its own functional fast-forward) and the shared-
+// snapshot path (one fast-forward per workload through the window store) —
+// verifies the two produce bit-identical merged results, and writes a
+// machine-readable report (BENCH_4.json schema). -bench-sampling-baseline
+// gates regressions: the shared path must stay at least minSamplingSpeedup
+// faster than the reference, and within tolerance of the committed
+// baseline's speedup.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+
+	pubsim "repro"
+)
+
+// samplingPlanGeometry is the fixed campaign shape: chosen so the
+// functional fast-forward (Windows × FastForward instructions) and the
+// detailed work (Windows × (Warmup+Measure)) are the same order of
+// magnitude — the regime where paying the fast-forward once per workload
+// instead of once per machine is the dominant win.
+const (
+	samplingWindows     = 6
+	samplingFastForward = 3_000_000
+	samplingWarmup      = 10_000
+	samplingMeasure     = 25_000
+)
+
+// minSamplingSpeedup is the hard floor on the geomean shared-vs-serial
+// speedup: below this the snapshot-sharing machinery has regressed into
+// overhead, baseline or not.
+const minSamplingSpeedup = 1.3
+
+type benchSamplingEntry struct {
+	Name     string   `json:"name"` // workload-sweep
+	Workload string   `json:"workload"`
+	Machines []string `json:"machines"`
+
+	SerialNs  int64   `json:"serial_ns"` // unshared reference campaign
+	SharedNs  int64   `json:"shared_ns"` // shared-snapshot campaign
+	Speedup   float64 `json:"speedup"`   // SerialNs / SharedNs
+	SerialSPS float64 `json:"serial_sims_per_sec"`
+	SharedSPS float64 `json:"shared_sims_per_sec"`
+
+	SnapshotPlans uint64 `json:"snapshot_plans"` // fast-forward passes the shared campaign paid
+	SnapshotHits  uint64 `json:"snapshot_hits"`  // cells answered from shared snapshots
+	Identical     bool   `json:"identical"`      // merged results bit-identical across paths
+}
+
+type benchSamplingReport struct {
+	Schema     string `json:"schema"`
+	GoOS       string `json:"goos"`
+	GoArch     string `json:"goarch"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+
+	Windows     int    `json:"windows"`
+	FastForward uint64 `json:"fast_forward_insts"`
+	Warmup      uint64 `json:"warmup_insts"`
+	Measure     uint64 `json:"measure_insts"`
+
+	Entries        []benchSamplingEntry `json:"entries"`
+	GeomeanSpeedup float64              `json:"geomean_speedup"`
+}
+
+// benchSamplingSet: one multi-machine sweep per workload class — branchy
+// (chess), pointer-chasing (parser), and the game-playing outlier that
+// stresses PUBS hardest (goplay). Five machines per sweep, matching the
+// paper's typical comparison width.
+func benchSamplingSet() []struct {
+	name     string
+	workload string
+	machines []string
+} {
+	machines := []string{"base", "pubs", "age", "pubs+age", "pubs-large"}
+	return []struct {
+		name     string
+		workload string
+		machines []string
+	}{
+		{"chess-sweep", "chess", machines},
+		{"parser-sweep", "parser", machines},
+		{"goplay-sweep", "goplay", machines},
+	}
+}
+
+func samplingPlan(parallel int) pubsim.SamplingPlan {
+	return pubsim.SamplingPlan{
+		Windows: samplingWindows, FastForward: samplingFastForward,
+		Warmup: samplingWarmup, Measure: samplingMeasure,
+		Parallel: parallel,
+	}
+}
+
+func samplingOptions() pubsim.Options {
+	return pubsim.Options{
+		Warmup: samplingWarmup, Measure: samplingMeasure,
+		SampleWindows: samplingWindows, SampleFastForward: samplingFastForward,
+		ParallelWindows: -1, // GOMAXPROCS
+	}
+}
+
+// runSerialCampaign is the unshared reference: every (machine, workload)
+// cell plans its own windows and runs them serially — the cost model of
+// sampling before shared checkpoints.
+func runSerialCampaign(workload string, machines []string) ([]pubsim.Result, error) {
+	out := make([]pubsim.Result, 0, len(machines))
+	for _, m := range machines {
+		cfg, err := pubsim.MachineConfig(m)
+		if err != nil {
+			return nil, err
+		}
+		sres, err := pubsim.RunSampled(cfg, workload, samplingPlan(0))
+		if err != nil {
+			return nil, fmt.Errorf("serial %s/%s: %w", m, workload, err)
+		}
+		out = append(out, sres.Merged())
+	}
+	return out, nil
+}
+
+// runSharedCampaign runs the same sweep through an experiment Runner: the
+// window store pays one fast-forward for the whole sweep and every cell
+// runs its windows on the worker pool.
+func runSharedCampaign(workload string, machines []string) ([]pubsim.Result, pubsim.SamplingStoreStats, error) {
+	r := pubsim.NewRunner(samplingOptions())
+	out := make([]pubsim.Result, 0, len(machines))
+	for _, m := range machines {
+		cfg, err := pubsim.MachineConfig(m)
+		if err != nil {
+			return nil, pubsim.SamplingStoreStats{}, err
+		}
+		res, err := r.RunContext(context.Background(), cfg, workload)
+		if err != nil {
+			return nil, pubsim.SamplingStoreStats{}, fmt.Errorf("shared %s/%s: %w", m, workload, err)
+		}
+		out = append(out, res)
+	}
+	return out, r.SnapshotStats(), nil
+}
+
+// runBenchSamplingReport measures every sweep both ways and verifies
+// bit-identity between the paths.
+func runBenchSamplingReport() (*benchSamplingReport, error) {
+	rep := &benchSamplingReport{
+		Schema: "pubsim-bench-sampling/1",
+		GoOS:   runtime.GOOS, GoArch: runtime.GOARCH,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Windows:     samplingWindows,
+		FastForward: samplingFastForward,
+		Warmup:      samplingWarmup,
+		Measure:     samplingMeasure,
+	}
+	for _, bc := range benchSamplingSet() {
+		// Correctness first: both paths must merge to identical results.
+		serialRes, err := runSerialCampaign(bc.workload, bc.machines)
+		if err != nil {
+			return nil, err
+		}
+		sharedRes, snaps, err := runSharedCampaign(bc.workload, bc.machines)
+		if err != nil {
+			return nil, err
+		}
+		identical := reflect.DeepEqual(serialRes, sharedRes)
+
+		var runErr error
+		serial := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := runSerialCampaign(bc.workload, bc.machines); err != nil {
+					runErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+		shared := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// A fresh runner per iteration: memoization would otherwise
+				// turn every iteration after the first into cache hits.
+				if _, _, err := runSharedCampaign(bc.workload, bc.machines); err != nil {
+					runErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+
+		serialNs, sharedNs := serial.NsPerOp(), shared.NsPerOp()
+		if serialNs <= 0 {
+			serialNs = 1
+		}
+		if sharedNs <= 0 {
+			sharedNs = 1
+		}
+		sims := float64(len(bc.machines))
+		e := benchSamplingEntry{
+			Name: bc.name, Workload: bc.workload, Machines: bc.machines,
+			SerialNs: serialNs, SharedNs: sharedNs,
+			Speedup:       float64(serialNs) / float64(sharedNs),
+			SerialSPS:     sims * 1e9 / float64(serialNs),
+			SharedSPS:     sims * 1e9 / float64(sharedNs),
+			SnapshotPlans: snaps.Plans, SnapshotHits: snaps.Hits,
+			Identical: identical,
+		}
+		rep.Entries = append(rep.Entries, e)
+		fmt.Fprintf(os.Stderr,
+			"bench-sampling %-14s serial %7.0f ms  shared %7.0f ms  speedup %.2fx  plans %d hits %d  identical=%v\n",
+			bc.name, float64(serialNs)/1e6, float64(sharedNs)/1e6, e.Speedup,
+			snaps.Plans, snaps.Hits, identical)
+	}
+	var logSum float64
+	for _, e := range rep.Entries {
+		logSum += math.Log(e.Speedup)
+	}
+	rep.GeomeanSpeedup = math.Exp(logSum / float64(len(rep.Entries)))
+	return rep, nil
+}
+
+func loadBenchSamplingReport(path string) (*benchSamplingReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchSamplingReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench-sampling baseline %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareBenchSamplingReports gates the shared-snapshot path: every entry
+// bit-identical, geomean speedup above the hard floor, and within the
+// sims/sec tolerance of the committed baseline.
+func compareBenchSamplingReports(base, cur *benchSamplingReport) []string {
+	var regressions []string
+	for _, e := range cur.Entries {
+		if !e.Identical {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: shared-snapshot results diverged from the serial reference", e.Name))
+		}
+	}
+	if cur.GeomeanSpeedup < minSamplingSpeedup {
+		regressions = append(regressions, fmt.Sprintf(
+			"geomean speedup %.2fx is below the %.1fx floor — snapshot sharing has regressed into overhead",
+			cur.GeomeanSpeedup, float64(minSamplingSpeedup)))
+	}
+	if base != nil && base.GeomeanSpeedup > 0 &&
+		cur.GeomeanSpeedup < base.GeomeanSpeedup*(1-benchTolerance) {
+		regressions = append(regressions, fmt.Sprintf(
+			"geomean speedup %.2fx is a %.0f%% regression from baseline %.2fx",
+			cur.GeomeanSpeedup,
+			(1-cur.GeomeanSpeedup/base.GeomeanSpeedup)*100,
+			base.GeomeanSpeedup))
+	}
+	return regressions
+}
+
+// runBenchSamplingMode executes the -bench-sampling-out /
+// -bench-sampling-baseline flow; it returns a process exit code.
+func runBenchSamplingMode(outPath, baselinePath string) int {
+	rep, err := runBenchSamplingReport()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "bench-sampling report written to %s (geomean speedup %.2fx)\n",
+			outPath, rep.GeomeanSpeedup)
+	}
+	var base *benchSamplingReport
+	if baselinePath != "" {
+		if base, err = loadBenchSamplingReport(baselinePath); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+	}
+	if regs := compareBenchSamplingReports(base, rep); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "experiments: bench-sampling regression: %s\n", r)
+		}
+		return 1
+	}
+	if base != nil {
+		fmt.Fprintf(os.Stderr, "bench-sampling within %.0f%% of baseline %s (geomean %.2fx vs %.2fx)\n",
+			benchTolerance*100, baselinePath, rep.GeomeanSpeedup, base.GeomeanSpeedup)
+	}
+	return 0
+}

@@ -88,6 +88,11 @@ func main() {
 		retries  = flag.Int("retries", 0, "extra attempts for transient per-run failures")
 		benchOut = flag.String("bench-out", "", "run the benchmark set and write a JSON report (BENCH_2.json schema) to this file")
 		benchCmp = flag.String("bench-baseline", "", "compare the benchmark run against this baseline report; exit 1 on >20% sims/sec regression")
+		sampWin  = flag.Int("sample-windows", 0, "run experiments with sampled simulation: N measurement windows per run (0 = contiguous)")
+		sampFF   = flag.Uint64("sample-ff", 1_000_000, "functionally fast-forwarded instructions between sampled windows")
+		parWin   = flag.Int("parallel-windows", 0, "sampled windows simulated concurrently per run (0/1 = serial, -1 = GOMAXPROCS)")
+		bsOut    = flag.String("bench-sampling-out", "", "run the parallel-sampling campaign benchmark and write a JSON report (BENCH_4.json schema) to this file")
+		bsCmp    = flag.String("bench-sampling-baseline", "", "compare the sampling benchmark against this baseline; exit 1 on lost bit-identity or speedup regression")
 	)
 	flag.Parse()
 	showCharts = *charts
@@ -101,6 +106,9 @@ func main() {
 			m = *measure
 		}
 		os.Exit(runBenchMode(w, m, *benchOut, *benchCmp))
+	}
+	if *bsOut != "" || *bsCmp != "" {
+		os.Exit(runBenchSamplingMode(*bsOut, *bsCmp))
 	}
 
 	known := map[string]bool{}
@@ -138,6 +146,11 @@ func main() {
 	opts.Parallelism = *par
 	opts.Timeout = *timeout
 	opts.Retries = *retries
+	if *sampWin > 0 {
+		opts.SampleWindows = *sampWin
+		opts.SampleFastForward = *sampFF
+		opts.ParallelWindows = *parWin
+	}
 	// SIGINT/SIGTERM cancel the campaign: binding the signal context to the
 	// runner reaches every in-flight simulation (each stops within ~1K
 	// cycles), and with -checkpoint the completed runs are already on disk,

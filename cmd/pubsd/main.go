@@ -64,7 +64,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pubsd serve    -addr :8080 [-workers N] [-queue N] [-max-active N]
                  [-warmup N] [-insts N] [-checkpoint DIR] [-drain-timeout D]
-  pubsd loadtest (-addr URL | -self) [-jobs N] [-concurrency N]
+  pubsd loadtest (-addr URL | -self) [-jobs N] [-concurrency N] [-burst N]
                  [-warmup N] [-insts N] [-out FILE]`)
 }
 
@@ -137,6 +137,7 @@ func loadtest(args []string) error {
 	self := fs.Bool("self", false, "boot an in-process daemon on a loopback port and load-test it")
 	jobs := fs.Int("jobs", 16, "total jobs to submit")
 	conc := fs.Int("concurrency", 4, "in-flight submissions")
+	burst := fs.Int("burst", 2, "consecutive submissions of the same spec (overlapping duplicates exercise singleflight)")
 	out := fs.String("out", "", "write the pubsd-load/1 JSON report here (default stdout)")
 	warmup := fs.Uint64("warmup", 20_000, "per-job warm-up instructions")
 	insts := fs.Uint64("insts", 80_000, "per-job measured instructions")
@@ -178,7 +179,7 @@ func loadtest(args []string) error {
 	// the first lap every submission is a duplicate the daemon should
 	// answer from cache or merge onto in-flight work.
 	cfg := service.LoadtestConfig{
-		BaseURL: baseURL, Jobs: *jobs, Concurrency: *conc,
+		BaseURL: baseURL, Jobs: *jobs, Concurrency: *conc, DuplicateBurst: *burst,
 		Specs: []service.CampaignSpec{
 			{Machines: []service.MachineSpec{{Machine: "base"}, {Machine: "pubs"}},
 				Workloads: []string{"matmul", "chess"}, Warmup: *warmup, Measure: *insts},

@@ -38,6 +38,9 @@ func main() {
 		wrongp    = flag.Bool("wrongpath", false, "model wrong-path pollution of the PUBS tables")
 		profile   = flag.Bool("profile", false, "print IQ occupancy and the worst mispredicting branches")
 		pipetrace = flag.Int64("pipetrace", 0, "print a stage-by-stage trace of the first N committed instructions")
+		sampleWin = flag.Int("sample-windows", 0, "run sampled simulation with N measurement windows (0 = one contiguous window)")
+		sampleFF  = flag.Uint64("sample-ff", 1_000_000, "functionally fast-forwarded instructions between sampled windows")
+		parWin    = flag.Int("parallel-windows", 0, "sampled windows simulated concurrently (0/1 = serial, -1 = GOMAXPROCS); never changes results")
 		jsonOut   = flag.Bool("json", false, "emit the result as one JSON object (the pubsd job-result schema)")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
@@ -89,9 +92,22 @@ func main() {
 	defer stop()
 
 	var res pubsim.Result
-	if *pipetrace > 0 {
+	var sampled *pubsim.SampledResult
+	switch {
+	case *pipetrace > 0:
 		res, err = pubsim.RunWithPipeTrace(cfg, *wl, *warmup, *insts, os.Stdout, *pipetrace)
-	} else {
+	case *sampleWin > 0:
+		plan := pubsim.SamplingPlan{
+			Windows: *sampleWin, FastForward: *sampleFF,
+			Warmup: *warmup, Measure: *insts, Parallel: *parWin,
+		}
+		var sres pubsim.SampledResult
+		sres, err = pubsim.RunSampledContext(ctx, cfg, *wl, plan)
+		if err == nil {
+			sampled = &sres
+			res = sres.Merged()
+		}
+	default:
 		res, err = pubsim.RunContext(ctx, cfg, *wl, *warmup, *insts)
 	}
 	if err != nil {
@@ -119,6 +135,10 @@ func main() {
 		// daemon results are directly comparable (and diffable with jq).
 		cell := pubsim.Cell{Config: cfg, Workload: *wl}
 		opts := pubsim.Options{Warmup: *warmup, Measure: *insts}
+		if *sampleWin > 0 {
+			opts.SampleWindows = *sampleWin
+			opts.SampleFastForward = *sampleFF
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(pubsim.NewCellResult(cell, opts, res)); err != nil {
@@ -130,6 +150,10 @@ func main() {
 
 	fmt.Printf("machine            %s\n", cfg.Name)
 	fmt.Printf("workload           %s\n", *wl)
+	if sampled != nil {
+		fmt.Print(sampled.Table())
+		return
+	}
 	fmt.Printf("instructions       %d (after %d warm-up)\n", res.Committed, *warmup)
 	fmt.Printf("cycles             %d\n", res.Cycles)
 	fmt.Printf("IPC                %.4f\n", res.IPC())

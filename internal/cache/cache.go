@@ -58,6 +58,19 @@ type Stats struct {
 	// the demand access is partially exposed, so these also count as Misses
 }
 
+// Add accumulates another run's cache counters into s (plain field sums,
+// order-independent — the sampled-window merge relies on this).
+func (s *Stats) Add(o Stats) {
+	s.Accesses += o.Accesses
+	s.Misses += o.Misses
+	s.MSHRMerges += o.MSHRMerges
+	s.Writebacks += o.Writebacks
+	s.PrefetchReqs += o.PrefetchReqs
+	s.PrefetchFills += o.PrefetchFills
+	s.PrefetchHits += o.PrefetchHits
+	s.PrefetchLate += o.PrefetchLate
+}
+
 type line struct {
 	valid      bool
 	dirty      bool

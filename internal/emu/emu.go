@@ -34,6 +34,12 @@ type Machine struct {
 	pc   int // instruction index
 	seq  uint64
 	done bool
+
+	// dirty tracks which memory pages have been written since load, one bit
+	// per pageSize-byte page. Snapshot copies only dirty pages and Restore
+	// rebuilds clean ones from the pristine program image, so checkpoints of
+	// large, sparsely-written memories stay compact.
+	dirty []uint64
 }
 
 // New loads the program into a fresh machine.
@@ -44,6 +50,7 @@ func New(p *isa.Program) (*Machine, error) {
 	m := &Machine{prog: p, pc: p.Entry}
 	m.mem = make([]byte, p.MemSize)
 	copy(m.mem, p.Data)
+	m.dirty = make([]uint64, (numPages(len(m.mem))+63)/64)
 	return m, nil
 }
 
@@ -86,6 +93,9 @@ func (m *Machine) store(addr, v uint64) {
 		panic(fmt.Sprintf("emu %q: bad store address %#x (mem %d) at pc %d",
 			m.prog.Name, addr, len(m.mem), m.pc))
 	}
+	// A store is 8-byte aligned and pageSize is a multiple of 8, so the
+	// write never straddles a page boundary.
+	m.dirty[addr>>pageShift>>6] |= 1 << (addr >> pageShift & 63)
 	b := m.mem[addr : addr+8]
 	b[0] = byte(v)
 	b[1] = byte(v >> 8)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/isa"
 	"repro/internal/pipeline"
+	"repro/internal/sampling"
 	"repro/internal/simerr"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -46,6 +47,34 @@ type Options struct {
 	Timeout      time.Duration
 	Retries      int
 	RetryBackoff time.Duration
+
+	// Sampled simulation. SampleWindows > 0 switches every run from one
+	// contiguous window to SMARTS-style sampling: SampleWindows windows of
+	// Warmup+Measure detailed instructions, each preceded by a
+	// SampleFastForward functional gap, merged into one pipeline.Result.
+	// Window placement depends only on the workload and the plan geometry,
+	// so the runner computes it once per workload and shares the snapshots
+	// across every machine configuration of a sweep. ParallelWindows is the
+	// per-run window concurrency (sampling.Config.Parallel: 0 or 1 serial,
+	// negative = GOMAXPROCS); it never changes results, only wall-clock, and
+	// is therefore excluded from memo and checkpoint keys.
+	SampleWindows     int
+	SampleFastForward uint64
+	ParallelWindows   int
+}
+
+// Sampled reports whether runs use the sampled path.
+func (o Options) Sampled() bool { return o.SampleWindows > 0 }
+
+// samplingPlan maps the options onto a sampling plan.
+func (o Options) samplingPlan() sampling.Config {
+	return sampling.Config{
+		Windows:     o.SampleWindows,
+		FastForward: o.SampleFastForward,
+		Warmup:      o.Warmup,
+		Measure:     o.Measure,
+		Parallel:    o.ParallelWindows,
+	}
 }
 
 // DefaultOptions returns full-size windows: 300K warm-up + 1M measured
@@ -104,6 +133,11 @@ type Runner struct {
 	mu    sync.Mutex
 	cache map[string]pipeline.Result
 	sem   chan struct{}
+
+	// snaps shares functional fast-forward work between sampled runs: all
+	// machine variants of one (workload, plan geometry) pair reuse one set
+	// of placed windows.
+	snaps *sampling.Store
 }
 
 // NewRunner builds a runner for the given options.
@@ -113,6 +147,7 @@ func NewRunner(o Options) *Runner {
 		opts:  o,
 		cache: make(map[string]pipeline.Result),
 		sem:   make(chan struct{}, o.Parallelism),
+		snaps: sampling.NewStore(),
 	}
 }
 
@@ -168,8 +203,20 @@ func (r *Runner) Stats() RunnerStats {
 	}
 }
 
+// SnapshotStats reports the window store's plan/hit counters — how many
+// functional fast-forward passes a sampled campaign actually paid for
+// versus answered from shared snapshots.
+func (r *Runner) SnapshotStats() sampling.StoreStats { return r.snaps.Stats() }
+
 func cfgKey(cfg pipeline.Config, wl string, o Options) string {
-	return fmt.Sprintf("%s|%d|%d|%+v", wl, o.Warmup, o.Measure, cfg)
+	// ParallelWindows (like Parallelism) changes scheduling, never results,
+	// so it stays out of the key; the sampling geometry changes what is
+	// measured and must be part of it.
+	key := fmt.Sprintf("%s|%d|%d|%+v", wl, o.Warmup, o.Measure, cfg)
+	if o.Sampled() {
+		key += fmt.Sprintf("|sw%d|ff%d", o.SampleWindows, o.SampleFastForward)
+	}
+	return key
 }
 
 func (r *Runner) memoLoad(key string) (pipeline.Result, bool) {
@@ -279,6 +326,18 @@ func (r *Runner) simulate(ctx context.Context, cfg pipeline.Config, prog *isa.Pr
 		panic(fmt.Sprintf("injected worker panic on %s", wl))
 	}
 	atomic.AddUint64(&r.stats.Simulated, 1)
+	if r.opts.Sampled() {
+		plan := r.opts.samplingPlan()
+		windows, err := r.snaps.Windows(ctx, prog, plan)
+		if err != nil {
+			return pipeline.Result{}, err
+		}
+		sres, err := sampling.RunWindows(ctx, cfg, prog, plan, windows)
+		if err != nil {
+			return pipeline.Result{}, err
+		}
+		return sres.Merged(), nil
+	}
 	return pipeline.RunProgramContext(ctx, cfg, prog, r.opts.Warmup, r.opts.Measure)
 }
 

@@ -95,6 +95,7 @@ type Queue struct {
 
 	grantBuf []Request // Select result buffer, reused across calls
 	posBuf   []int     // granted positions, reused across calls
+	readyBuf []uint64  // per-Select readiness cache (AgeMatrix only)
 }
 
 // freeList hands out free entry positions uniformly at random (seeded,
@@ -164,6 +165,9 @@ func New(cfg Config) *Queue {
 		q.list = make([]Request, 0, cfg.Size)
 	default:
 		panic("iq: unknown kind")
+	}
+	if cfg.AgeMatrix {
+		q.readyBuf = make([]uint64, (cfg.Size+63)/64)
 	}
 	if cfg.Kind == Random {
 		q.freeNrm = newFreeList(0xC0FFEE)
@@ -283,11 +287,18 @@ func (q *Queue) Select(issueWidth int, ready func(handle int) bool, fuTryAlloc f
 	}
 	granted := q.grantBuf[:0]
 	positions := q.posBuf[:0]
-	grantedAt := -1 // age-matrix grant position, skipped by the scan
 
 	if q.cfg.AgeMatrix {
 		// The age matrix picks the single oldest ready instruction and
-		// grants it ahead of the positional arbiter (§V-G1).
+		// grants it ahead of the positional arbiter (§V-G1). This scan
+		// already probes every used position, so it doubles as the
+		// readiness evaluation for the positional passes below: results
+		// are cached in readyBuf instead of re-calling ready() per
+		// candidate (ready is by far the most expensive callback — it
+		// walks the pipeline's operand scoreboard).
+		for i := range q.readyBuf {
+			q.readyBuf[i] = 0
+		}
 		oldest := -1
 		var oldestSeq uint64
 		for it := q.usedPositions(); ; {
@@ -296,7 +307,11 @@ func (q *Queue) Select(issueWidth int, ready func(handle int) bool, fuTryAlloc f
 				break
 			}
 			r := q.requestAt(pos)
-			if ready(r.Handle) && (oldest == -1 || r.Seq < oldestSeq) {
+			if !ready(r.Handle) {
+				continue
+			}
+			q.readyBuf[pos>>6] |= 1 << (pos & 63)
+			if oldest == -1 || r.Seq < oldestSeq {
 				oldest, oldestSeq = pos, r.Seq
 			}
 		}
@@ -305,7 +320,8 @@ func (q *Queue) Select(issueWidth int, ready func(handle int) bool, fuTryAlloc f
 			if fuTryAlloc(r.FU) {
 				granted = append(granted, *r)
 				positions = append(positions, oldest)
-				grantedAt = oldest
+				// Consume the bit so the positional passes skip this grant.
+				q.readyBuf[oldest>>6] &^= 1 << (oldest & 63)
 			}
 		}
 	}
@@ -318,14 +334,32 @@ func (q *Queue) Select(issueWidth int, ready func(handle int) bool, fuTryAlloc f
 	for pass := 0; pass < passes; pass++ {
 		wantMarked := q.cfg.Flexible && pass == 0
 		any := !q.cfg.Flexible
+		if q.cfg.AgeMatrix {
+			// Positional pass over the readiness cache: visits only the
+			// ready entries (ascending, so grant order matches the plain
+			// scan exactly); granted entries consume their bit.
+			for w := 0; w < len(q.readyBuf) && len(granted) < issueWidth; w++ {
+				for rb := q.readyBuf[w]; rb != 0 && len(granted) < issueWidth; rb &= rb - 1 {
+					pos := w<<6 + bits.TrailingZeros64(rb)
+					r := q.requestAt(pos)
+					if !any && r.Marked != wantMarked {
+						continue
+					}
+					if !fuTryAlloc(r.FU) {
+						continue
+					}
+					q.readyBuf[w] &^= 1 << (pos & 63)
+					granted = append(granted, *r)
+					positions = append(positions, pos)
+				}
+			}
+			continue
+		}
 		it := q.usedPositions()
 		for len(granted) < issueWidth {
 			pos, ok := it.next()
 			if !ok {
 				break
-			}
-			if pos == grantedAt {
-				continue
 			}
 			r := q.requestAt(pos)
 			if q.cfg.Kind != Shifting && q.slots[pos].granted {

@@ -10,6 +10,8 @@ package sampling
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/emu"
 	"repro/internal/isa"
@@ -24,6 +26,14 @@ type Config struct {
 	FastForward uint64 // functionally emulated instructions between windows
 	Warmup      uint64 // detailed (timed, uncounted) instructions per window
 	Measure     uint64 // measured instructions per window
+
+	// Parallel is the number of windows simulated concurrently. 0 or 1 runs
+	// the serial reference path; a negative value means one worker per
+	// processor (runtime.GOMAXPROCS). Window placement is purely functional
+	// and shared between the serial and parallel paths, so Parallel never
+	// changes the Result — only how fast it is computed. It is deliberately
+	// excluded from plan keys (see Store) for the same reason.
+	Parallel int
 }
 
 // DefaultPlan samples 8 windows of 100K measured instructions, each after a
@@ -108,9 +118,32 @@ func sqrt(x float64) float64 {
 	return z
 }
 
-// Run executes the sampling plan: one emulator advances through the
-// program; each window gets a fresh timing model (cold microarchitecture,
-// mitigated by the per-window detailed warm-up).
+// Merged folds the per-window measurements into one pipeline.Result with
+// the window counters summed — the form the experiment Runner memoizes,
+// checkpoints, and serves through the service API for sampled cells. Every
+// counter is a plain sum (stats.Sim.Add, cache.Stats.Add), so merging is
+// order-independent and the aggregate IPC equals the SMARTS per-instruction
+// estimator: total committed over total cycles. Profile-only fields
+// (IQOccupancy, TopBranches) are per-window artifacts and stay unset.
+func (r Result) Merged() pipeline.Result {
+	var out pipeline.Result
+	for i, w := range r.Windows {
+		if i == 0 {
+			out.Name = w.Result.Name
+		}
+		out.Sim.Add(w.Result.Sim)
+		out.Measured += w.Result.Measured
+		out.L1I.Add(w.Result.L1I)
+		out.L1D.Add(w.Result.L1D)
+		out.L2.Add(w.Result.L2)
+	}
+	return out
+}
+
+// Run executes the sampling plan: the functional emulator advances through
+// the program placing windows, and each window gets a fresh machine
+// (restored from the window's snapshot) and a fresh timing model (cold
+// microarchitecture, mitigated by the per-window detailed warm-up).
 func Run(cfg pipeline.Config, prog *isa.Program, plan Config) (Result, error) {
 	return RunContext(context.Background(), cfg, prog, plan)
 }
@@ -121,7 +154,8 @@ func Run(cfg pipeline.Config, prog *isa.Program, plan Config) (Result, error) {
 // windows completed so far are returned alongside it. A progress hook
 // installed with pipeline.WithProgress flows into every window: the
 // reported counts are per-window (each window is a fresh timing model), so
-// streaming consumers see them restart at each window boundary.
+// streaming consumers see them restart at each window boundary — and
+// arrive concurrently when plan.Parallel > 1.
 func RunContext(ctx context.Context, cfg pipeline.Config, prog *isa.Program, plan Config) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -129,40 +163,119 @@ func RunContext(ctx context.Context, cfg pipeline.Config, prog *isa.Program, pla
 	if err := plan.Validate(); err != nil {
 		return Result{}, err
 	}
-	m, err := emu.New(prog)
+	windows, err := PlanWindows(ctx, prog, plan)
 	if err != nil {
 		return Result{}, err
 	}
-	var out Result
-	for w := 0; w < plan.Windows; w++ {
-		if err := ctx.Err(); err != nil {
-			return out, fmt.Errorf("sampling: window %d: %w", w, err)
-		}
-		if plan.FastForward > 0 {
-			if ran := m.Run(plan.FastForward); ran < plan.FastForward {
-				break // program halted during fast-forward
+	return RunWindows(ctx, cfg, prog, plan, windows)
+}
+
+// runWindow executes one detailed window: a fresh machine restored from
+// the window's snapshot feeding a fresh timing model. Windows therefore
+// share no mutable state and can run in any order, concurrently.
+func runWindow(ctx context.Context, cfg pipeline.Config, prog *isa.Program, plan Config, w Window) (pipeline.Result, error) {
+	m, err := emu.NewFromSnapshot(prog, w.Snap)
+	if err != nil {
+		return pipeline.Result{}, err
+	}
+	sim, err := pipeline.New(cfg)
+	if err != nil {
+		return pipeline.Result{}, err
+	}
+	sim.SetStaticCode(prog.Code)
+	return sim.RunContext(ctx, pipeline.Stream{M: m}, plan.Warmup, plan.Measure)
+}
+
+// RunWindows executes pre-placed windows (from PlanWindows or a shared
+// Store) against one machine configuration and merges the per-window
+// accumulators in window order. With plan.Parallel > 1 the windows run on
+// a worker pool; because placement is fixed up front and the merge only
+// sums counters indexed by window, the Result is bit-identical to the
+// serial path regardless of completion order.
+func RunWindows(ctx context.Context, cfg pipeline.Config, prog *isa.Program, plan Config, windows []Window) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := plan.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(windows) == 0 {
+		return Result{}, fmt.Errorf("sampling: program ended before any window completed")
+	}
+
+	results := make([]pipeline.Result, len(windows))
+	errs := make([]error, len(windows))
+	if workers := plan.workers(len(windows)); workers <= 1 {
+		for i, w := range windows {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				break
+			}
+			results[i], errs[i] = runWindow(ctx, cfg, prog, plan, w)
+			if errs[i] != nil {
+				break
+			}
+			if results[i].Committed == 0 {
+				break // program ended inside this window; later ones are unreachable
 			}
 		}
-		sim, err := pipeline.New(cfg)
-		if err != nil {
-			return out, err
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for k := 0; k < workers; k++ {
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					if err := ctx.Err(); err != nil {
+						errs[i] = err
+						continue
+					}
+					results[i], errs[i] = runWindow(ctx, cfg, prog, plan, windows[i])
+				}
+			}()
 		}
-		start := m.Seq()
-		res, err := sim.RunContext(ctx, pipeline.Stream{M: m}, plan.Warmup, plan.Measure)
-		if err != nil {
-			return out, fmt.Errorf("sampling: window %d: %w", w, err)
+		for i := range windows {
+			jobs <- i
 		}
-		if res.Committed == 0 {
-			break // program ended inside the window
+		close(jobs)
+		wg.Wait()
+	}
+
+	// Merge in window order with the serial path's truncation semantics: the
+	// first failed window returns the completed prefix alongside the error,
+	// and the first empty window (the program ended inside it) ends the plan.
+	var out Result
+	for i, w := range windows {
+		if errs[i] != nil {
+			return out, fmt.Errorf("sampling: window %d: %w", w.Index, errs[i])
 		}
-		out.Windows = append(out.Windows, WindowResult{StartInst: start, Result: res})
-		out.Committed += res.Committed
-		out.Cycles += res.Cycles
+		if results[i].Committed == 0 {
+			break
+		}
+		out.Windows = append(out.Windows, WindowResult{StartInst: w.StartInst, Result: results[i]})
+		out.Committed += results[i].Committed
+		out.Cycles += results[i].Cycles
 	}
 	if len(out.Windows) == 0 {
 		return Result{}, fmt.Errorf("sampling: program ended before any window completed")
 	}
 	return out, nil
+}
+
+// workers resolves plan.Parallel against the window count.
+func (c Config) workers(windows int) int {
+	w := c.Parallel
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > windows {
+		w = windows
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Table renders the per-window and aggregate results.

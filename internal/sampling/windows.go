@@ -1,0 +1,182 @@
+package sampling
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// Window is one placed measurement window: where in the dynamic
+// instruction stream it starts and the architectural snapshot that seeds
+// its detailed simulation. Placement is purely functional — it depends on
+// the program and the plan geometry only, never on a machine
+// configuration — which is what makes windows shareable across every
+// machine variant of a sweep and executable in any order.
+type Window struct {
+	Index     int    // position in the plan, 0-based
+	StartInst uint64 // instruction count at the start of the window's warm-up
+	Snap      *emu.Snapshot
+}
+
+// PlanWindows fast-forwards the functional emulator once through the
+// program, snapshotting at each window start and functionally skipping the
+// detailed (warm-up + measure) region so the next window begins where a
+// serial detailed run would leave off. A program that halts during a
+// fast-forward gap truncates the plan; one that halts inside a window's
+// detailed region keeps that window (it may still measure a partial tail)
+// and truncates the rest. The context is checked between windows.
+func PlanWindows(ctx context.Context, prog *isa.Program, plan Config) ([]Window, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := emu.New(prog)
+	if err != nil {
+		return nil, err
+	}
+	detailed := plan.Warmup + plan.Measure
+	var windows []Window
+	for w := 0; w < plan.Windows; w++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sampling: planning window %d: %w", w, err)
+		}
+		if plan.FastForward > 0 {
+			if ran := m.Run(plan.FastForward); ran < plan.FastForward {
+				break // program halted during fast-forward
+			}
+		}
+		if m.Done() {
+			break
+		}
+		windows = append(windows, Window{Index: w, StartInst: m.Seq(), Snap: m.Snapshot()})
+		if ran := m.Run(detailed); ran < detailed {
+			break // program ends inside this window; no windows follow
+		}
+	}
+	return windows, nil
+}
+
+// planKey content-addresses a (program, plan geometry) pair. The hash
+// covers the program's actual content — code, data image, memory size,
+// entry point — not its name, because workload programs are rebuilt per
+// call and custom programs may share names. Parallel is excluded: it
+// cannot change placement.
+func planKey(prog *isa.Program, plan Config) string {
+	h := sha256.New()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	word(uint64(len(prog.Code)))
+	for _, in := range prog.Code {
+		word(uint64(in.Op)<<32 | uint64(in.Rd)<<16 | uint64(in.Rs1)<<8 | uint64(in.Rs2))
+		word(uint64(in.Imm))
+	}
+	word(uint64(len(prog.Data)))
+	h.Write(prog.Data)
+	word(uint64(prog.MemSize))
+	word(uint64(prog.Entry))
+	word(uint64(plan.Windows))
+	word(plan.FastForward)
+	word(plan.Warmup)
+	word(plan.Measure)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// StoreStats counts what a Store actually computed versus shared.
+type StoreStats struct {
+	Plans uint64 // fast-forward passes executed
+	Hits  uint64 // requests answered from an existing (or in-flight) plan
+}
+
+// Store is a content-addressed cache of placed windows with singleflight
+// deduplication: concurrent requests for the same (program, plan geometry)
+// pair — every machine variant of a grid sweep — share one functional
+// fast-forward pass. Snapshots are immutable, so the cached windows are
+// handed out by reference to any number of concurrent detailed runs.
+type Store struct {
+	mu      sync.Mutex
+	entries map[string]*storeEntry
+	plans   uint64
+	hits    uint64
+}
+
+type storeEntry struct {
+	done    chan struct{}
+	windows []Window
+	err     error
+}
+
+// NewStore returns an empty window store.
+func NewStore() *Store {
+	return &Store{entries: make(map[string]*storeEntry)}
+}
+
+// Windows returns the placed windows for (prog, plan), computing them at
+// most once per content key. Concurrent callers for the same key block on
+// the first caller's fast-forward; a failed computation (for example a
+// cancelled context) is not cached, so later callers retry rather than
+// inherit the failure.
+func (s *Store) Windows(ctx context.Context, prog *isa.Program, plan Config) ([]Window, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	key := planKey(prog, plan)
+	for {
+		s.mu.Lock()
+		e, ok := s.entries[key]
+		if !ok {
+			e = &storeEntry{done: make(chan struct{})}
+			s.entries[key] = e
+			s.plans++
+			s.mu.Unlock()
+			e.windows, e.err = PlanWindows(ctx, prog, plan)
+			if e.err != nil {
+				s.mu.Lock()
+				delete(s.entries, key)
+				s.mu.Unlock()
+			}
+			close(e.done)
+			return e.windows, e.err
+		}
+		s.mu.Unlock()
+		select {
+		case <-e.done:
+			if e.err == nil {
+				s.mu.Lock()
+				s.hits++
+				s.mu.Unlock()
+				return e.windows, nil
+			}
+			// The computing caller failed; retry unless we are cancelled too.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{Plans: s.plans, Hits: s.hits}
+}
+
+// Len returns the number of cached plans.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}

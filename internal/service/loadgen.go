@@ -27,6 +27,13 @@ type LoadtestConfig struct {
 	// Specs is the ring of campaign specs to cycle through. Because the
 	// ring is shorter than Jobs, repeats are duplicates by construction.
 	Specs []CampaignSpec `json:"specs"`
+	// DuplicateBurst is how many consecutive submissions reuse the same
+	// spec before the ring advances (default 2). Striding the ring one spec
+	// per submission (burst 1) only ever lands duplicates Concurrency jobs
+	// apart, so with a short ring and fast cells the original finishes
+	// before its duplicate arrives and the singleflight layer sees nothing;
+	// a burst puts identical specs in flight at the same instant.
+	DuplicateBurst int `json:"duplicate_burst"`
 	// PollInterval paces job-status polling (default 100ms).
 	PollInterval time.Duration `json:"-"`
 }
@@ -37,6 +44,9 @@ func (c LoadtestConfig) normalized() LoadtestConfig {
 	}
 	if c.Concurrency <= 0 {
 		c.Concurrency = 4
+	}
+	if c.DuplicateBurst <= 0 {
+		c.DuplicateBurst = 2
 	}
 	if c.PollInterval <= 0 {
 		c.PollInterval = 100 * time.Millisecond
@@ -61,6 +71,7 @@ type LoadtestReport struct {
 	Jobs        int       `json:"jobs"`
 	Concurrency int       `json:"concurrency"`
 	SpecRing    int       `json:"spec_ring"`
+	Burst       int       `json:"duplicate_burst"`
 
 	DurationMS int64   `json:"duration_ms"`
 	JobsPerSec float64 `json:"jobs_per_sec"`
@@ -92,6 +103,7 @@ func Loadtest(ctx context.Context, cfg LoadtestConfig) (LoadtestReport, error) {
 		Schema: "pubsd-load/1", Timestamp: time.Now(),
 		BaseURL: cfg.BaseURL, Jobs: cfg.Jobs,
 		Concurrency: cfg.Concurrency, SpecRing: len(cfg.Specs),
+		Burst: cfg.DuplicateBurst,
 	}
 
 	var (
@@ -105,7 +117,9 @@ func Loadtest(ctx context.Context, cfg LoadtestConfig) (LoadtestReport, error) {
 	sem := make(chan struct{}, cfg.Concurrency)
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Jobs; i++ {
-		spec := cfg.Specs[i%len(cfg.Specs)]
+		// Burst duplicates back to back so identical specs overlap in
+		// flight and exercise singleflight, not just the result cache.
+		spec := cfg.Specs[(i/cfg.DuplicateBurst)%len(cfg.Specs)]
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {

@@ -79,6 +79,8 @@ type snapshotGauges struct {
 	memoHits     uint64
 	ckptHits     uint64
 	retries      uint64
+	snapPlans    uint64 // functional fast-forward passes for sampled jobs
+	snapHits     uint64 // sampled runs answered from shared snapshots
 	draining     bool
 }
 
@@ -119,6 +121,8 @@ func (m *metrics) render(g snapshotGauges) string {
 	line("pubsd_runner_memo_hits_total", g.memoHits)
 	line("pubsd_runner_checkpoint_hits_total", g.ckptHits)
 	line("pubsd_runner_retries_total", g.retries)
+	line("pubsd_snapshot_plans_total", g.snapPlans)
+	line("pubsd_snapshot_hits_total", g.snapHits)
 	rate := 0.0
 	if up > 0 {
 		rate = float64(g.simulated) / up

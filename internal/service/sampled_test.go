@@ -1,0 +1,104 @@
+package service
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sampling"
+	"repro/internal/workload"
+)
+
+// TestSampledJob: a sampled campaign runs through the daemon, shares one
+// fast-forward pass across its machines, and its cells equal direct
+// sampling of the same (machine, workload, plan).
+func TestSampledJob(t *testing.T) {
+	s := testService(t, Config{Workers: 2})
+	spec := CampaignSpec{
+		Machines:  []MachineSpec{{Machine: "base"}, {Machine: "pubs"}, {Machine: "pubs+age"}},
+		Workloads: []string{"parser"},
+		Warmup:    2_000, Measure: 5_000,
+		Windows: 2, FastForward: 20_000, ParallelWindows: 2,
+	}
+	st := waitJob(t, mustSubmit(t, s, spec))
+	if st.State != JobDone {
+		t.Fatalf("job: %s %v", st.State, st.Errors)
+	}
+	if len(st.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(st.Results))
+	}
+
+	plan := sampling.Config{Windows: 2, FastForward: 20_000, Warmup: 2_000, Measure: 5_000}
+	for _, cr := range st.Results {
+		if cr.Windows != 2 || cr.FastForward != 20_000 {
+			t.Errorf("%s: cell record missing sampling geometry: %+v", cr.Machine, cr)
+		}
+		cfg, err := MachineConfig(cr.Machine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := sampling.Run(cfg, workload.MustProgram("parser"), plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := direct.Merged(); !reflect.DeepEqual(cr.Result, want) {
+			t.Errorf("%s: daemon result diverged from direct sampling", cr.Machine)
+		}
+	}
+
+	_, snaps := s.runnerStats()
+	if snaps.Plans != 1 {
+		t.Errorf("snapshot plans = %d, want 1 (one workload, one geometry)", snaps.Plans)
+	}
+	if snaps.Hits != 2 {
+		t.Errorf("snapshot hits = %d, want 2 (remaining machines)", snaps.Hits)
+	}
+	for _, metric := range []string{"pubsd_snapshot_plans_total 1", "pubsd_snapshot_hits_total 2"} {
+		if !strings.Contains(s.MetricsText(), metric) {
+			t.Errorf("metrics missing %q", metric)
+		}
+	}
+}
+
+// TestSampledSpecKeying: sampled and contiguous campaigns with the same
+// windows get distinct runners and distinct cell keys.
+func TestSampledSpecKeying(t *testing.T) {
+	def := testOptions()
+	contiguous := CampaignSpec{Machines: []MachineSpec{{Machine: "base"}}, Workloads: []string{"chess"}}
+	sampled := contiguous
+	sampled.Windows = 2
+	sampled.FastForward = 20_000
+	if keyFor(contiguous.options(def)) == keyFor(sampled.options(def)) {
+		t.Fatal("sampled and contiguous jobs share a runner key")
+	}
+	cells, err := sampled.Cells(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Key(contiguous.options(def)) == cells[0].Key(sampled.options(def)) {
+		t.Fatal("sampled and contiguous cells share a content key")
+	}
+}
+
+// TestLoadtestBurstOverlapsDuplicates: the duplicate-burst schedule must
+// place identical specs at adjacent submission slots so they are in flight
+// together, and the default burst must be on.
+func TestLoadtestBurstOverlapsDuplicates(t *testing.T) {
+	cfg := LoadtestConfig{}.normalized()
+	if cfg.DuplicateBurst < 2 {
+		t.Fatalf("default DuplicateBurst = %d, want >= 2", cfg.DuplicateBurst)
+	}
+	// With burst b, submissions i and i+1 use the same spec whenever
+	// i%b < b-1 — adjacent duplicates exist for any ring length.
+	b := cfg.DuplicateBurst
+	ring := len(cfg.Specs)
+	same := 0
+	for i := 0; i+1 < cfg.Jobs; i++ {
+		if (i/b)%ring == ((i+1)/b)%ring {
+			same++
+		}
+	}
+	if same == 0 {
+		t.Fatal("burst schedule never submits the same spec at adjacent slots")
+	}
+}

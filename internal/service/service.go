@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/pipeline"
+	"repro/internal/sampling"
 )
 
 // Submission refusals. The HTTP layer maps these to 429 and 503.
@@ -94,9 +95,24 @@ type Service struct {
 	dispWG   sync.WaitGroup
 }
 
-// windowKey distinguishes runners by simulation window; every other option
+// windowKey distinguishes runners by simulation window — including the
+// sampling geometry, so sampled and contiguous jobs (and different sampled
+// geometries) get separate runners and snapshot stores; every other option
 // is shared daemon-wide.
-type windowKey struct{ warmup, measure uint64 }
+type windowKey struct {
+	warmup, measure uint64
+	windows         int
+	fastForward     uint64
+	parallelWindows int
+}
+
+func keyFor(o experiments.Options) windowKey {
+	return windowKey{
+		warmup: o.Warmup, measure: o.Measure,
+		windows: o.SampleWindows, fastForward: o.SampleFastForward,
+		parallelWindows: o.ParallelWindows,
+	}
+}
 
 // New builds and starts a daemon: workers and dispatcher run until
 // Shutdown.
@@ -132,7 +148,7 @@ func New(cfg Config) (*Service, error) {
 // configured, the same checkpoint directory — keys embed the windows, so
 // the records never collide.
 func (s *Service) runnerFor(o experiments.Options) (*experiments.Runner, error) {
-	k := windowKey{o.Warmup, o.Measure}
+	k := keyFor(o)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if r, ok := s.runners[k]; ok {
@@ -315,8 +331,8 @@ func (s *Service) execute(t task) {
 	t.job.cellDone(t.idx, res, outcome, err)
 }
 
-// runnerStats sums the campaign counters across all runners.
-func (s *Service) runnerStats() experiments.RunnerStats {
+// runnerStats sums the campaign and snapshot counters across all runners.
+func (s *Service) runnerStats() (experiments.RunnerStats, sampling.StoreStats) {
 	s.mu.Lock()
 	runners := make([]*experiments.Runner, 0, len(s.runners))
 	for _, r := range s.runners {
@@ -324,6 +340,7 @@ func (s *Service) runnerStats() experiments.RunnerStats {
 	}
 	s.mu.Unlock()
 	var sum experiments.RunnerStats
+	var snaps sampling.StoreStats
 	for _, r := range runners {
 		st := r.Stats()
 		sum.Simulated += st.Simulated
@@ -332,8 +349,11 @@ func (s *Service) runnerStats() experiments.RunnerStats {
 		sum.Retries += st.Retries
 		sum.Failures += st.Failures
 		sum.CheckpointErrors += st.CheckpointErrors
+		ss := r.SnapshotStats()
+		snaps.Plans += ss.Plans
+		snaps.Hits += ss.Hits
 	}
-	return sum
+	return sum, snaps
 }
 
 // Draining reports whether Shutdown has begun.
@@ -389,7 +409,7 @@ func (s *Service) DefaultOptions() experiments.Options { return s.cfg.DefaultOpt
 
 // MetricsText renders the /metrics document.
 func (s *Service) MetricsText() string {
-	rs := s.runnerStats()
+	rs, snaps := s.runnerStats()
 	return s.m.render(snapshotGauges{
 		queueDepth:   s.QueueDepth(),
 		workers:      s.cfg.Workers,
@@ -398,6 +418,8 @@ func (s *Service) MetricsText() string {
 		memoHits:     rs.MemoHits,
 		ckptHits:     rs.CheckpointHits,
 		retries:      rs.Retries,
+		snapPlans:    snaps.Plans,
+		snapHits:     snaps.Hits,
 		draining:     s.Draining(),
 	})
 }

@@ -213,7 +213,7 @@ func TestConcurrentDuplicateSubmissions(t *testing.T) {
 	// The grid executed exactly once: 4 unique cells → 4 simulations, no
 	// matter how the 8 cell executions split between fresh runs, merges,
 	// and cache hits.
-	if rs := s.runnerStats(); rs.Simulated != 4 {
+	if rs, _ := s.runnerStats(); rs.Simulated != 4 {
 		t.Errorf("Simulated = %d, want 4 (grid must execute exactly once)", rs.Simulated)
 	}
 
@@ -262,13 +262,13 @@ func TestResubmitServedFromCache(t *testing.T) {
 	if st.State != JobDone {
 		t.Fatalf("first job: %s %v", st.State, st.Errors)
 	}
-	before := s.runnerStats().Simulated
+	before, _ := s.runnerStats()
 	st2 := waitJob(t, mustSubmit(t, s, spec))
 	if st2.State != JobDone {
 		t.Fatalf("second job: %s %v", st2.State, st2.Errors)
 	}
-	if after := s.runnerStats().Simulated; after != before {
-		t.Errorf("resubmission re-simulated: %d → %d", before, after)
+	if after, _ := s.runnerStats(); after.Simulated != before.Simulated {
+		t.Errorf("resubmission re-simulated: %d → %d", before.Simulated, after.Simulated)
 	}
 	if s.m.cacheHits.Load() == 0 {
 		t.Error("no cache hits recorded for resubmission")
@@ -371,7 +371,7 @@ func TestCheckpointSurvivesRestart(t *testing.T) {
 	if st2.State != JobDone {
 		t.Fatalf("second daemon: %s %v", st2.State, st2.Errors)
 	}
-	rs := s2.runnerStats()
+	rs, _ := s2.runnerStats()
 	if rs.Simulated != 0 || rs.CheckpointHits == 0 {
 		t.Errorf("restart re-simulated: Simulated=%d CheckpointHits=%d", rs.Simulated, rs.CheckpointHits)
 	}
@@ -442,4 +442,3 @@ func mustSubmit(t *testing.T, s *Service, spec CampaignSpec) *Job {
 	}
 	return j
 }
-

@@ -131,12 +131,20 @@ func (m MachineSpec) Config() (pipeline.Config, error) {
 
 // CampaignSpec is the body of POST /v1/jobs: a (machine × workload) grid
 // plus optional simulation windows. Empty Workloads means the full suite;
-// zero windows fall back to the daemon's defaults.
+// zero windows fall back to the daemon's defaults. Windows > 0 switches
+// the job to sampled simulation: Windows measurement windows of
+// Warmup+Measure detailed instructions separated by FastForward functional
+// gaps, with the fast-forward paid once per workload and shared across the
+// job's machines. ParallelWindows sets per-cell window concurrency
+// (negative = GOMAXPROCS); it never changes results.
 type CampaignSpec struct {
-	Machines  []MachineSpec `json:"machines"`
-	Workloads []string      `json:"workloads,omitempty"`
-	Warmup    uint64        `json:"warmup,omitempty"`
-	Measure   uint64        `json:"measure,omitempty"`
+	Machines        []MachineSpec `json:"machines"`
+	Workloads       []string      `json:"workloads,omitempty"`
+	Warmup          uint64        `json:"warmup,omitempty"`
+	Measure         uint64        `json:"measure,omitempty"`
+	Windows         int           `json:"windows,omitempty"`
+	FastForward     uint64        `json:"fast_forward,omitempty"`
+	ParallelWindows int           `json:"parallel_windows,omitempty"`
 }
 
 // Cells validates the spec and enumerates its grid. maxCells caps
@@ -177,6 +185,11 @@ func (s CampaignSpec) options(def experiments.Options) experiments.Options {
 	if s.Measure > 0 {
 		o.Measure = s.Measure
 	}
+	if s.Windows > 0 {
+		o.SampleWindows = s.Windows
+		o.SampleFastForward = s.FastForward
+		o.ParallelWindows = s.ParallelWindows
+	}
 	return o
 }
 
@@ -191,16 +204,24 @@ type CellResult struct {
 	Warmup   uint64          `json:"warmup"`
 	Measure  uint64          `json:"measure"`
 	Result   pipeline.Result `json:"result"`
+
+	// Sampled-run geometry; zero (and omitted from JSON) for the
+	// contiguous-window runs that predate sampling, keeping their wire
+	// records byte-identical.
+	Windows     int    `json:"windows,omitempty"`
+	FastForward uint64 `json:"fast_forward,omitempty"`
 }
 
 // NewCellResult assembles the wire record for a finished cell.
 func NewCellResult(cell experiments.Cell, o experiments.Options, res pipeline.Result) CellResult {
 	return CellResult{
-		Key:      cell.Key(o),
-		Machine:  cell.Config.Name,
-		Workload: cell.Workload,
-		Warmup:   o.Warmup,
-		Measure:  o.Measure,
-		Result:   res,
+		Key:         cell.Key(o),
+		Machine:     cell.Config.Name,
+		Workload:    cell.Workload,
+		Warmup:      o.Warmup,
+		Measure:     o.Measure,
+		Result:      res,
+		Windows:     o.SampleWindows,
+		FastForward: o.SampleFastForward,
 	}
 }

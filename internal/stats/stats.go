@@ -110,6 +110,41 @@ func (s Sim) UnconfidentRate() float64 {
 // Reset zeroes all counters (used at the end of the warm-up window).
 func (s *Sim) Reset() { *s = Sim{} }
 
+// Add accumulates another run's counters into s. Every field is a plain
+// sum, so adding window results in any order produces the same aggregate —
+// the merge algebra parallel sampled simulation relies on. A reflection
+// test asserts this list stays exhaustive as fields are added.
+func (s *Sim) Add(o Sim) {
+	s.Cycles += o.Cycles
+	s.Committed += o.Committed
+	s.CondBranches += o.CondBranches
+	s.Mispredicts += o.Mispredicts
+	s.IndirectJumps += o.IndirectJumps
+	s.IndirectMispred += o.IndirectMispred
+	s.BTBMisses += o.BTBMisses
+	s.UnconfBranches += o.UnconfBranches
+	s.UnconfSliceInsts += o.UnconfSliceInsts
+	s.DecodedBranches += o.DecodedBranches
+	s.L1DAccesses += o.L1DAccesses
+	s.L1DMisses += o.L1DMisses
+	s.L1IAccesses += o.L1IAccesses
+	s.L1IMisses += o.L1IMisses
+	s.LLCAccesses += o.LLCAccesses
+	s.LLCMisses += o.LLCMisses
+	s.Prefetches += o.Prefetches
+	s.DispatchStallPriority += o.DispatchStallPriority
+	s.DispatchStallNormal += o.DispatchStallNormal
+	s.DispatchStallROB += o.DispatchStallROB
+	s.DispatchStallLSQ += o.DispatchStallLSQ
+	s.DispatchStallRegs += o.DispatchStallRegs
+	s.Issued += o.Issued
+	s.LoadsForwarded += o.LoadsForwarded
+	s.MisspecPenaltyCycles += o.MisspecPenaltyCycles
+	s.RecoveryCycles += o.RecoveryCycles
+	s.ModeSwitchChecks += o.ModeSwitchChecks
+	s.ModeEnabledWindows += o.ModeEnabledWindows
+}
+
 // Geomean returns the geometric mean of xs. It returns 1 for an empty slice
 // and panics if any value is non-positive, since speedup ratios must be > 0.
 func Geomean(xs []float64) float64 {

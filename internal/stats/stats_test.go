@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -166,5 +167,43 @@ func TestQuickGeomeanBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestSimAddCoversEveryField sets every numeric field of Sim to a distinct
+// value via reflection and checks Add propagates all of them — so a new
+// counter added to Sim without extending Add fails here instead of being
+// silently dropped from sampled-window merges.
+func TestSimAddCoversEveryField(t *testing.T) {
+	var a, b Sim
+	rv := reflect.ValueOf(&b).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		f := rv.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(uint64(i + 1))
+		case reflect.Int64:
+			f.SetInt(int64(i + 1))
+		default:
+			t.Fatalf("Sim field %s has kind %v; extend Add and this test", rv.Type().Field(i).Name, f.Kind())
+		}
+	}
+	a.Add(b)
+	if a != b {
+		t.Fatalf("Add dropped fields:\n got %+v\nwant %+v", a, b)
+	}
+	a.Add(b)
+	ra := reflect.ValueOf(a)
+	for i := 0; i < ra.NumField(); i++ {
+		f := ra.Field(i)
+		var got, want uint64
+		if f.Kind() == reflect.Int64 {
+			got, want = uint64(f.Int()), uint64(2*(i+1))
+		} else {
+			got, want = f.Uint(), uint64(2*(i+1))
+		}
+		if got != want {
+			t.Errorf("field %s: %d after double Add, want %d", ra.Type().Field(i).Name, got, want)
+		}
 	}
 }

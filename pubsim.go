@@ -451,10 +451,49 @@ func ReplayTrace(cfg Config, r io.Reader, warmup, measure uint64) (Result, error
 
 // SamplingPlan describes SMARTS-style sampled simulation: fast-forward
 // functionally between measurement windows, detailed-warm each window.
+// Plan.Parallel > 1 runs windows concurrently (negative = GOMAXPROCS);
+// results are bit-identical to the serial path either way.
 type SamplingPlan = sampling.Config
 
-// SampledResult aggregates per-window measurements.
+// SampledResult aggregates per-window measurements. Merged() folds it into
+// one Result with the window counters summed.
 type SampledResult = sampling.Result
+
+// Snapshot is an immutable architectural checkpoint of the functional
+// emulator: registers, PC, instruction count, and the dirty pages of the
+// memory image. Snapshots are what make sampled windows independently
+// (and concurrently) executable, and shareable across machine variants.
+type Snapshot = emu.Snapshot
+
+// SamplingWindow is one placed measurement window: its start position in
+// the dynamic instruction stream and the snapshot that seeds it. Placement
+// is machine-config-independent.
+type SamplingWindow = sampling.Window
+
+// SamplingStore is a content-addressed, singleflight-deduplicated cache of
+// placed windows: every machine variant of a sweep shares one functional
+// fast-forward pass per (workload, plan geometry).
+type SamplingStore = sampling.Store
+
+// SamplingStoreStats counts fast-forward passes executed vs shared.
+type SamplingStoreStats = sampling.StoreStats
+
+// NewSamplingStore returns an empty shared-window store.
+func NewSamplingStore() *SamplingStore { return sampling.NewStore() }
+
+// PlanSamplingWindows fast-forwards once through prog, snapshotting at
+// each window start. The windows can then feed RunSampledWindows for any
+// number of machine configurations.
+func PlanSamplingWindows(ctx context.Context, prog *Program, plan SamplingPlan) ([]SamplingWindow, error) {
+	return sampling.PlanWindows(ctx, prog, plan)
+}
+
+// RunSampledWindows executes pre-placed windows against one machine
+// configuration — serially or concurrently per plan.Parallel — and merges
+// them in window order, bit-identically to the serial reference.
+func RunSampledWindows(ctx context.Context, cfg Config, prog *Program, plan SamplingPlan, windows []SamplingWindow) (SampledResult, error) {
+	return sampling.RunWindows(ctx, cfg, prog, plan, windows)
+}
 
 // DefaultSamplingPlan returns 8 windows × 100K measured instructions with
 // 1M-instruction fast-forward gaps.

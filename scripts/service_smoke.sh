@@ -17,7 +17,10 @@ ADDR=127.0.0.1:8321
 BASE=http://$ADDR
 SPEC='{"machines":[{"machine":"base"},{"machine":"pubs"}],"workloads":["matmul","chess"],"warmup":2000,"measure":8000}'
 
-"$PUBSD" serve -addr "$ADDR" -workers 2 -warmup 2000 -insts 8000 &
+# 8 workers: more than the cells in any one loadtest spec, so a burst of
+# duplicate jobs has identical cells in flight simultaneously — the
+# precondition for the singleflight-merge assertion below.
+"$PUBSD" serve -addr "$ADDR" -workers 8 -warmup 2000 -insts 8000 &
 PID=$!
 trap 'kill -9 $PID 2>/dev/null || true' EXIT
 
@@ -72,6 +75,15 @@ CLI=$(go run ./cmd/pubsim -machine "$(echo "$R1" | jq -r '.[0].machine')" \
 DAEMON=$(curl -sf "$BASE/v1/results/$KEY" | jq -S .)
 [[ "$CLI" == "$DAEMON" ]] || { echo "CLI and daemon results differ for $KEY"; exit 1; }
 
+# Loadtest against the live daemon: bursts of identical specs submitted
+# concurrently must exercise the singleflight path, not just the cache.
+# The default loadtest windows differ from $SPEC's, so nothing is answered
+# from the results cached above, and cells are big enough (~10ms) that a
+# burst's duplicates reliably arrive while the original is still in flight.
+LOADREP=$(go run ./cmd/pubsd loadtest -addr "$BASE" -jobs 8 -concurrency 4 -burst 4 2>/dev/null)
+MERGED=$(echo "$LOADREP" | jq .singleflight_merged)
+[[ "$MERGED" -gt 0 ]] || { echo "loadtest never merged a duplicate submission (singleflight_merged=$MERGED)"; exit 1; }
+
 # Graceful drain: SIGTERM flips healthz to 503, then the process exits 0.
 kill -TERM $PID
 for i in $(seq 1 50); do
@@ -82,4 +94,4 @@ if kill -0 $PID 2>/dev/null; then echo "daemon did not drain"; exit 1; fi
 wait $PID || { echo "daemon exited non-zero"; exit 1; }
 trap - EXIT
 
-echo "service smoke OK: $SIMS1 sims, $HITS cache hits, CLI==daemon"
+echo "service smoke OK: $SIMS1 sims, $HITS cache hits, $MERGED singleflight merges, CLI==daemon"
