@@ -1,0 +1,323 @@
+package main
+
+// Trace-replay benchmark harness: -bench-trace-out measures a five-machine
+// sampled sweep two ways — live decode (every window re-decodes its
+// instructions through a functional emulator into a freshly constructed
+// pipeline) and trace replay (the window store's predecoded traces replay
+// window-major through pooled, Reset simulators) — verifies the two merge
+// to bit-identical results, and writes a machine-readable report
+// (BENCH_5.json schema). -bench-trace-baseline gates regressions: the
+// replay path must stay at least minTraceSpeedup faster than live decode,
+// and within tolerance of the committed baseline's speedup.
+//
+// Both paths share the same window store geometry, so the fast-forward is
+// paid once per workload in either mode: the speedup isolates predecoded
+// replay + simulator pooling + window-major scheduling, not snapshot
+// sharing (BENCH_4 already gates that).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+
+	pubsim "repro"
+)
+
+// traceGeometry is the fixed sweep shape: many short windows, so the
+// per-window fixed costs the replay path eliminates (pipeline
+// construction, live functional re-decode) are a large share of each
+// cell — the regime batched replay is built for.
+const (
+	traceWindows     = 24
+	traceFastForward = 50_000
+	traceWarmup      = 300
+	traceMeasure     = 150
+)
+
+// minTraceSpeedup is the hard floor on the geomean replay-vs-live speedup:
+// below this the predecode/replay machinery has regressed into overhead,
+// baseline or not.
+const minTraceSpeedup = 1.25
+
+type benchTraceEntry struct {
+	Name     string   `json:"name"` // workload-sweep
+	Workload string   `json:"workload"`
+	Machines []string `json:"machines"`
+
+	LiveNs   int64   `json:"live_ns"`  // live-decode reference sweep
+	TraceNs  int64   `json:"trace_ns"` // predecoded window-major sweep
+	Speedup  float64 `json:"speedup"`  // LiveNs / TraceNs
+	LiveSPS  float64 `json:"live_sims_per_sec"`
+	TraceSPS float64 `json:"trace_sims_per_sec"`
+
+	SnapshotPlans uint64 `json:"snapshot_plans"` // fast-forward passes the replay sweep paid
+	SnapshotHits  uint64 `json:"snapshot_hits"`  // cells answered from resident plans
+	Identical     bool   `json:"identical"`      // merged results bit-identical across paths
+}
+
+type benchTraceReport struct {
+	Schema     string `json:"schema"`
+	GoOS       string `json:"goos"`
+	GoArch     string `json:"goarch"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+
+	Windows     int    `json:"windows"`
+	FastForward uint64 `json:"fast_forward_insts"`
+	Warmup      uint64 `json:"warmup_insts"`
+	Measure     uint64 `json:"measure_insts"`
+
+	Entries        []benchTraceEntry `json:"entries"`
+	GeomeanSpeedup float64           `json:"geomean_speedup"`
+}
+
+// benchTraceSet mirrors the bench-sampling sweeps — one per workload class
+// — over the paper's typical five-machine comparison width.
+func benchTraceSet() []struct {
+	name     string
+	workload string
+	machines []string
+} {
+	machines := []string{"base", "pubs", "age", "pubs+age", "pubs-large"}
+	return []struct {
+		name     string
+		workload string
+		machines []string
+	}{
+		{"chess-sweep", "chess", machines},
+		{"parser-sweep", "parser", machines},
+		{"goplay-sweep", "goplay", machines},
+	}
+}
+
+// traceOptions builds the two modes' runner options; they differ only in
+// result-neutral scheduling fields, so both runners resolve identical
+// content keys.
+func traceOptions(live bool) pubsim.Options {
+	o := pubsim.Options{
+		Warmup: traceWarmup, Measure: traceMeasure,
+		SampleWindows: traceWindows, SampleFastForward: traceFastForward,
+		ParallelWindows: -1, // GOMAXPROCS
+	}
+	if live {
+		o.LiveDecode = true
+	} else {
+		o.WindowMajor = true
+	}
+	return o
+}
+
+func traceConfigs(machines []string) ([]pubsim.Config, error) {
+	cfgs := make([]pubsim.Config, 0, len(machines))
+	for _, m := range machines {
+		cfg, err := pubsim.MachineConfig(m)
+		if err != nil {
+			return nil, err
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs, nil
+}
+
+// runLiveDecodeCampaign is the reference: cell by cell, each window
+// re-decoded live into a fresh pipeline — the cost model of sampling
+// before predecoded traces.
+func runLiveDecodeCampaign(workload string, machines []string) ([]pubsim.Result, error) {
+	r := pubsim.NewRunner(traceOptions(true))
+	cfgs, err := traceConfigs(machines)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]pubsim.Result, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		res, err := r.RunContext(context.Background(), cfg, workload)
+		if err != nil {
+			return nil, fmt.Errorf("live %s/%s: %w", cfg.Name, workload, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// runTraceReplayCampaign runs the same sweep window-major: one predecoded
+// plan, every machine replaying each window while it is hot, one pooled
+// simulator per machine.
+func runTraceReplayCampaign(workload string, machines []string) ([]pubsim.Result, pubsim.SamplingStoreStats, error) {
+	r := pubsim.NewRunner(traceOptions(false))
+	cfgs, err := traceConfigs(machines)
+	if err != nil {
+		return nil, pubsim.SamplingStoreStats{}, err
+	}
+	res, err := r.RunSweepContext(context.Background(), cfgs, workload)
+	if err != nil {
+		return nil, pubsim.SamplingStoreStats{}, fmt.Errorf("trace %s: %w", workload, err)
+	}
+	return res, r.SnapshotStats(), nil
+}
+
+// runBenchTraceReport measures every sweep both ways and verifies
+// bit-identity between the paths.
+func runBenchTraceReport() (*benchTraceReport, error) {
+	rep := &benchTraceReport{
+		Schema: "pubsim-bench-trace/1",
+		GoOS:   runtime.GOOS, GoArch: runtime.GOARCH,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Windows:     traceWindows,
+		FastForward: traceFastForward,
+		Warmup:      traceWarmup,
+		Measure:     traceMeasure,
+	}
+	for _, bc := range benchTraceSet() {
+		// Correctness first: both paths must merge to identical results.
+		liveRes, err := runLiveDecodeCampaign(bc.workload, bc.machines)
+		if err != nil {
+			return nil, err
+		}
+		traceRes, snaps, err := runTraceReplayCampaign(bc.workload, bc.machines)
+		if err != nil {
+			return nil, err
+		}
+		identical := reflect.DeepEqual(liveRes, traceRes)
+
+		var runErr error
+		live := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// A fresh runner per iteration (inside the campaign
+				// helpers): memoization would otherwise turn every
+				// iteration after the first into cache hits.
+				if _, err := runLiveDecodeCampaign(bc.workload, bc.machines); err != nil {
+					runErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+		trace := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := runTraceReplayCampaign(bc.workload, bc.machines); err != nil {
+					runErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+
+		liveNs, traceNs := live.NsPerOp(), trace.NsPerOp()
+		if liveNs <= 0 {
+			liveNs = 1
+		}
+		if traceNs <= 0 {
+			traceNs = 1
+		}
+		sims := float64(len(bc.machines))
+		e := benchTraceEntry{
+			Name: bc.name, Workload: bc.workload, Machines: bc.machines,
+			LiveNs: liveNs, TraceNs: traceNs,
+			Speedup:       float64(liveNs) / float64(traceNs),
+			LiveSPS:       sims * 1e9 / float64(liveNs),
+			TraceSPS:      sims * 1e9 / float64(traceNs),
+			SnapshotPlans: snaps.Plans, SnapshotHits: snaps.Hits,
+			Identical:     identical,
+		}
+		rep.Entries = append(rep.Entries, e)
+		fmt.Fprintf(os.Stderr,
+			"bench-trace %-14s live %7.0f ms  trace %7.0f ms  speedup %.2fx  plans %d hits %d  identical=%v\n",
+			bc.name, float64(liveNs)/1e6, float64(traceNs)/1e6, e.Speedup,
+			snaps.Plans, snaps.Hits, identical)
+	}
+	var logSum float64
+	for _, e := range rep.Entries {
+		logSum += math.Log(e.Speedup)
+	}
+	rep.GeomeanSpeedup = math.Exp(logSum / float64(len(rep.Entries)))
+	return rep, nil
+}
+
+func loadBenchTraceReport(path string) (*benchTraceReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchTraceReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench-trace baseline %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareBenchTraceReports gates the replay path: every entry
+// bit-identical, geomean speedup above the hard floor, and within the
+// tolerance of the committed baseline.
+func compareBenchTraceReports(base, cur *benchTraceReport) []string {
+	var regressions []string
+	for _, e := range cur.Entries {
+		if !e.Identical {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: trace-replay results diverged from the live-decode reference", e.Name))
+		}
+	}
+	if cur.GeomeanSpeedup < minTraceSpeedup {
+		regressions = append(regressions, fmt.Sprintf(
+			"geomean speedup %.2fx is below the %.2fx floor — predecoded replay has regressed into overhead",
+			cur.GeomeanSpeedup, float64(minTraceSpeedup)))
+	}
+	if base != nil && base.GeomeanSpeedup > 0 &&
+		cur.GeomeanSpeedup < base.GeomeanSpeedup*(1-benchTolerance) {
+		regressions = append(regressions, fmt.Sprintf(
+			"geomean speedup %.2fx is a %.0f%% regression from baseline %.2fx",
+			cur.GeomeanSpeedup,
+			(1-cur.GeomeanSpeedup/base.GeomeanSpeedup)*100,
+			base.GeomeanSpeedup))
+	}
+	return regressions
+}
+
+// runBenchTraceMode executes the -bench-trace-out / -bench-trace-baseline
+// flow; it returns a process exit code.
+func runBenchTraceMode(outPath, baselinePath string) int {
+	rep, err := runBenchTraceReport()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "bench-trace report written to %s (geomean speedup %.2fx)\n",
+			outPath, rep.GeomeanSpeedup)
+	}
+	var base *benchTraceReport
+	if baselinePath != "" {
+		if base, err = loadBenchTraceReport(baselinePath); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+	}
+	if regs := compareBenchTraceReports(base, rep); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "experiments: bench-trace regression: %s\n", r)
+		}
+		return 1
+	}
+	if base != nil {
+		fmt.Fprintf(os.Stderr, "bench-trace within %.0f%% of baseline %s (geomean %.2fx vs %.2fx)\n",
+			benchTolerance*100, baselinePath, rep.GeomeanSpeedup, base.GeomeanSpeedup)
+	}
+	return 0
+}

@@ -93,6 +93,11 @@ func main() {
 		parWin   = flag.Int("parallel-windows", 0, "sampled windows simulated concurrently per run (0/1 = serial, -1 = GOMAXPROCS)")
 		bsOut    = flag.String("bench-sampling-out", "", "run the parallel-sampling campaign benchmark and write a JSON report (BENCH_4.json schema) to this file")
 		bsCmp    = flag.String("bench-sampling-baseline", "", "compare the sampling benchmark against this baseline; exit 1 on lost bit-identity or speedup regression")
+		btOut    = flag.String("bench-trace-out", "", "run the trace-replay sweep benchmark and write a JSON report (BENCH_5.json schema) to this file")
+		btCmp    = flag.String("bench-trace-baseline", "", "compare the trace-replay benchmark against this baseline; exit 1 on lost bit-identity or speedup regression")
+		winMajor = flag.Bool("window-major", false, "sampled multi-machine sweeps replay each predecoded window across all machines while hot; never changes results")
+		liveDec  = flag.Bool("live-decode", false, "sampled windows re-decode through a live functional emulator instead of the shared predecoded trace; slower, bit-identical")
+		traceBud = flag.Int64("trace-budget", 0, "byte budget for resident window snapshots + predecoded traces, evicting whole plans LRU-first (0 = unbounded)")
 	)
 	flag.Parse()
 	showCharts = *charts
@@ -109,6 +114,9 @@ func main() {
 	}
 	if *bsOut != "" || *bsCmp != "" {
 		os.Exit(runBenchSamplingMode(*bsOut, *bsCmp))
+	}
+	if *btOut != "" || *btCmp != "" {
+		os.Exit(runBenchTraceMode(*btOut, *btCmp))
 	}
 
 	known := map[string]bool{}
@@ -151,6 +159,9 @@ func main() {
 		opts.SampleFastForward = *sampFF
 		opts.ParallelWindows = *parWin
 	}
+	opts.WindowMajor = *winMajor
+	opts.LiveDecode = *liveDec
+	opts.TraceBudgetBytes = *traceBud
 	// SIGINT/SIGTERM cancel the campaign: binding the signal context to the
 	// runner reaches every in-flight simulation (each stops within ~1K
 	// cycles), and with -checkpoint the completed runs are already on disk,

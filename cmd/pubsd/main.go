@@ -64,6 +64,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pubsd serve    -addr :8080 [-workers N] [-queue N] [-max-active N]
                  [-warmup N] [-insts N] [-checkpoint DIR] [-drain-timeout D]
+                 [-trace-budget BYTES]
   pubsd loadtest (-addr URL | -self) [-jobs N] [-concurrency N] [-burst N]
                  [-warmup N] [-insts N] [-out FILE]`)
 }
@@ -79,6 +80,7 @@ func serviceFlags(fs *flag.FlagSet) *service.Config {
 	fs.Uint64Var(&cfg.DefaultOptions.Warmup, "warmup", 300_000, "default warm-up instructions")
 	fs.Uint64Var(&cfg.DefaultOptions.Measure, "insts", 1_000_000, "default measured instructions")
 	fs.StringVar(&cfg.CheckpointDir, "checkpoint", "", "persist results here; a restarted daemon answers from disk")
+	fs.Int64Var(&cfg.TraceBudgetBytes, "trace-budget", 0, "byte budget for resident window snapshots + predecoded traces per window geometry, evicting whole plans LRU-first (0 = unbounded; exported as pubsd_trace_budget_bytes)")
 	return cfg
 }
 
@@ -187,6 +189,12 @@ func loadtest(args []string) error {
 				Workloads: []string{"goplay", "pathfind"}, Warmup: *warmup, Measure: *insts},
 			{Machines: []service.MachineSpec{{Machine: "pubs"}, {Machine: "pubs+age"}},
 				Workloads: []string{"chess"}, Warmup: *warmup, Measure: *insts},
+			// A sampled window-major sweep: three machines replaying one
+			// workload's predecoded windows, exercising the trace cache and
+			// sweep scheduler under loadtest traffic.
+			{Machines: []service.MachineSpec{{Machine: "base"}, {Machine: "pubs"}, {Machine: "age"}},
+				Workloads: []string{"parser"}, Warmup: *warmup / 2, Measure: *insts / 2,
+				Windows: 2, FastForward: 50_000, WindowMajor: true},
 		},
 	}
 	rep, err := service.Loadtest(ctx, cfg)

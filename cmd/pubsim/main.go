@@ -41,6 +41,7 @@ func main() {
 		sampleWin = flag.Int("sample-windows", 0, "run sampled simulation with N measurement windows (0 = one contiguous window)")
 		sampleFF  = flag.Uint64("sample-ff", 1_000_000, "functionally fast-forwarded instructions between sampled windows")
 		parWin    = flag.Int("parallel-windows", 0, "sampled windows simulated concurrently (0/1 = serial, -1 = GOMAXPROCS); never changes results")
+		liveDec   = flag.Bool("live-decode", false, "sampled windows re-decode through a live functional emulator instead of the shared predecoded trace; slower, bit-identical")
 		jsonOut   = flag.Bool("json", false, "emit the result as one JSON object (the pubsd job-result schema)")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
@@ -100,6 +101,7 @@ func main() {
 		plan := pubsim.SamplingPlan{
 			Windows: *sampleWin, FastForward: *sampleFF,
 			Warmup: *warmup, Measure: *insts, Parallel: *parWin,
+			LiveDecode: *liveDec,
 		}
 		var sres pubsim.SampledResult
 		sres, err = pubsim.RunSampledContext(ctx, cfg, *wl, plan)

@@ -26,6 +26,10 @@ type Predictor interface {
 	// CostBytes returns the storage the predictor requires, for the
 	// hardware-budget comparison in Fig. 13.
 	CostBytes() int
+	// Reset clears all learned state (tables and histories) back to the
+	// freshly-constructed predictor, enabling simulator-instance reuse
+	// across independent runs.
+	Reset()
 }
 
 // Config selects and sizes a predictor.
@@ -108,3 +112,6 @@ func (StaticTaken) Name() string { return "static-taken" }
 
 // CostBytes implements Predictor (no storage).
 func (StaticTaken) CostBytes() int { return 0 }
+
+// Reset implements Predictor (no state).
+func (StaticTaken) Reset() {}

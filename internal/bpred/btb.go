@@ -77,6 +77,14 @@ func (b *BTB) Insert(pc, target uint64) {
 // CostBytes approximates storage: each entry holds a ~50-bit tag+target pair.
 func (b *BTB) CostBytes() int { return b.sets * b.ways * 8 }
 
+// Reset invalidates every entry.
+func (b *BTB) Reset() {
+	for i := range b.entries {
+		b.entries[i] = btbEntry{}
+	}
+	b.tick = 0
+}
+
 // RAS is a fixed-depth return address stack with wrap-around overwrite, used
 // to predict Jr-through-link returns.
 type RAS struct {
@@ -114,3 +122,12 @@ func (r *RAS) Pop() (addr uint64, ok bool) {
 
 // Depth returns the number of live entries.
 func (r *RAS) Depth() int { return r.depth }
+
+// Reset empties the stack.
+func (r *RAS) Reset() {
+	for i := range r.stack {
+		r.stack[i] = 0
+	}
+	r.top = 0
+	r.depth = 0
+}

@@ -120,6 +120,17 @@ func (p *Perceptron) Name() string { return "perceptron" }
 // weights.
 func (p *Perceptron) CostBytes() int { return p.tableSize * (p.historyLen + 1) }
 
+// Reset implements Predictor: zero all weights and the global history.
+func (p *Perceptron) Reset() {
+	for i := range p.weights {
+		row := p.weights[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	p.history = 0
+}
+
 // History exposes the current global history (for tests).
 func (p *Perceptron) History() uint64 { return p.history }
 

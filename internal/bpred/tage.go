@@ -199,6 +199,23 @@ func bump(c int8, up bool) int8 {
 	return c
 }
 
+// Reset implements Predictor: restore the freshly-constructed state.
+func (t *TAGE) Reset() {
+	t.base.Reset()
+	for i := range t.tables {
+		e := t.tables[i].entries
+		for j := range e {
+			e[j] = tageEntry{}
+		}
+	}
+	t.history = 0
+	t.lastPC = 0
+	t.provider = -1
+	t.altPred = false
+	t.providerPred = false
+	t.useAltOnNA = 0
+}
+
 // Name implements Predictor.
 func (t *TAGE) Name() string { return "tage" }
 

@@ -57,6 +57,13 @@ func (b *Bimodal) Name() string { return "bimodal" }
 // CostBytes implements Predictor (2 bits per entry).
 func (b *Bimodal) CostBytes() int { return len(b.table) / 4 }
 
+// Reset implements Predictor.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 0
+	}
+}
+
 // Gshare XORs the global history into the PC index of a 2-bit counter table.
 type Gshare struct {
 	table    []twoBit
@@ -92,6 +99,14 @@ func (g *Gshare) Name() string { return "gshare" }
 
 // CostBytes implements Predictor.
 func (g *Gshare) CostBytes() int { return len(g.table) / 4 }
+
+// Reset implements Predictor.
+func (g *Gshare) Reset() {
+	for i := range g.table {
+		g.table[i] = 0
+	}
+	g.history = 0
+}
 
 // Tournament combines a bimodal and a gshare component with a PC-indexed
 // chooser table of 2-bit counters (an Alpha 21264-style hybrid).
@@ -149,4 +164,13 @@ func (t *Tournament) Name() string { return "tournament" }
 // CostBytes implements Predictor.
 func (t *Tournament) CostBytes() int {
 	return t.bimodal.CostBytes() + t.gshare.CostBytes() + len(t.chooser)/4
+}
+
+// Reset implements Predictor.
+func (t *Tournament) Reset() {
+	t.bimodal.Reset()
+	t.gshare.Reset()
+	for i := range t.chooser {
+		t.chooser[i] = 0
+	}
 }

@@ -72,7 +72,7 @@ func (s *Stats) Add(o Stats) {
 }
 
 type line struct {
-	valid      bool
+	gen        uint64 // live iff equal to Cache.gen; bumping gen invalidates all lines at once
 	dirty      bool
 	prefetched bool // installed by prefetch, not yet demand-touched
 	tag        uint64
@@ -91,6 +91,7 @@ type Cache struct {
 	lines    []line
 	next     Level
 	tick     uint64
+	gen      uint64 // current line generation; starts at 1 so zeroed lines are invalid
 	lineBits uint
 	mshrs    []mshr
 	pf       Prefetcher
@@ -115,6 +116,7 @@ func New(cfg Config, next Level) *Cache {
 		cfg:   cfg,
 		lines: make([]line, cfg.Sets*cfg.Ways),
 		next:  next,
+		gen:   1,
 	}
 	for cfg.LineBytes>>c.lineBits > 1 {
 		c.lineBits++
@@ -125,6 +127,24 @@ func New(cfg Config, next Level) *Cache {
 // SetPrefetcher attaches a prefetcher that observes this level's demand
 // misses (the paper prefetches into the L2).
 func (c *Cache) SetPrefetcher(p Prefetcher) { c.pf = p }
+
+// Reset invalidates every line, drops outstanding misses, and zeroes the
+// counters, returning the level (and its prefetcher, if it supports Reset)
+// to the freshly-constructed state. The next level is NOT reset; callers
+// reset each level of a hierarchy explicitly.
+func (c *Cache) Reset() {
+	// O(1) in the line array: bumping the generation invalidates every
+	// line without touching it — Reset is on the pooled-simulator
+	// per-window path, and clearing a multi-MiB LLC there costs more than
+	// a short window's detailed simulation.
+	c.gen++
+	c.mshrs = c.mshrs[:0]
+	c.tick = 0
+	c.stats = Stats{}
+	if r, ok := c.pf.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+}
 
 // Stats returns a pointer to the live counters.
 func (c *Cache) Stats() *Stats { return &c.stats }
@@ -162,7 +182,7 @@ func (c *Cache) Access(addr uint64, now int64, write bool) int64 {
 	// Hit?
 	for i := 0; i < c.cfg.Ways; i++ {
 		ln := &c.lines[base+i]
-		if ln.valid && ln.tag == tag {
+		if ln.gen == c.gen && ln.tag == tag {
 			ln.lru = c.tick
 			if write {
 				ln.dirty = true
@@ -247,14 +267,14 @@ func (c *Cache) install(la uint64, dirty bool, now int64) *line {
 	victim := base
 	for i := 0; i < c.cfg.Ways; i++ {
 		ln := &c.lines[base+i]
-		if ln.valid && ln.tag == tag {
+		if ln.gen == c.gen && ln.tag == tag {
 			ln.lru = c.tick
 			if dirty {
 				ln.dirty = true
 			}
 			return ln
 		}
-		if !ln.valid {
+		if ln.gen != c.gen {
 			victim = base + i
 			break
 		}
@@ -263,11 +283,11 @@ func (c *Cache) install(la uint64, dirty bool, now int64) *line {
 		}
 	}
 	v := &c.lines[victim]
-	if v.valid && v.dirty {
+	if v.gen == c.gen && v.dirty {
 		c.stats.Writebacks++
 		c.next.WriteBack(c.victimAddr(victim), now)
 	}
-	*v = line{valid: true, dirty: dirty, tag: tag, lru: c.tick}
+	*v = line{gen: c.gen, dirty: dirty, tag: tag, lru: c.tick}
 	return v
 }
 
@@ -283,7 +303,7 @@ func (c *Cache) prefetch(la uint64, now int64) {
 	base, tag := c.row(la)
 	for i := 0; i < c.cfg.Ways; i++ {
 		ln := &c.lines[base+i]
-		if ln.valid && ln.tag == tag {
+		if ln.gen == c.gen && ln.tag == tag {
 			return // already present
 		}
 	}
@@ -308,7 +328,7 @@ func (c *Cache) WriteBack(addr uint64, now int64) {
 	base, tag := c.row(la)
 	for i := 0; i < c.cfg.Ways; i++ {
 		ln := &c.lines[base+i]
-		if ln.valid && ln.tag == tag {
+		if ln.gen == c.gen && ln.tag == tag {
 			ln.dirty = true
 			return
 		}
@@ -322,7 +342,7 @@ func (c *Cache) Contains(addr uint64) bool {
 	base, tag := c.row(la)
 	for i := 0; i < c.cfg.Ways; i++ {
 		ln := &c.lines[base+i]
-		if ln.valid && ln.tag == tag {
+		if ln.gen == c.gen && ln.tag == tag {
 			return true
 		}
 	}
@@ -374,3 +394,9 @@ func (m *Memory) LineBytes() int { return m.LineBytes_ }
 
 // Accesses returns the number of line fetches served.
 func (m *Memory) Accesses() uint64 { return m.accesses }
+
+// Reset frees the bus and zeroes the access counter.
+func (m *Memory) Reset() {
+	m.busFree = 0
+	m.accesses = 0
+}

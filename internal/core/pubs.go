@@ -190,6 +190,20 @@ func (p *PUBS) Active() bool {
 // Mode returns the mode switch, or nil when mode switching is disabled.
 func (p *PUBS) Mode() *ModeSwitch { return p.mode }
 
+// Reset restores all three tables, the mode switch, and the decode
+// statistics to the freshly-constructed state.
+func (p *PUBS) Reset() {
+	p.Conf.Reset()
+	p.Slice.Reset()
+	p.Def.Reset()
+	if p.mode != nil {
+		p.mode.Reset()
+	}
+	p.UnconfBranches = 0
+	p.UnconfSliceInsts = 0
+	p.DecodedBranches = 0
+}
+
 // Decode processes one instruction at the decode stage, in program order,
 // and reports whether it is predicted to belong to an unconfident branch
 // slice. It performs the three §III-A steps:
@@ -375,6 +389,16 @@ func (m *ModeSwitch) OnCommit(llcMisses uint64) {
 	}
 	m.lastLLCMisses = llcMisses
 	m.instInWindow = 0
+}
+
+// Reset restores the constructed state: PUBS enabled, all counters zero.
+func (m *ModeSwitch) Reset() {
+	m.enabled = true
+	m.instInWindow = 0
+	m.missesAtWindow = 0
+	m.lastLLCMisses = 0
+	m.Checks = 0
+	m.EnabledWindows = 0
 }
 
 // ThresholdMPKI exposes the configured threshold.

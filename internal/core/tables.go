@@ -202,6 +202,14 @@ func (t *ConfTable) Update(pc uint64, correct bool) {
 	t.entries[victim] = confEntry{valid: true, tag: p.Tag, counter: c, lru: t.tick}
 }
 
+// Reset invalidates every entry.
+func (t *ConfTable) Reset() {
+	for i := range t.entries {
+		t.entries[i] = confEntry{}
+	}
+	t.tick = 0
+}
+
 // CounterMax exposes the saturation value (for tests).
 func (t *ConfTable) CounterMax() uint8 { return t.counterMax }
 
@@ -297,6 +305,14 @@ func (t *BrsliceTable) Insert(cB, cC Ptr) {
 	t.entries[victim] = sliceEntry{valid: true, tag: cB.Tag, ptr: cC, lru: t.tick}
 }
 
+// Reset invalidates every entry.
+func (t *BrsliceTable) Reset() {
+	for i := range t.entries {
+		t.entries[i] = sliceEntry{}
+	}
+	t.tick = 0
+}
+
 // CostBits returns the table storage in bits: per entry one valid bit, the
 // hashed tag, and the conf_tab pointer payload.
 func (t *BrsliceTable) CostBits() int {
@@ -332,6 +348,13 @@ func (t *DefTable) Read(r int) (Ptr, bool) {
 	}
 	p := t.rows[r]
 	return p, p.Valid
+}
+
+// Reset clears every row.
+func (t *DefTable) Reset() {
+	for i := range t.rows {
+		t.rows[i] = Ptr{}
+	}
 }
 
 // CostBits returns def_tab storage: rows × (valid + pointer).

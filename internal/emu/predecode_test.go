@@ -1,0 +1,92 @@
+package emu
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// TestPredecodeRoundTrip: recording a stretch of the dynamic stream and
+// filling it back must reproduce every DynInst bit-identically — the
+// contract that lets the trace-driven front end replace the live emulator.
+func TestPredecodeRoundTrip(t *testing.T) {
+	for _, name := range []string{"chess", "matmul", "goplay"} {
+		prog, err := workload.Program(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := MustNew(prog)
+		m.Run(10_000) // land mid-program
+
+		const n = 5_000
+		pre := NewPredecode(n)
+		want := make([]DynInst, 0, n)
+		for i := 0; i < n; i++ {
+			di, ok := m.Step()
+			if !ok {
+				break
+			}
+			pre.Append(di)
+			want = append(want, di)
+		}
+		if pre.Len() != len(want) {
+			t.Fatalf("%s: recorded %d, want %d", name, pre.Len(), len(want))
+		}
+		sd := NewStaticDecode(prog.Code)
+		var got DynInst
+		for i := range want {
+			pre.Fill(i, sd, &got)
+			if !reflect.DeepEqual(got, want[i]) {
+				t.Fatalf("%s: record %d round-trip mismatch:\n got %+v\nwant %+v", name, i, got, want[i])
+			}
+			if pre.PCAt(i) != want[i].PC {
+				t.Fatalf("%s: record %d PCAt=%d, want %d", name, i, pre.PCAt(i), want[i].PC)
+			}
+		}
+	}
+}
+
+// TestPredecodeHalt: a recorded Halt marks the buffer complete and
+// round-trips with Step's halt-specific NextPC convention.
+func TestPredecodeHalt(t *testing.T) {
+	b := asm.New("halting")
+	r := isa.R(2)
+	b.Li(r, 100)
+	b.Label("top")
+	b.Addi(r, r, -1)
+	b.Bne(r, isa.RZero, "top")
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MustNew(prog)
+	pre := NewPredecode(1024)
+	var last DynInst
+	for {
+		di, ok := m.Step()
+		if !ok {
+			break
+		}
+		pre.Append(di)
+		last = di
+	}
+	if !pre.Halted() {
+		t.Fatal("running to completion did not mark the buffer halted")
+	}
+	sd := NewStaticDecode(prog.Code)
+	var got DynInst
+	pre.Fill(pre.Len()-1, sd, &got)
+	if !reflect.DeepEqual(got, last) {
+		t.Fatalf("halt record mismatch:\n got %+v\nwant %+v", got, last)
+	}
+	if got.NextPC != got.PC {
+		t.Fatalf("halt NextPC=%d, want its own PC %d", got.NextPC, got.PC)
+	}
+	if pre.Bytes() <= 0 {
+		t.Fatal("Bytes() must be positive for a non-empty buffer")
+	}
+}

@@ -61,6 +61,22 @@ type Options struct {
 	SampleWindows     int
 	SampleFastForward uint64
 	ParallelWindows   int
+
+	// Trace-replay controls, all result-neutral and therefore excluded from
+	// memo and checkpoint keys. LiveDecode turns off the predecoded window
+	// traces and replays every window through a live functional emulator and
+	// a freshly built timing model — the pre-trace path, kept as the
+	// benchmark baseline. WindowMajor makes sampled sweeps walk the plan
+	// window-major (each predecoded window replays across every machine
+	// variant while it is hot; see RunSweepContext). TraceBudgetBytes bounds
+	// the bytes of snapshots + predecode buffers resident in the shared
+	// window store, evicting whole plans LRU-first (0 = unbounded).
+	// WindowObserve, when set, receives each detailed window's wall-clock
+	// duration; it must be safe for concurrent use.
+	LiveDecode       bool
+	WindowMajor      bool
+	TraceBudgetBytes int64
+	WindowObserve    func(time.Duration)
 }
 
 // Sampled reports whether runs use the sampled path.
@@ -74,6 +90,8 @@ func (o Options) samplingPlan() sampling.Config {
 		Warmup:      o.Warmup,
 		Measure:     o.Measure,
 		Parallel:    o.ParallelWindows,
+		LiveDecode:  o.LiveDecode,
+		Observe:     o.WindowObserve,
 	}
 }
 
@@ -147,7 +165,7 @@ func NewRunner(o Options) *Runner {
 		opts:  o,
 		cache: make(map[string]pipeline.Result),
 		sem:   make(chan struct{}, o.Parallelism),
-		snaps: sampling.NewStore(),
+		snaps: sampling.NewStoreBudget(o.TraceBudgetBytes),
 	}
 }
 
@@ -210,8 +228,10 @@ func (r *Runner) SnapshotStats() sampling.StoreStats { return r.snaps.Stats() }
 
 func cfgKey(cfg pipeline.Config, wl string, o Options) string {
 	// ParallelWindows (like Parallelism) changes scheduling, never results,
-	// so it stays out of the key; the sampling geometry changes what is
-	// measured and must be part of it.
+	// so it stays out of the key — as do LiveDecode, WindowMajor,
+	// TraceBudgetBytes, and WindowObserve, which are bit-identical by
+	// construction; the sampling geometry changes what is measured and must
+	// be part of it.
 	key := fmt.Sprintf("%s|%d|%d|%+v", wl, o.Warmup, o.Measure, cfg)
 	if o.Sampled() {
 		key += fmt.Sprintf("|sw%d|ff%d", o.SampleWindows, o.SampleFastForward)
@@ -339,6 +359,163 @@ func (r *Runner) simulate(ctx context.Context, cfg pipeline.Config, prog *isa.Pr
 		return sres.Merged(), nil
 	}
 	return pipeline.RunProgramContext(ctx, cfg, prog, r.opts.Warmup, r.opts.Measure)
+}
+
+// RunSweep is RunSweepContext with a background context.
+func (r *Runner) RunSweep(cfgs []pipeline.Config, wl string) ([]pipeline.Result, error) {
+	return r.RunSweepContext(context.Background(), cfgs, wl)
+}
+
+// RunSweepContext simulates workload wl across several machine
+// configurations as one batch. With Options.WindowMajor on a sampled
+// campaign it schedules the batch window-major: the shared store plans (and
+// predecodes) the windows once, then each window replays across every
+// machine variant while its trace is resident — one Runner.Parallelism slot
+// covers the whole sweep, whose internal concurrency is ParallelWindows
+// workers over machines. Memoized and checkpointed per cell with the same
+// keys as RunContext, so a sweep and individual runs interconvert freely; a
+// cell that fails inside the sweep (or the whole batch when window-major
+// scheduling does not apply) falls back to RunContext, which carries the
+// retry and typed-failure machinery. Results are indexed like cfgs; the
+// error, when non-nil, is a *CampaignError listing the failed cells.
+func (r *Runner) RunSweepContext(ctx context.Context, cfgs []pipeline.Config, wl string) ([]pipeline.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]pipeline.Result, len(cfgs))
+	var failures []RunError
+
+	fallback := func(idxs []int) {
+		type out struct {
+			i   int
+			res pipeline.Result
+			err error
+		}
+		ch := make(chan out, len(idxs))
+		for _, i := range idxs {
+			i := i
+			go func() {
+				res, err := r.RunContext(ctx, cfgs[i], wl)
+				ch <- out{i, res, err}
+			}()
+		}
+		for range idxs {
+			o := <-ch
+			if o.err != nil {
+				re, ok := o.err.(RunError)
+				if !ok {
+					re = RunError{Workload: wl, Config: cfgs[o.i].Name, Err: o.err}
+				}
+				failures = append(failures, re)
+				continue
+			}
+			results[o.i] = o.res
+		}
+	}
+
+	missing, err := r.sweepBatch(ctx, cfgs, wl, results)
+	if err != nil {
+		// Batch-level failure (planning, admission): every missing cell
+		// shares it, but each still gets an individual attempt below.
+	}
+	if len(missing) > 0 {
+		fallback(missing)
+	}
+	sort.Slice(failures, func(i, j int) bool { return failures[i].Config < failures[j].Config })
+	return results, campaignError(failures)
+}
+
+// sweepBatch answers what it can from the memo cache and checkpoint, runs
+// the rest window-major under one parallelism slot, and returns the indices
+// it could not complete (to be retried cell-by-cell by the caller).
+func (r *Runner) sweepBatch(ctx context.Context, cfgs []pipeline.Config, wl string, results []pipeline.Result) ([]int, error) {
+	all := make([]int, 0, len(cfgs))
+	for i := range cfgs {
+		all = append(all, i)
+	}
+	if !r.opts.Sampled() || !r.opts.WindowMajor || len(cfgs) < 2 {
+		return all, nil
+	}
+	ctx, unbind := r.withBase(ctx)
+	defer unbind()
+
+	var missing []int
+	for _, i := range all {
+		if res, ok := r.memoLoad(cfgKey(cfgs[i], wl, r.opts)); ok {
+			atomic.AddUint64(&r.stats.MemoHits, 1)
+			results[i] = res
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return nil, nil
+	}
+
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return missing, ctx.Err()
+	}
+	defer func() { <-r.sem }()
+
+	// Re-check under the slot: a concurrent run or sweep may have filled
+	// cells while we waited, and the checkpoint may hold the rest.
+	pending := missing[:0]
+	for _, i := range missing {
+		key := cfgKey(cfgs[i], wl, r.opts)
+		if res, ok := r.memoLoad(key); ok {
+			atomic.AddUint64(&r.stats.MemoHits, 1)
+			results[i] = res
+			continue
+		}
+		if r.ckpt != nil {
+			if res, ok := r.ckpt.load(key); ok {
+				atomic.AddUint64(&r.stats.CheckpointHits, 1)
+				r.memoStore(key, res)
+				results[i] = res
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return nil, nil
+	}
+
+	prog, err := workload.Program(wl)
+	if err != nil {
+		return pending, err
+	}
+	plan := r.opts.samplingPlan()
+	windows, err := r.snaps.Windows(ctx, prog, plan)
+	if err != nil {
+		return pending, err
+	}
+	runCfgs := make([]pipeline.Config, len(pending))
+	for k, i := range pending {
+		runCfgs[k] = cfgs[i]
+	}
+	atomic.AddUint64(&r.stats.Simulated, uint64(len(runCfgs)))
+	sres, errs := sampling.RunSweep(ctx, runCfgs, prog, plan, windows)
+
+	var retry []int
+	for k, i := range pending {
+		if errs[k] != nil {
+			retry = append(retry, i)
+			continue
+		}
+		res := sres[k].Merged()
+		results[i] = res
+		key := cfgKey(cfgs[i], wl, r.opts)
+		r.memoStore(key, res)
+		if r.ckpt != nil {
+			if err := r.ckpt.save(key, wl, cfgs[i].Name, res); err != nil {
+				atomic.AddUint64(&r.stats.CheckpointErrors, 1)
+			}
+		}
+	}
+	return retry, nil
 }
 
 // RunAll simulates every named workload on cfg concurrently and returns

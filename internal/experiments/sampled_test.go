@@ -123,3 +123,85 @@ func TestSampledCheckpointRoundTrip(t *testing.T) {
 		t.Errorf("resume simulated=%d ckptHits=%d, want 0 and 1", st.Simulated, st.CheckpointHits)
 	}
 }
+
+// TestWindowMajorSweepBitIdentical: a window-major sweep produces, per
+// cell, exactly what individual (non-window-major) runs produce, pays one
+// fast-forward pass, memoizes every cell, and interoperates with the
+// checkpoint.
+func TestWindowMajorSweepBitIdentical(t *testing.T) {
+	opts := sampledOpts()
+	opts.WindowMajor = true
+	dir := t.TempDir()
+	r, err := NewRunner(opts).WithCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	age := pipeline.PUBSConfig()
+	age.Name = "pubs+age"
+	age.AgeMatrix = true
+	cfgs := []pipeline.Config{pipeline.BaseConfig(), pipeline.PUBSConfig(), age}
+
+	got, err := r.RunSweep(cfgs, "parser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewRunner(sampledOpts())
+	for i, cfg := range cfgs {
+		want, err := ref.Run(cfg, "parser")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("%s: window-major sweep diverged from individual run", cfg.Name)
+		}
+	}
+	if st := r.SnapshotStats(); st.Plans != 1 {
+		t.Errorf("sweep paid %d fast-forward passes, want 1", st.Plans)
+	}
+	if st := r.Stats(); st.Simulated != uint64(len(cfgs)) {
+		t.Errorf("simulated = %d, want %d", st.Simulated, len(cfgs))
+	}
+
+	// A second sweep is pure memo hits; a fresh runner resumes from disk.
+	if _, err := r.RunSweep(cfgs, "parser"); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Simulated != uint64(len(cfgs)) || st.MemoHits != uint64(len(cfgs)) {
+		t.Errorf("re-sweep simulated=%d memoHits=%d, want %d and %d", st.Simulated, st.MemoHits, len(cfgs), len(cfgs))
+	}
+	r2, err := NewRunner(opts).WithCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := r2.RunSweep(cfgs, "parser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, got) {
+		t.Fatal("checkpointed sweep differs from original")
+	}
+	if st := r2.Stats(); st.Simulated != 0 || st.CheckpointHits != uint64(len(cfgs)) {
+		t.Errorf("resume simulated=%d ckptHits=%d, want 0 and %d", st.Simulated, st.CheckpointHits, len(cfgs))
+	}
+}
+
+// TestSweepWithoutWindowMajor: RunSweep without WindowMajor falls back to
+// per-cell scheduling with identical results.
+func TestSweepWithoutWindowMajor(t *testing.T) {
+	r := NewRunner(sampledOpts())
+	cfgs := []pipeline.Config{pipeline.BaseConfig(), pipeline.PUBSConfig()}
+	got, err := r.RunSweep(cfgs, "compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewRunner(sampledOpts())
+	for i, cfg := range cfgs {
+		want, err := ref.Run(cfg, "compress")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("%s: fallback sweep diverged from individual run", cfg.Name)
+		}
+	}
+}

@@ -123,6 +123,13 @@ func (d *Distributed) PriorityFree() int {
 // Queues exposes the per-pool queues (for tests and stats).
 func (d *Distributed) Queues() []*Queue { return d.qs }
 
+// Reset restores every per-pool queue to its constructed state.
+func (d *Distributed) Reset() {
+	for _, q := range d.qs {
+		q.Reset()
+	}
+}
+
 // CheckInvariants audits every per-pool queue.
 func (d *Distributed) CheckInvariants() error {
 	for i, q := range d.qs {

@@ -562,6 +562,34 @@ func (q *Queue) Drain() {
 	*q = *New(q.cfg)
 }
 
+// Reset restores the freshly-constructed state without reallocating: slots
+// and masks cleared, free lists rebuilt with their construction seeds and
+// push order so the deterministic random placement sequence restarts
+// identically.
+func (q *Queue) Reset() {
+	for i := range q.slots {
+		q.slots[i] = slot{}
+	}
+	q.list = q.list[:0]
+	for i := range q.usedMask {
+		q.usedMask[i] = 0
+	}
+	q.count = 0
+	q.tail = 0
+	if q.cfg.Kind == Random {
+		q.freeNrm.buf = q.freeNrm.buf[:0]
+		q.freeNrm.rng = 0xC0FFEE
+		for i := q.cfg.PriorityEntries; i < q.cfg.Size; i++ {
+			q.freeNrm.push(i)
+		}
+		q.freePri.buf = q.freePri.buf[:0]
+		q.freePri.rng = 0xBEEF
+		for i := 0; i < q.cfg.PriorityEntries; i++ {
+			q.freePri.push(i)
+		}
+	}
+}
+
 // Kind returns the queue organisation.
 func (q *Queue) Kind() Kind { return q.cfg.Kind }
 

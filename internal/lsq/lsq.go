@@ -43,6 +43,12 @@ func (q *LSQ) Len() int { return q.count }
 // Full reports whether allocation would fail.
 func (q *LSQ) Full() bool { return q.count == len(q.entries) }
 
+// Reset empties the queue.
+func (q *LSQ) Reset() {
+	q.head = 0
+	q.count = 0
+}
+
 // Alloc appends a memory operation in program order. Seq values must be
 // strictly increasing across calls.
 func (q *LSQ) Alloc(e Entry) bool {

@@ -46,6 +46,7 @@ type issueQueue interface {
 	Occupancy() int
 	PriorityFree() int
 	CheckInvariants() error
+	Reset()
 }
 
 // fuPool maps an isa.Class to a function-unit pool (loads and stores share
@@ -130,10 +131,12 @@ type Result struct {
 	TopBranches []BranchStat     // worst mispredicting branches, descending
 }
 
-// Sim is one simulated processor instance. It is single-use: build, Run.
+// Sim is one simulated processor instance: build, Run; Reset returns it to
+// the freshly-constructed state for reuse across independent runs.
 type Sim struct {
 	cfg    Config
 	stream InstStream
+	trace  *Replay // non-nil while the fetch stage reads a predecode buffer
 
 	bp   bpred.Predictor
 	btb  *bpred.BTB
@@ -437,6 +440,92 @@ func (s *Sim) opReady(h int) bool {
 
 // ---------- fetch ----------
 
+// lineReady models the single-line I-cache buffer: a new line is requested
+// the cycle it is first needed and fetch stalls until it arrives.
+func (s *Sim) lineReady(pc uint64) bool {
+	line := pc &^ 63
+	if !s.haveLine || line != s.lastLine {
+		done := s.l1i.Access(pc, s.now, false)
+		s.lastLine, s.haveLine = line, true
+		s.lineReadyAt = done
+	}
+	return s.lineReadyAt <= s.now
+}
+
+// fetchControl runs the control-flow side of fetching f (prediction, BTB,
+// RAS, wrong-path setup) and reports whether f ends the fetch group. It is
+// shared by the live-emulator and trace-replay fetch paths.
+func (s *Sim) fetchControl(f *fqEntry) (stop bool) {
+	di := &f.di
+	switch {
+	case di.Inst.IsCondBranch():
+		pred := s.bp.Predict(di.PC)
+		s.bp.Update(di.PC, di.Taken)
+		f.predCorrect = pred == di.Taken
+		if di.Taken {
+			s.btb.Insert(di.PC, di.Target)
+		}
+		if !f.predCorrect {
+			f.mispredict = true
+			s.blockedOnSeq = di.Seq
+			stop = true
+			if s.cfg.WrongPathDecode && s.code != nil {
+				// The front end runs down the predicted (wrong) path:
+				// the fall-through when the branch was actually taken,
+				// the target when it was actually not taken. The walk is
+				// bounded by what the front-end buffers can hold before
+				// the stall backs decode up — wrong-path instructions
+				// occupy real fetch-queue and window slots in hardware.
+				if di.Taken {
+					s.wrongPathIdx = di.Idx + 1
+				} else {
+					s.wrongPathIdx = int(di.Inst.Imm)
+				}
+				s.wrongPathLeft = len(s.fetchQ) + s.cfg.FetchWidth*int(s.cfg.FrontEndDepth)
+			}
+		} else if pred {
+			// Correctly predicted taken: target must come from the BTB
+			// to redirect this cycle; otherwise a decode-redirect bubble.
+			if tgt, hit := s.btb.Lookup(di.PC); !hit || tgt != di.Target {
+				s.st.BTBMisses++
+				s.fetchResumeAt = s.now + s.cfg.BTBMissPenalty
+			}
+			stop = true // taken branch ends the fetch group
+		}
+
+	case di.Inst.Op == isa.Jmp || di.Inst.Op == isa.Jal:
+		if tgt, hit := s.btb.Lookup(di.PC); !hit || tgt != di.Target {
+			s.st.BTBMisses++
+			s.fetchResumeAt = s.now + s.cfg.BTBMissPenalty
+		}
+		s.btb.Insert(di.PC, di.Target)
+		if di.Inst.Op == isa.Jal {
+			s.ras.Push(di.PC + 4)
+		}
+		stop = true
+
+	case di.Inst.Op == isa.Jr:
+		var predTgt uint64
+		var havePred bool
+		if di.Inst.Rs1 == isa.RLink {
+			predTgt, havePred = s.ras.Pop()
+		}
+		if !havePred {
+			predTgt, havePred = s.btb.Lookup(di.PC)
+		}
+		s.btb.Insert(di.PC, di.Target)
+		if !havePred || predTgt != di.Target {
+			f.mispredict = true
+			s.blockedOnSeq = di.Seq
+		}
+		stop = true
+
+	case di.Inst.Op == isa.Halt:
+		stop = true
+	}
+	return stop
+}
+
 func (s *Sim) fetch() {
 	if s.halted || s.now < s.fetchResumeAt || s.blockedOnSeq != noSeq {
 		return
@@ -445,93 +534,37 @@ func (s *Sim) fetch() {
 		if s.fqLen == len(s.fetchQ) {
 			break
 		}
-		di, ok := s.peek()
-		if !ok {
-			break
+		var f *fqEntry
+		if tr := s.trace; tr != nil {
+			// Trace fast path: reconstruct the DynInst straight from the
+			// predecode buffer into the fetch-queue slot — no emulator step,
+			// no pending-instruction staging.
+			if !s.lineReady(tr.Pre.PCAt(tr.pos)) {
+				break
+			}
+			f = &s.fetchQ[(s.fqHead+s.fqLen)%len(s.fetchQ)]
+			*f = fqEntry{fetchCycle: s.now}
+			tr.Pre.Fill(tr.pos, tr.Decode, &f.di)
+			tr.pos++
+			if tr.pos == tr.Pre.Len() {
+				// Buffer drained: later fetches go through the generic
+				// stream path (Replay.Next ends the stream after a halting
+				// trace, or continues on the live fallback).
+				s.trace = nil
+			}
+		} else {
+			di, ok := s.peek()
+			if !ok {
+				break
+			}
+			if !s.lineReady(di.PC) {
+				break
+			}
+			s.take()
+			f = &s.fetchQ[(s.fqHead+s.fqLen)%len(s.fetchQ)]
+			*f = fqEntry{di: di, fetchCycle: s.now}
 		}
-		// Instruction cache: one line buffer; a new line is requested the
-		// cycle it is first needed and fetch stalls until it arrives.
-		line := di.PC &^ 63
-		if !s.haveLine || line != s.lastLine {
-			done := s.l1i.Access(di.PC, s.now, false)
-			s.lastLine, s.haveLine = line, true
-			s.lineReadyAt = done
-		}
-		if s.lineReadyAt > s.now {
-			break
-		}
-		s.take()
-		f := fqEntry{di: di, fetchCycle: s.now}
-		stop := false
-
-		switch {
-		case di.Inst.IsCondBranch():
-			pred := s.bp.Predict(di.PC)
-			s.bp.Update(di.PC, di.Taken)
-			f.predCorrect = pred == di.Taken
-			if di.Taken {
-				s.btb.Insert(di.PC, di.Target)
-			}
-			if !f.predCorrect {
-				f.mispredict = true
-				s.blockedOnSeq = di.Seq
-				stop = true
-				if s.cfg.WrongPathDecode && s.code != nil {
-					// The front end runs down the predicted (wrong) path:
-					// the fall-through when the branch was actually taken,
-					// the target when it was actually not taken. The walk is
-					// bounded by what the front-end buffers can hold before
-					// the stall backs decode up — wrong-path instructions
-					// occupy real fetch-queue and window slots in hardware.
-					if di.Taken {
-						s.wrongPathIdx = di.Idx + 1
-					} else {
-						s.wrongPathIdx = int(di.Inst.Imm)
-					}
-					s.wrongPathLeft = len(s.fetchQ) + s.cfg.FetchWidth*int(s.cfg.FrontEndDepth)
-				}
-			} else if pred {
-				// Correctly predicted taken: target must come from the BTB
-				// to redirect this cycle; otherwise a decode-redirect bubble.
-				if tgt, hit := s.btb.Lookup(di.PC); !hit || tgt != di.Target {
-					s.st.BTBMisses++
-					s.fetchResumeAt = s.now + s.cfg.BTBMissPenalty
-				}
-				stop = true // taken branch ends the fetch group
-			}
-
-		case di.Inst.Op == isa.Jmp || di.Inst.Op == isa.Jal:
-			if tgt, hit := s.btb.Lookup(di.PC); !hit || tgt != di.Target {
-				s.st.BTBMisses++
-				s.fetchResumeAt = s.now + s.cfg.BTBMissPenalty
-			}
-			s.btb.Insert(di.PC, di.Target)
-			if di.Inst.Op == isa.Jal {
-				s.ras.Push(di.PC + 4)
-			}
-			stop = true
-
-		case di.Inst.Op == isa.Jr:
-			var predTgt uint64
-			var havePred bool
-			if di.Inst.Rs1 == isa.RLink {
-				predTgt, havePred = s.ras.Pop()
-			}
-			if !havePred {
-				predTgt, havePred = s.btb.Lookup(di.PC)
-			}
-			s.btb.Insert(di.PC, di.Target)
-			if !havePred || predTgt != di.Target {
-				f.mispredict = true
-				s.blockedOnSeq = di.Seq
-			}
-			stop = true
-
-		case di.Inst.Op == isa.Halt:
-			stop = true
-		}
-
-		s.fetchQ[(s.fqHead+s.fqLen)%len(s.fetchQ)] = f
+		stop := s.fetchControl(f)
 		s.fqLen++
 		if stop {
 			break
@@ -1004,6 +1037,9 @@ func (s *Sim) RunContext(ctx context.Context, stream InstStream, warmup, measure
 		watchdog = DefaultWatchdogCycles
 	}
 	s.stream = stream
+	if tr, ok := stream.(*Replay); ok && tr.Pre != nil && tr.Decode != nil && tr.pos < tr.Pre.Len() && tr.live == nil {
+		s.trace = tr
+	}
 	target := warmup + measure
 	warmedUp := warmup == 0
 	if warmedUp {
@@ -1066,6 +1102,11 @@ func (s *Sim) RunContext(ctx context.Context, stream InstStream, warmup, measure
 		}
 	}
 
+	if tr, ok := stream.(*Replay); ok {
+		if err := tr.Err(); err != nil {
+			return Result{}, fmt.Errorf("pipeline %s: trace replay: %w", s.cfg.Name, err)
+		}
+	}
 	s.st.Cycles = s.now - s.measureStart
 	if s.st.Cycles == 0 {
 		s.st.Cycles = 1

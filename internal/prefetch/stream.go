@@ -100,6 +100,16 @@ func (s *Stream) OnMiss(lineAddr uint64) []uint64 {
 	return nil
 }
 
+// Reset clears every tracker and counter back to the constructed state.
+func (s *Stream) Reset() {
+	for i := range s.streams {
+		s.streams[i] = tracker{}
+	}
+	s.tick = 0
+	s.trained = 0
+	s.allocated = 0
+}
+
 // Trained returns how many misses extended a stream (for tests/stats).
 func (s *Stream) Trained() uint64 { return s.trained }
 

@@ -37,6 +37,12 @@ func (r *ROB) Full() bool { return r.count == len(r.entries) }
 // Empty reports whether the ROB holds no instructions.
 func (r *ROB) Empty() bool { return r.count == 0 }
 
+// Reset empties the buffer.
+func (r *ROB) Reset() {
+	r.head = 0
+	r.count = 0
+}
+
 // Alloc appends a handle in program order.
 func (r *ROB) Alloc(handle int) bool {
 	if r.Full() {

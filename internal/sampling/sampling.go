@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/emu"
 	"repro/internal/isa"
@@ -34,6 +35,20 @@ type Config struct {
 	// changes the Result — only how fast it is computed. It is deliberately
 	// excluded from plan keys (see Store) for the same reason.
 	Parallel int
+
+	// LiveDecode disables the predecoded window traces: the planner records
+	// nothing and every window re-emulates its instruction stream through a
+	// live functional machine feeding a freshly constructed timing model —
+	// the pre-trace code path, kept as the benchmark baseline and an escape
+	// hatch. Results are bit-identical either way; only the cost differs.
+	// Unlike Parallel it IS part of the plan key: a trace-recording plan and
+	// a live plan cache different window payloads.
+	LiveDecode bool
+
+	// Observe, when set, receives the wall-clock duration of each detailed
+	// window run (the service exports these as a replay-latency histogram).
+	// Like Parallel it cannot change results and is excluded from plan keys.
+	Observe func(time.Duration)
 }
 
 // DefaultPlan samples 8 windows of 100K measured instructions, each after a
@@ -170,9 +185,10 @@ func RunContext(ctx context.Context, cfg pipeline.Config, prog *isa.Program, pla
 	return RunWindows(ctx, cfg, prog, plan, windows)
 }
 
-// runWindow executes one detailed window: a fresh machine restored from
-// the window's snapshot feeding a fresh timing model. Windows therefore
-// share no mutable state and can run in any order, concurrently.
+// runWindow executes one detailed window the live-decode way: a fresh
+// machine restored from the window's snapshot feeding a fresh timing model.
+// Windows therefore share no mutable state and can run in any order,
+// concurrently.
 func runWindow(ctx context.Context, cfg pipeline.Config, prog *isa.Program, plan Config, w Window) (pipeline.Result, error) {
 	m, err := emu.NewFromSnapshot(prog, w.Snap)
 	if err != nil {
@@ -184,6 +200,80 @@ func runWindow(ctx context.Context, cfg pipeline.Config, prog *isa.Program, plan
 	}
 	sim.SetStaticCode(prog.Code)
 	return sim.RunContext(ctx, pipeline.Stream{M: m}, plan.Warmup, plan.Measure)
+}
+
+// windowRunner executes windows for one machine configuration. In trace
+// mode (the default) it feeds the recorded predecode buffer to the
+// simulator's trace front end and keeps one pooled simulator alive across
+// windows (Reset between runs — bit-identical to fresh construction, but
+// construction is paid once per sweep instead of once per window). In
+// live-decode mode, or for windows planned without a trace, it falls back
+// to the fresh-everything runWindow path. Not safe for concurrent use; the
+// worker-pool paths build one runner per worker.
+type windowRunner struct {
+	cfg  pipeline.Config
+	prog *isa.Program
+	plan Config
+	sd   *emu.StaticDecode
+	sim  *pipeline.Sim // pooled; nil until first trace window, or always in live mode
+}
+
+func newWindowRunner(cfg pipeline.Config, prog *isa.Program, plan Config) *windowRunner {
+	wr := &windowRunner{cfg: cfg, prog: prog, plan: plan}
+	if !plan.LiveDecode {
+		wr.sd = emu.NewStaticDecode(prog.Code)
+	}
+	return wr
+}
+
+func (wr *windowRunner) run(ctx context.Context, w Window) (pipeline.Result, error) {
+	if wr.plan.Observe == nil {
+		return wr.runWindow(ctx, w)
+	}
+	t0 := time.Now()
+	res, err := wr.runWindow(ctx, w)
+	wr.plan.Observe(time.Since(t0))
+	return res, err
+}
+
+func (wr *windowRunner) runWindow(ctx context.Context, w Window) (pipeline.Result, error) {
+	if wr.plan.LiveDecode || w.Pre == nil {
+		return runWindow(ctx, wr.cfg, wr.prog, wr.plan, w)
+	}
+	sim := wr.sim
+	if sim == nil {
+		var err error
+		sim, err = pipeline.New(wr.cfg)
+		if err != nil {
+			return pipeline.Result{}, err
+		}
+		if !wr.cfg.Profile {
+			// Profile runs return live pointers to the simulator's occupancy
+			// histogram and branch profile; pooling would alias them across
+			// window results, so profiled windows keep a fresh Sim each.
+			wr.sim = sim
+		}
+	} else {
+		sim.Reset()
+	}
+	sim.SetStaticCode(wr.prog.Code)
+	pre, snap := w.Pre, w.Snap
+	rp := &pipeline.Replay{
+		Pre:    pre,
+		Decode: wr.sd,
+		Fallback: func() (pipeline.InstStream, error) {
+			// Fetch overran the recorded slack (pathologically deep
+			// front end): continue on a live machine positioned at the
+			// first unrecorded instruction.
+			m, err := emu.NewFromSnapshot(wr.prog, snap)
+			if err != nil {
+				return nil, err
+			}
+			m.Run(uint64(pre.Len()))
+			return pipeline.Stream{M: m}, nil
+		},
+	}
+	return sim.RunContext(ctx, rp, wr.plan.Warmup, wr.plan.Measure)
 }
 
 // RunWindows executes pre-placed windows (from PlanWindows or a shared
@@ -206,12 +296,13 @@ func RunWindows(ctx context.Context, cfg pipeline.Config, prog *isa.Program, pla
 	results := make([]pipeline.Result, len(windows))
 	errs := make([]error, len(windows))
 	if workers := plan.workers(len(windows)); workers <= 1 {
+		wr := newWindowRunner(cfg, prog, plan)
 		for i, w := range windows {
 			if err := ctx.Err(); err != nil {
 				errs[i] = err
 				break
 			}
-			results[i], errs[i] = runWindow(ctx, cfg, prog, plan, w)
+			results[i], errs[i] = wr.run(ctx, w)
 			if errs[i] != nil {
 				break
 			}
@@ -226,12 +317,13 @@ func RunWindows(ctx context.Context, cfg pipeline.Config, prog *isa.Program, pla
 		for k := 0; k < workers; k++ {
 			go func() {
 				defer wg.Done()
+				wr := newWindowRunner(cfg, prog, plan)
 				for i := range jobs {
 					if err := ctx.Err(); err != nil {
 						errs[i] = err
 						continue
 					}
-					results[i], errs[i] = runWindow(ctx, cfg, prog, plan, windows[i])
+					results[i], errs[i] = wr.run(ctx, windows[i])
 				}
 			}()
 		}
@@ -241,10 +333,15 @@ func RunWindows(ctx context.Context, cfg pipeline.Config, prog *isa.Program, pla
 		close(jobs)
 		wg.Wait()
 	}
+	return mergeWindows(windows, results, errs)
+}
 
-	// Merge in window order with the serial path's truncation semantics: the
-	// first failed window returns the completed prefix alongside the error,
-	// and the first empty window (the program ended inside it) ends the plan.
+// mergeWindows folds per-window results in window order with the serial
+// path's truncation semantics: the first failed window returns the
+// completed prefix alongside the error, and the first empty window (the
+// program ended inside it) ends the plan. Shared by RunWindows and
+// RunSweep so the two schedulers cannot drift.
+func mergeWindows(windows []Window, results []pipeline.Result, errs []error) (Result, error) {
 	var out Result
 	for i, w := range windows {
 		if errs[i] != nil {
@@ -261,6 +358,98 @@ func RunWindows(ctx context.Context, cfg pipeline.Config, prog *isa.Program, pla
 		return Result{}, fmt.Errorf("sampling: program ended before any window completed")
 	}
 	return out, nil
+}
+
+// RunSweep executes pre-placed windows window-major across several machine
+// configurations: the scheduler walks the windows in order and, for each
+// one, replays every machine variant over the shared immutable window
+// payload (snapshot + predecode buffer) before moving on — so a window's
+// trace is touched while it is hot instead of once per machine at arbitrary
+// times. Machines run concurrently on plan.workers(len(cfgs)) workers, and
+// each machine keeps one persistent simulator across all windows. The
+// returned slices are indexed like cfgs; each entry is bit-identical to
+// calling RunWindows with that configuration alone.
+func RunSweep(ctx context.Context, cfgs []pipeline.Config, prog *isa.Program, plan Config, windows []Window) ([]Result, []error) {
+	n := len(cfgs)
+	outs := make([]Result, n)
+	errsOut := make([]error, n)
+	if n == 0 {
+		return outs, errsOut
+	}
+	fail := func(err error) ([]Result, []error) {
+		for i := range errsOut {
+			errsOut[i] = err
+		}
+		return outs, errsOut
+	}
+	if err := plan.Validate(); err != nil {
+		return fail(err)
+	}
+	if len(windows) == 0 {
+		return fail(fmt.Errorf("sampling: program ended before any window completed"))
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	runners := make([]*windowRunner, n)
+	results := make([][]pipeline.Result, n)
+	errs := make([][]error, n)
+	for i, cfg := range cfgs {
+		runners[i] = newWindowRunner(cfg, prog, plan)
+		results[i] = make([]pipeline.Result, len(windows))
+		errs[i] = make([]error, len(windows))
+	}
+	// stopped marks machines whose plan already truncated (error or empty
+	// window): later windows cannot contribute to their merged result.
+	stopped := make([]bool, n)
+
+	runOne := func(mi, wi int) {
+		if err := ctx.Err(); err != nil {
+			errs[mi][wi] = err
+			stopped[mi] = true
+			return
+		}
+		results[mi][wi], errs[mi][wi] = runners[mi].run(ctx, windows[wi])
+		if errs[mi][wi] != nil || results[mi][wi].Committed == 0 {
+			stopped[mi] = true
+		}
+	}
+
+	workers := plan.workers(n)
+	for wi := range windows {
+		if workers <= 1 {
+			for mi := 0; mi < n; mi++ {
+				if !stopped[mi] {
+					runOne(mi, wi)
+				}
+			}
+			continue
+		}
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for k := 0; k < workers; k++ {
+			go func() {
+				defer wg.Done()
+				for mi := range jobs {
+					runOne(mi, wi)
+				}
+			}()
+		}
+		for mi := 0; mi < n; mi++ {
+			if !stopped[mi] {
+				jobs <- mi
+			}
+		}
+		close(jobs)
+		wg.Wait() // window barrier: the next window starts only when all machines finish this one
+	}
+
+	for mi := range cfgs {
+		outs[mi], errsOut[mi] = mergeWindows(windows, results[mi], errs[mi])
+	}
+	return outs, errsOut
 }
 
 // workers resolves plan.Parallel against the window count.

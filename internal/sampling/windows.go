@@ -22,7 +22,21 @@ type Window struct {
 	Index     int    // position in the plan, 0-based
 	StartInst uint64 // instruction count at the start of the window's warm-up
 	Snap      *emu.Snapshot
+
+	// Pre is the window's predecoded trace: the detailed (warm-up +
+	// measure) instruction stream plus replaySlack of tail slack, recorded
+	// during the same functional pass that placed the window. Immutable
+	// once planned — one buffer feeds every machine variant of a sweep
+	// concurrently. Nil when the plan was made with LiveDecode.
+	Pre *emu.Predecode
 }
+
+// replaySlack is how many instructions past the detailed region the planner
+// records. The timing front end overfetches past the last committed
+// instruction by at most the fetch queue plus the ROB (≲600 even on the
+// "huge" machines), so 2048 keeps every replay on the trace; a hypothetical
+// overrun falls back to a live emulator stream, changing nothing but speed.
+const replaySlack = 2048
 
 // PlanWindows fast-forwards the functional emulator once through the
 // program, snapshotting at each window start and functionally skipping the
@@ -56,9 +70,46 @@ func PlanWindows(ctx context.Context, prog *isa.Program, plan Config) ([]Window,
 		if m.Done() {
 			break
 		}
-		windows = append(windows, Window{Index: w, StartInst: m.Seq(), Snap: m.Snapshot()})
-		if ran := m.Run(detailed); ran < detailed {
+		win := Window{Index: w, StartInst: m.Seq(), Snap: m.Snapshot()}
+		if plan.LiveDecode {
+			windows = append(windows, win)
+			if ran := m.Run(detailed); ran < detailed {
+				break // program ends inside this window; no windows follow
+			}
+			continue
+		}
+		// Trace mode: the same pass that skips the detailed region records
+		// it (plus tail slack for the front end's bounded overfetch) into
+		// the window's predecode buffer.
+		rec := emu.NewPredecode(int(detailed) + replaySlack)
+		full := true
+		for k := uint64(0); k < detailed; k++ {
+			di, ok := m.Step()
+			if !ok {
+				full = false
+				break
+			}
+			rec.Append(di)
+		}
+		win.Pre = rec
+		windows = append(windows, win)
+		if !full {
 			break // program ends inside this window; no windows follow
+		}
+		// Record the slack, then rewind the placement machine to the end of
+		// the detailed region so the next window starts exactly where a
+		// live-decode plan would place it.
+		tail := m.Snapshot()
+		for k := 0; k < replaySlack; k++ {
+			di, ok := m.Step()
+			if !ok {
+				break
+			}
+			rec.Append(di)
+		}
+		m, err = emu.NewFromSnapshot(prog, tail)
+		if err != nil {
+			return nil, fmt.Errorf("sampling: planning window %d: %w", w, err)
 		}
 	}
 	return windows, nil
@@ -89,36 +140,145 @@ func planKey(prog *isa.Program, plan Config) string {
 	word(plan.FastForward)
 	word(plan.Warmup)
 	word(plan.Measure)
+	// Trace-recording plans cache a different window payload than live
+	// plans, and a slack change invalidates recorded traces.
+	if plan.LiveDecode {
+		word(1)
+	} else {
+		word(0)
+		word(replaySlack)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// StoreStats counts what a Store actually computed versus shared.
+// StoreStats counts what a Store actually computed, shared, and holds.
 type StoreStats struct {
-	Plans uint64 // fast-forward passes executed
-	Hits  uint64 // requests answered from an existing (or in-flight) plan
+	Plans         uint64 // fast-forward passes executed
+	Hits          uint64 // requests answered from an existing (or in-flight) plan
+	Evictions     uint64 // completed plans dropped to stay within the byte budget
+	ResidentBytes int64  // snapshot + predecode bytes currently held
+	ResidentPlans int    // completed plans currently held
 }
 
 // Store is a content-addressed cache of placed windows with singleflight
 // deduplication: concurrent requests for the same (program, plan geometry)
 // pair — every machine variant of a grid sweep — share one functional
-// fast-forward pass. Snapshots are immutable, so the cached windows are
-// handed out by reference to any number of concurrent detailed runs.
+// fast-forward pass. Snapshots and predecode buffers are immutable, so the
+// cached windows are handed out by reference to any number of concurrent
+// detailed runs.
+//
+// A byte budget (NewStoreBudget) bounds the resident footprint with LRU
+// eviction over *completed* plans only: an entry is linked into the LRU
+// list when its planning pass finishes, so an in-flight singleflight plan —
+// and every caller blocked on it — can never be evicted mid-computation.
+// Eviction removes the entry from the map; callers already holding its
+// windows keep them (immutability + GC make that safe), and the next
+// request for the key replans. The most recently used plan always stays
+// resident even when it alone exceeds the budget, so a working set of one
+// cannot thrash.
 type Store struct {
-	mu      sync.Mutex
-	entries map[string]*storeEntry
-	plans   uint64
-	hits    uint64
+	mu        sync.Mutex
+	entries   map[string]*storeEntry
+	budget    int64 // max resident bytes; 0 = unbounded
+	resident  int64
+	plans     uint64
+	hits      uint64
+	evictions uint64
+	// Intrusive LRU list over completed entries; lruHead is most recent.
+	lruHead, lruTail *storeEntry
 }
 
 type storeEntry struct {
+	key     string
 	done    chan struct{}
 	windows []Window
 	err     error
+
+	bytes      int64
+	prev, next *storeEntry
+	inLRU      bool
 }
 
-// NewStore returns an empty window store.
+// NewStore returns an empty, unbounded window store.
 func NewStore() *Store {
 	return &Store{entries: make(map[string]*storeEntry)}
+}
+
+// NewStoreBudget returns a window store bounded to roughly maxBytes of
+// resident snapshot + predecode data. maxBytes <= 0 means unbounded.
+func NewStoreBudget(maxBytes int64) *Store {
+	s := NewStore()
+	s.budget = maxBytes
+	return s
+}
+
+// windowsBytes accounts one plan's resident footprint: every window's
+// dirty-page snapshot plus its predecode buffer.
+func windowsBytes(ws []Window) int64 {
+	var b int64
+	for _, w := range ws {
+		if w.Snap != nil {
+			b += int64(w.Snap.MemBytes())
+		}
+		if w.Pre != nil {
+			b += w.Pre.Bytes()
+		}
+	}
+	return b
+}
+
+// pushMRU links a completed entry at the head of the LRU list. Caller holds mu.
+func (s *Store) pushMRU(e *storeEntry) {
+	e.inLRU = true
+	e.prev = nil
+	e.next = s.lruHead
+	if s.lruHead != nil {
+		s.lruHead.prev = e
+	}
+	s.lruHead = e
+	if s.lruTail == nil {
+		s.lruTail = e
+	}
+}
+
+// unlink removes e from the LRU list. Caller holds mu.
+func (s *Store) unlink(e *storeEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	e.inLRU = false
+}
+
+// touch moves a resident entry to most-recently-used. Caller holds mu.
+func (s *Store) touch(e *storeEntry) {
+	if !e.inLRU || s.lruHead == e {
+		return
+	}
+	s.unlink(e)
+	s.pushMRU(e)
+}
+
+// evict drops least-recently-used completed plans until the budget holds,
+// always keeping the MRU entry. Caller holds mu.
+func (s *Store) evict() {
+	if s.budget <= 0 {
+		return
+	}
+	for s.resident > s.budget && s.lruTail != nil && s.lruTail != s.lruHead {
+		e := s.lruTail
+		s.unlink(e)
+		delete(s.entries, e.key)
+		s.resident -= e.bytes
+		s.evictions++
+	}
 }
 
 // Windows returns the placed windows for (prog, plan), computing them at
@@ -135,18 +295,28 @@ func (s *Store) Windows(ctx context.Context, prog *isa.Program, plan Config) ([]
 		s.mu.Lock()
 		e, ok := s.entries[key]
 		if !ok {
-			e = &storeEntry{done: make(chan struct{})}
+			e = &storeEntry{key: key, done: make(chan struct{})}
 			s.entries[key] = e
 			s.plans++
 			s.mu.Unlock()
 			e.windows, e.err = PlanWindows(ctx, prog, plan)
+			s.mu.Lock()
 			if e.err != nil {
-				s.mu.Lock()
 				delete(s.entries, key)
-				s.mu.Unlock()
+			} else {
+				// The plan becomes evictable only now that it is complete;
+				// waiters blocked on done still hold e and its windows.
+				e.bytes = windowsBytes(e.windows)
+				s.resident += e.bytes
+				s.pushMRU(e)
+				s.evict()
 			}
+			s.mu.Unlock()
 			close(e.done)
 			return e.windows, e.err
+		}
+		if e.inLRU {
+			s.touch(e)
 		}
 		s.mu.Unlock()
 		select {
@@ -171,7 +341,16 @@ func (s *Store) Windows(ctx context.Context, prog *isa.Program, plan Config) ([]
 func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return StoreStats{Plans: s.plans, Hits: s.hits}
+	st := StoreStats{
+		Plans:         s.plans,
+		Hits:          s.hits,
+		Evictions:     s.evictions,
+		ResidentBytes: s.resident,
+	}
+	for e := s.lruHead; e != nil; e = e.next {
+		st.ResidentPlans++
+	}
+	return st
 }
 
 // Len returns the number of cached plans.

@@ -31,18 +31,26 @@ type metrics struct {
 	activeJobs  atomic.Int64
 	workersBusy atomic.Int64
 
-	// Latency histogram: log2 buckets of whole milliseconds (bucket i
+	// Latency histograms: log2 buckets of whole milliseconds (bucket i
 	// covers [2^(i-1), 2^i) ms, bucket 0 is <1 ms), reusing the stats
-	// package histogram; quantiles are bucket upper bounds.
+	// package histogram; quantiles are bucket upper bounds. lat is per-job
+	// submit-to-finish latency; win is per-window detailed replay latency,
+	// fed by the runners' WindowObserve hook.
 	latMu sync.Mutex
 	lat   *stats.Histogram
+	winMu sync.Mutex
+	win   *stats.Histogram
 }
 
 // latBuckets covers up to ~2^39 ms (≈17 years) of job latency.
 const latBuckets = 40
 
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), lat: stats.NewHistogram(latBuckets)}
+	return &metrics{
+		start: time.Now(),
+		lat:   stats.NewHistogram(latBuckets),
+		win:   stats.NewHistogram(latBuckets),
+	}
 }
 
 func (m *metrics) observeLatency(d time.Duration) {
@@ -55,15 +63,38 @@ func (m *metrics) observeLatency(d time.Duration) {
 	m.latMu.Unlock()
 }
 
+// observeWindow records one detailed window's replay wall-clock time.
+// Safe for concurrent use: parallel window workers all feed it.
+func (m *metrics) observeWindow(d time.Duration) {
+	ms := d.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	m.winMu.Lock()
+	m.win.Add(bits.Len64(uint64(ms)))
+	m.winMu.Unlock()
+}
+
 // latencyQuantileMS returns the upper bound in ms of the bucket holding
 // the q-quantile observation.
 func (m *metrics) latencyQuantileMS(q float64) int64 {
 	m.latMu.Lock()
 	defer m.latMu.Unlock()
-	if m.lat.Total() == 0 {
+	return quantileMS(m.lat, q)
+}
+
+// windowQuantileMS is latencyQuantileMS for the replay histogram.
+func (m *metrics) windowQuantileMS(q float64) int64 {
+	m.winMu.Lock()
+	defer m.winMu.Unlock()
+	return quantileMS(m.win, q)
+}
+
+func quantileMS(h *stats.Histogram, q float64) int64 {
+	if h.Total() == 0 {
 		return 0
 	}
-	idx := m.lat.Quantile(q)
+	idx := h.Quantile(q)
 	if idx == 0 {
 		return 1
 	}
@@ -79,9 +110,12 @@ type snapshotGauges struct {
 	memoHits     uint64
 	ckptHits     uint64
 	retries      uint64
-	snapPlans    uint64 // functional fast-forward passes for sampled jobs
-	snapHits     uint64 // sampled runs answered from shared snapshots
-	draining     bool
+	snapPlans     uint64 // functional fast-forward passes for sampled jobs
+	snapHits      uint64 // sampled runs answered from shared snapshots
+	snapEvictions uint64 // predecoded plans evicted by the trace byte budget
+	traceResident int64  // bytes of snapshots + predecoded traces resident
+	traceBudget   int64  // configured budget (0 = unbounded)
+	draining      bool
 }
 
 // render emits the metrics in Prometheus text exposition format.
@@ -123,6 +157,13 @@ func (m *metrics) render(g snapshotGauges) string {
 	line("pubsd_runner_retries_total", g.retries)
 	line("pubsd_snapshot_plans_total", g.snapPlans)
 	line("pubsd_snapshot_hits_total", g.snapHits)
+	// Predecoded-trace cache: a plan is a miss (one functional pass paid),
+	// a hit answered a run from a resident plan.
+	line("pubsd_predecode_hits_total", g.snapHits)
+	line("pubsd_predecode_misses_total", g.snapPlans)
+	line("pubsd_predecode_evictions_total", g.snapEvictions)
+	line("pubsd_trace_resident_bytes", g.traceResident)
+	line("pubsd_trace_budget_bytes", g.traceBudget)
 	rate := 0.0
 	if up > 0 {
 		rate = float64(g.simulated) / up
@@ -135,6 +176,13 @@ func (m *metrics) render(g snapshotGauges) string {
 	line("pubsd_job_latency_count", total)
 	for _, q := range []float64{0.5, 0.9, 0.99} {
 		fmt.Fprintf(&sb, "pubsd_job_latency_ms{quantile=\"%g\"} %d\n", q, m.latencyQuantileMS(q))
+	}
+	m.winMu.Lock()
+	wins := m.win.Total()
+	m.winMu.Unlock()
+	line("pubsd_window_replay_latency_count", wins)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		fmt.Fprintf(&sb, "pubsd_window_replay_latency_ms{quantile=\"%g\"} %d\n", q, m.windowQuantileMS(q))
 	}
 	return sb.String()
 }

@@ -102,3 +102,92 @@ func TestLoadtestBurstOverlapsDuplicates(t *testing.T) {
 		t.Fatal("burst schedule never submits the same spec at adjacent slots")
 	}
 }
+
+// TestWindowMajorJob: a window-major sampled campaign completes with cells
+// bit-identical to per-cell scheduling, pays one fast-forward pass, and
+// exports the new trace metrics (resident bytes, predecode counters, and a
+// populated replay-latency histogram).
+func TestWindowMajorJob(t *testing.T) {
+	s := testService(t, Config{Workers: 2, TraceBudgetBytes: 1 << 30})
+	spec := CampaignSpec{
+		Machines:  []MachineSpec{{Machine: "base"}, {Machine: "pubs"}, {Machine: "pubs+age"}},
+		Workloads: []string{"parser"},
+		Warmup:    2_000, Measure: 5_000,
+		Windows: 2, FastForward: 20_000, ParallelWindows: 2,
+		WindowMajor: true,
+	}
+	st := waitJob(t, mustSubmit(t, s, spec))
+	if st.State != JobDone {
+		t.Fatalf("job: %s %v", st.State, st.Errors)
+	}
+	if len(st.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(st.Results))
+	}
+
+	// Same cells via per-cell scheduling on a fresh daemon.
+	ref := testService(t, Config{Workers: 2})
+	perCell := spec
+	perCell.WindowMajor = false
+	rst := waitJob(t, mustSubmit(t, ref, perCell))
+	if rst.State != JobDone {
+		t.Fatalf("reference job: %s %v", rst.State, rst.Errors)
+	}
+	for i := range st.Results {
+		if !reflect.DeepEqual(st.Results[i], rst.Results[i]) {
+			t.Errorf("%s: window-major cell diverged from per-cell scheduling", st.Results[i].Machine)
+		}
+	}
+
+	_, snaps := s.runnerStats()
+	if snaps.Plans != 1 {
+		t.Errorf("snapshot plans = %d, want 1", snaps.Plans)
+	}
+	if snaps.ResidentBytes <= 0 || snaps.ResidentBytes > 1<<30 {
+		t.Errorf("resident trace bytes = %d, want within (0, budget]", snaps.ResidentBytes)
+	}
+	text := s.MetricsText()
+	for _, metric := range []string{
+		"pubsd_predecode_misses_total 1",
+		"pubsd_predecode_evictions_total 0",
+		"pubsd_trace_budget_bytes 1073741824",
+		"pubsd_trace_resident_bytes",
+		"pubsd_window_replay_latency_count",
+	} {
+		if !strings.Contains(text, metric) {
+			t.Errorf("metrics missing %q", metric)
+		}
+	}
+	if strings.Contains(text, "pubsd_window_replay_latency_count 0") {
+		t.Error("replay-latency histogram never observed a window")
+	}
+}
+
+// TestWindowMajorSpecKeying: WindowMajor and LiveDecode pick distinct
+// runners (their stores cache different payloads) but must NOT change cell
+// content keys — results are bit-identical by construction.
+func TestWindowMajorSpecKeying(t *testing.T) {
+	def := testOptions()
+	base := CampaignSpec{
+		Machines: []MachineSpec{{Machine: "base"}}, Workloads: []string{"chess"},
+		Windows: 2, FastForward: 20_000,
+	}
+	wm := base
+	wm.WindowMajor = true
+	live := base
+	live.LiveDecode = true
+	if keyFor(base.options(def)) == keyFor(wm.options(def)) {
+		t.Fatal("window-major job shares a runner with per-cell scheduling")
+	}
+	if keyFor(base.options(def)) == keyFor(live.options(def)) {
+		t.Fatal("live-decode job shares a runner (and store) with trace mode")
+	}
+	cells, err := base.Cells(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range []CampaignSpec{wm, live} {
+		if cells[0].Key(base.options(def)) != cells[0].Key(other.options(def)) {
+			t.Fatal("scheduling/decode mode leaked into the cell content key")
+		}
+	}
+}

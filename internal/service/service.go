@@ -41,6 +41,11 @@ type Config struct {
 	// CheckpointDir, when set, persists every finished run so a restarted
 	// daemon answers repeat traffic from disk.
 	CheckpointDir string
+	// TraceBudgetBytes bounds, per window-geometry runner, the bytes of
+	// predecoded window traces and snapshots the sampled path keeps
+	// resident, evicting whole plans LRU-first (0 = unbounded). Exported
+	// live through the pubsd_trace_resident_bytes gauge.
+	TraceBudgetBytes int64
 }
 
 func (c Config) normalized() Config {
@@ -60,13 +65,17 @@ func (c Config) normalized() Config {
 		c.DefaultOptions = experiments.DefaultOptions()
 	}
 	c.DefaultOptions.Parallelism = c.Workers
+	c.DefaultOptions.TraceBudgetBytes = c.TraceBudgetBytes
 	return c
 }
 
-// task is one cell of one job, scheduled onto the worker pool.
+// task is work scheduled onto the worker pool: one cell of one job, or —
+// for window-major sampled jobs — one workload's whole machine sweep
+// (group lists the cell indices; idx is unused then).
 type task struct {
-	job *Job
-	idx int
+	job   *Job
+	idx   int
+	group []int
 }
 
 // Service is the campaign daemon: a bounded job queue feeding a dispatcher
@@ -97,13 +106,16 @@ type Service struct {
 
 // windowKey distinguishes runners by simulation window — including the
 // sampling geometry, so sampled and contiguous jobs (and different sampled
-// geometries) get separate runners and snapshot stores; every other option
-// is shared daemon-wide.
+// geometries) get separate runners and snapshot stores — plus the decode
+// and scheduling modes, which are fixed per runner even though they never
+// change results; every other option is shared daemon-wide.
 type windowKey struct {
 	warmup, measure uint64
 	windows         int
 	fastForward     uint64
 	parallelWindows int
+	liveDecode      bool
+	windowMajor     bool
 }
 
 func keyFor(o experiments.Options) windowKey {
@@ -111,6 +123,8 @@ func keyFor(o experiments.Options) windowKey {
 		warmup: o.Warmup, measure: o.Measure,
 		windows: o.SampleWindows, fastForward: o.SampleFastForward,
 		parallelWindows: o.ParallelWindows,
+		liveDecode:      o.LiveDecode,
+		windowMajor:     o.WindowMajor,
 	}
 }
 
@@ -154,6 +168,8 @@ func (s *Service) runnerFor(o experiments.Options) (*experiments.Runner, error) 
 	if r, ok := s.runners[k]; ok {
 		return r, nil
 	}
+	// Every runner feeds the daemon-wide replay-latency histogram.
+	o.WindowObserve = s.m.observeWindow
 	r := experiments.NewRunner(o)
 	if s.cfg.CheckpointDir != "" {
 		var err error
@@ -253,14 +269,16 @@ func (s *Service) runJob(j *Job) {
 	defer s.m.activeJobs.Add(-1)
 	j.start()
 	j.cellWG.Add(len(j.cells))
-	for i := range j.cells {
+	for _, t := range j.tasks() {
 		select {
-		case s.tasks <- task{job: j, idx: i}:
+		case s.tasks <- t:
 		case <-s.rootCtx.Done():
 			// Forced shutdown mid-expansion: fail the remaining cells here;
 			// cells already queued are failed by the workers.
-			j.cellDone(i, CellResult{}, outcomeRun, s.rootCtx.Err())
-			j.cellWG.Done()
+			for _, i := range t.indices() {
+				j.cellDone(i, CellResult{}, outcomeRun, s.rootCtx.Err())
+				j.cellWG.Done()
+			}
 		}
 	}
 	j.cellWG.Wait()
@@ -284,9 +302,45 @@ func (s *Service) worker() {
 	}
 }
 
-// execute runs one cell through the cache/singleflight layer and the
-// panic-recovering runner.
+// indices returns the cell indices a task covers.
+func (t task) indices() []int {
+	if t.group != nil {
+		return t.group
+	}
+	return []int{t.idx}
+}
+
+// tasks shards the job for the worker pool: one task per cell, except
+// window-major sampled jobs, which get one task per workload covering that
+// workload's whole machine sweep.
+func (j *Job) tasks() []task {
+	if !j.opts.WindowMajor || !j.opts.Sampled() {
+		out := make([]task, len(j.cells))
+		for i := range j.cells {
+			out[i] = task{job: j, idx: i}
+		}
+		return out
+	}
+	var out []task
+	byWL := make(map[string]int) // workload -> index in out
+	for i, c := range j.cells {
+		k, ok := byWL[c.Workload]
+		if !ok {
+			k = len(out)
+			byWL[c.Workload] = k
+			out = append(out, task{job: j})
+		}
+		out[k].group = append(out[k].group, i)
+	}
+	return out
+}
+
+// execute runs one task — a cell, or a window-major sweep of cells.
 func (s *Service) execute(t task) {
+	if t.group != nil {
+		s.executeSweep(t)
+		return
+	}
 	defer t.job.cellWG.Done()
 	cell := t.job.cells[t.idx]
 	if err := s.rootCtx.Err(); err != nil {
@@ -331,6 +385,79 @@ func (s *Service) execute(t task) {
 	t.job.cellDone(t.idx, res, outcome, err)
 }
 
+// executeSweep runs one workload's machine sweep window-major through the
+// runner's batched scheduler, then lands each cell in the content cache.
+// The sweep shares one predecoded window set across every machine; mid-cell
+// progress events are not emitted (cells complete in window-major order).
+func (s *Service) executeSweep(t task) {
+	j := t.job
+	defer func() {
+		for range t.group {
+			j.cellWG.Done()
+		}
+	}()
+	failAll := func(err error) {
+		for _, i := range t.group {
+			s.m.cellsFailed.Add(1)
+			j.cellDone(i, CellResult{}, outcomeRun, err)
+		}
+	}
+	if err := s.rootCtx.Err(); err != nil {
+		failAll(err)
+		return
+	}
+	runner, err := s.runnerFor(j.opts)
+	if err != nil {
+		failAll(err)
+		return
+	}
+	opts := runner.Options()
+	wl := j.cells[t.group[0]].Workload
+	cfgs := make([]pipeline.Config, len(t.group))
+	for k, i := range t.group {
+		cfgs[k] = j.cells[i].Config
+	}
+	results, serr := runner.RunSweepContext(s.rootCtx, cfgs, wl)
+	failed := make(map[string]error)
+	if serr != nil {
+		var ce *experiments.CampaignError
+		if errors.As(serr, &ce) {
+			for _, f := range ce.Failures {
+				failed[f.Config] = f
+			}
+		} else {
+			failAll(serr)
+			return
+		}
+	}
+	for k, i := range t.group {
+		cell := j.cells[i]
+		if ferr, ok := failed[cell.Config.Name]; ok {
+			s.m.cellsFailed.Add(1)
+			j.cellDone(i, CellResult{}, outcomeRun, ferr)
+			continue
+		}
+		res := results[k]
+		cres, outcome, cerr := s.cache.Do(cell.Key(opts), func() (CellResult, error) {
+			return NewCellResult(cell, opts, res), nil
+		})
+		switch outcome {
+		case outcomeHit:
+			s.m.cacheHits.Add(1)
+		case outcomeMerged:
+			s.m.merged.Add(1)
+		default:
+			s.m.cacheMisses.Add(1)
+		}
+		if cerr != nil {
+			s.m.cellsFailed.Add(1)
+		} else {
+			s.m.cellsCompleted.Add(1)
+		}
+		j.cellDone(i, cres, outcome, cerr)
+	}
+}
+
 // runnerStats sums the campaign and snapshot counters across all runners.
 func (s *Service) runnerStats() (experiments.RunnerStats, sampling.StoreStats) {
 	s.mu.Lock()
@@ -352,6 +479,9 @@ func (s *Service) runnerStats() (experiments.RunnerStats, sampling.StoreStats) {
 		ss := r.SnapshotStats()
 		snaps.Plans += ss.Plans
 		snaps.Hits += ss.Hits
+		snaps.Evictions += ss.Evictions
+		snaps.ResidentBytes += ss.ResidentBytes
+		snaps.ResidentPlans += ss.ResidentPlans
 	}
 	return sum, snaps
 }
@@ -418,9 +548,12 @@ func (s *Service) MetricsText() string {
 		memoHits:     rs.MemoHits,
 		ckptHits:     rs.CheckpointHits,
 		retries:      rs.Retries,
-		snapPlans:    snaps.Plans,
-		snapHits:     snaps.Hits,
-		draining:     s.Draining(),
+		snapPlans:     snaps.Plans,
+		snapHits:      snaps.Hits,
+		snapEvictions: snaps.Evictions,
+		traceResident: snaps.ResidentBytes,
+		traceBudget:   s.cfg.TraceBudgetBytes,
+		draining:      s.Draining(),
 	})
 }
 

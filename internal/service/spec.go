@@ -136,7 +136,12 @@ func (m MachineSpec) Config() (pipeline.Config, error) {
 // Warmup+Measure detailed instructions separated by FastForward functional
 // gaps, with the fast-forward paid once per workload and shared across the
 // job's machines. ParallelWindows sets per-cell window concurrency
-// (negative = GOMAXPROCS); it never changes results.
+// (negative = GOMAXPROCS); it never changes results. WindowMajor schedules
+// a sampled job's machines window-major: each workload's predecoded windows
+// replay across every machine of the grid while the trace is hot, one sweep
+// per worker slot. LiveDecode turns the predecoded traces off and replays
+// windows through a live functional emulator — slower, bit-identical.
+// Neither changes results, so they do not enter result keys.
 type CampaignSpec struct {
 	Machines        []MachineSpec `json:"machines"`
 	Workloads       []string      `json:"workloads,omitempty"`
@@ -145,6 +150,8 @@ type CampaignSpec struct {
 	Windows         int           `json:"windows,omitempty"`
 	FastForward     uint64        `json:"fast_forward,omitempty"`
 	ParallelWindows int           `json:"parallel_windows,omitempty"`
+	WindowMajor     bool          `json:"window_major,omitempty"`
+	LiveDecode      bool          `json:"live_decode,omitempty"`
 }
 
 // Cells validates the spec and enumerates its grid. maxCells caps
@@ -189,6 +196,12 @@ func (s CampaignSpec) options(def experiments.Options) experiments.Options {
 		o.SampleWindows = s.Windows
 		o.SampleFastForward = s.FastForward
 		o.ParallelWindows = s.ParallelWindows
+	}
+	if s.WindowMajor {
+		o.WindowMajor = true
+	}
+	if s.LiveDecode {
+		o.LiveDecode = true
 	}
 	return o
 }

@@ -466,20 +466,30 @@ type SampledResult = sampling.Result
 type Snapshot = emu.Snapshot
 
 // SamplingWindow is one placed measurement window: its start position in
-// the dynamic instruction stream and the snapshot that seeds it. Placement
-// is machine-config-independent.
+// the dynamic instruction stream, the snapshot that seeds it, and (unless
+// the plan set LiveDecode) the predecoded trace of its detailed region.
+// Placement is machine-config-independent.
 type SamplingWindow = sampling.Window
 
 // SamplingStore is a content-addressed, singleflight-deduplicated cache of
 // placed windows: every machine variant of a sweep shares one functional
-// fast-forward pass per (workload, plan geometry).
+// fast-forward pass — and one set of predecoded traces — per (workload,
+// plan geometry).
 type SamplingStore = sampling.Store
 
-// SamplingStoreStats counts fast-forward passes executed vs shared.
+// SamplingStoreStats counts fast-forward passes executed vs shared, plans
+// evicted by a byte budget, and the resident footprint.
 type SamplingStoreStats = sampling.StoreStats
 
-// NewSamplingStore returns an empty shared-window store.
+// NewSamplingStore returns an empty, unbounded shared-window store.
 func NewSamplingStore() *SamplingStore { return sampling.NewStore() }
+
+// NewSamplingStoreBudget returns a shared-window store bounded to roughly
+// maxBytes of resident snapshot + predecode data, evicting whole plans
+// LRU-first; in-flight plans are never evicted (maxBytes <= 0 = unbounded).
+func NewSamplingStoreBudget(maxBytes int64) *SamplingStore {
+	return sampling.NewStoreBudget(maxBytes)
+}
 
 // PlanSamplingWindows fast-forwards once through prog, snapshotting at
 // each window start. The windows can then feed RunSampledWindows for any
@@ -493,6 +503,17 @@ func PlanSamplingWindows(ctx context.Context, prog *Program, plan SamplingPlan) 
 // them in window order, bit-identically to the serial reference.
 func RunSampledWindows(ctx context.Context, cfg Config, prog *Program, plan SamplingPlan, windows []SamplingWindow) (SampledResult, error) {
 	return sampling.RunWindows(ctx, cfg, prog, plan, windows)
+}
+
+// RunSampledSweep executes pre-placed windows window-major across several
+// machine configurations: each window's shared payload (snapshot +
+// predecoded trace) replays through every machine while it is hot, with
+// machines running concurrently on plan.Parallel workers and one persistent
+// simulator per machine. The returned slices are indexed like cfgs; each
+// entry is bit-identical to RunSampledWindows with that configuration
+// alone.
+func RunSampledSweep(ctx context.Context, cfgs []Config, prog *Program, plan SamplingPlan, windows []SamplingWindow) ([]SampledResult, []error) {
+	return sampling.RunSweep(ctx, cfgs, prog, plan, windows)
 }
 
 // DefaultSamplingPlan returns 8 windows × 100K measured instructions with

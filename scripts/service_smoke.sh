@@ -17,10 +17,15 @@ ADDR=127.0.0.1:8321
 BASE=http://$ADDR
 SPEC='{"machines":[{"machine":"base"},{"machine":"pubs"}],"workloads":["matmul","chess"],"warmup":2000,"measure":8000}'
 
+# 256 MiB trace budget: far above what the tiny sampled sweep below needs,
+# so the resident-bytes assertion proves the gauge stays within budget
+# rather than that eviction kicked in.
+TRACE_BUDGET=268435456
+
 # 8 workers: more than the cells in any one loadtest spec, so a burst of
 # duplicate jobs has identical cells in flight simultaneously — the
 # precondition for the singleflight-merge assertion below.
-"$PUBSD" serve -addr "$ADDR" -workers 8 -warmup 2000 -insts 8000 &
+"$PUBSD" serve -addr "$ADDR" -workers 8 -warmup 2000 -insts 8000 -trace-budget $TRACE_BUDGET &
 PID=$!
 trap 'kill -9 $PID 2>/dev/null || true' EXIT
 
@@ -31,8 +36,8 @@ for i in $(seq 1 50); do
 done
 
 submit_and_wait() {
-  local id
-  id=$(curl -sf -X POST "$BASE/v1/jobs" -d "$SPEC" | jq -r .id)
+  local id spec=${1:-$SPEC}
+  id=$(curl -sf -X POST "$BASE/v1/jobs" -d "$spec" | jq -r .id)
   [[ -n "$id" && "$id" != null ]] || { echo "submission failed"; exit 1; }
   for i in $(seq 1 100); do
     state=$(curl -sf "$BASE/v1/jobs/$id" | jq -r .state)
@@ -74,6 +79,23 @@ CLI=$(go run ./cmd/pubsim -machine "$(echo "$R1" | jq -r '.[0].machine')" \
   -warmup 2000 -insts 8000 -json | jq -S .)
 DAEMON=$(curl -sf "$BASE/v1/results/$KEY" | jq -S .)
 [[ "$CLI" == "$DAEMON" ]] || { echo "CLI and daemon results differ for $KEY"; exit 1; }
+
+# Window-major sampled sweep: three machines replaying one workload's
+# predecoded windows. The trace cache must plan exactly once, report a
+# positive resident footprint within the configured budget, and feed the
+# per-window replay latency histogram.
+SWEEP='{"machines":[{"machine":"base"},{"machine":"pubs"},{"machine":"age"}],"workloads":["parser"],"warmup":1000,"measure":2000,"windows":2,"fast_forward":20000,"window_major":true}'
+submit_and_wait "$SWEEP" >/dev/null
+SIMS3=$(metric pubsd_sims_executed_total)
+[[ "$SIMS3" == $((SIMS1 + 3)) ]] || { echo "expected $((SIMS1 + 3)) sims after sampled sweep, got $SIMS3"; exit 1; }
+PLANS=$(metric pubsd_predecode_misses_total)
+[[ "$PLANS" == 1 ]] || { echo "expected 1 predecode plan, got $PLANS"; exit 1; }
+RESIDENT=$(metric pubsd_trace_resident_bytes)
+BUDGET=$(metric pubsd_trace_budget_bytes)
+[[ "$BUDGET" == "$TRACE_BUDGET" ]] || { echo "trace budget gauge $BUDGET != configured $TRACE_BUDGET"; exit 1; }
+[[ "$RESIDENT" -gt 0 && "$RESIDENT" -le "$TRACE_BUDGET" ]] || { echo "resident trace bytes $RESIDENT outside (0, $TRACE_BUDGET]"; exit 1; }
+REPLAYS=$(metric pubsd_window_replay_latency_count)
+[[ "$REPLAYS" -ge 6 ]] || { echo "expected >=6 window replays (3 machines x 2 windows), got $REPLAYS"; exit 1; }
 
 # Loadtest against the live daemon: bursts of identical specs submitted
 # concurrently must exercise the singleflight path, not just the cache.
