@@ -5,17 +5,21 @@
 //
 // Usage:
 //
-//	pubsd serve    -addr :8080 [-workers N] [-checkpoint DIR]
+//	pubsd serve    -addr :8080 [-workers N] [-checkpoint DIR] [-journal DIR]
 //	pubsd loadtest -addr http://host:8080 [-jobs N] [-out BENCH_3.json]
 //	pubsd loadtest -self [-jobs N] [-out BENCH_3.json]
 //
 // serve runs until SIGINT/SIGTERM, then drains: submissions are refused
 // (503) while accepted jobs run to completion, bounded by -drain-timeout.
+// With -journal, accepted jobs are write-ahead logged and a crashed
+// daemon re-enqueues the incomplete ones at the next boot; pair it with
+// -checkpoint so their finished cells replay from disk.
 //
 // loadtest generates duplicate-heavy traffic against a running daemon
 // (or, with -self, against one it boots in-process) and writes a
-// pubsd-load/1 report with exact latency quantiles and the daemon's
-// dedup counters.
+// pubsd-load/2 report with exact latency quantiles, the daemon's dedup
+// counters, and admission refusals (429/503) counted separately from
+// failures.
 package main
 
 import (
@@ -62,9 +66,11 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  pubsd serve    -addr :8080 [-workers N] [-queue N] [-max-active N]
-                 [-warmup N] [-insts N] [-checkpoint DIR] [-drain-timeout D]
-                 [-trace-budget BYTES]
+  pubsd serve    -addr :8080 [-workers N] [-queue N] [-high-water N]
+                 [-max-active N] [-warmup N] [-insts N] [-checkpoint DIR]
+                 [-journal DIR] [-drain-timeout D] [-trace-budget BYTES]
+                 [-tenant-rate R] [-tenant-burst N]
+                 [-breaker-threshold N] [-breaker-cooldown D]
   pubsd loadtest (-addr URL | -self) [-jobs N] [-concurrency N] [-burst N]
                  [-warmup N] [-insts N] [-out FILE]`)
 }
@@ -80,6 +86,12 @@ func serviceFlags(fs *flag.FlagSet) *service.Config {
 	fs.Uint64Var(&cfg.DefaultOptions.Warmup, "warmup", 300_000, "default warm-up instructions")
 	fs.Uint64Var(&cfg.DefaultOptions.Measure, "insts", 1_000_000, "default measured instructions")
 	fs.StringVar(&cfg.CheckpointDir, "checkpoint", "", "persist results here; a restarted daemon answers from disk")
+	fs.StringVar(&cfg.JournalDir, "journal", "", "write-ahead job journal; a crashed daemon re-enqueues incomplete jobs at boot")
+	fs.IntVar(&cfg.HighWater, "high-water", 0, "queue depth above which best-effort (priority < 0) submissions are shed (0 = 3/4 of -queue)")
+	fs.Float64Var(&cfg.TenantRate, "tenant-rate", 0, "per-tenant submissions/sec budget (0 = unlimited)")
+	fs.IntVar(&cfg.TenantBurst, "tenant-burst", 0, "per-tenant token-bucket burst (0 = 4)")
+	fs.IntVar(&cfg.BreakerThreshold, "breaker-threshold", 0, "consecutive simulator panics that trip the circuit breaker into cached-only mode (0 = 5, negative = disabled)")
+	fs.DurationVar(&cfg.BreakerCooldown, "breaker-cooldown", 0, "how long the tripped breaker stays open before a half-open probe (0 = 30s)")
 	fs.Int64Var(&cfg.TraceBudgetBytes, "trace-budget", 0, "byte budget for resident window snapshots + predecoded traces per window geometry, evicting whole plans LRU-first (0 = unbounded; exported as pubsd_trace_budget_bytes)")
 	return cfg
 }
@@ -140,7 +152,7 @@ func loadtest(args []string) error {
 	jobs := fs.Int("jobs", 16, "total jobs to submit")
 	conc := fs.Int("concurrency", 4, "in-flight submissions")
 	burst := fs.Int("burst", 2, "consecutive submissions of the same spec (overlapping duplicates exercise singleflight)")
-	out := fs.String("out", "", "write the pubsd-load/1 JSON report here (default stdout)")
+	out := fs.String("out", "", "write the pubsd-load/2 JSON report here (default stdout)")
 	warmup := fs.Uint64("warmup", 20_000, "per-job warm-up instructions")
 	insts := fs.Uint64("insts", 80_000, "per-job measured instructions")
 	if err := fs.Parse(args); err != nil {

@@ -146,6 +146,7 @@ type Runner struct {
 	opts  Options
 	ckpt  *checkpoint
 	base  context.Context // optional campaign-wide context (BindContext)
+	admit AdmitFunc       // optional gate on detailed simulation (WithAdmit)
 	stats RunnerStats     // accessed atomically; read via Stats
 
 	mu    sync.Mutex
@@ -179,6 +180,23 @@ func (r *Runner) WithCheckpoint(dir string) (*Runner, error) {
 	}
 	r.ckpt = c
 	return r, nil
+}
+
+// AdmitFunc gates one detailed simulation attempt. It runs after the memo
+// cache and checkpoint have both missed — cached results always flow — and
+// immediately before the simulator would execute. A non-nil error refuses
+// the attempt (the run fails with that error, unretried); on admission the
+// returned release hook must be invoked exactly once with the attempt's
+// outcome. pubsd's circuit breaker hangs off this seam: while open, only
+// memo/checkpoint hits are served and everything else fails fast with
+// simerr.ErrCircuitOpen.
+type AdmitFunc func() (release func(error), err error)
+
+// WithAdmit installs the simulation admission gate. Call it before the
+// first Run; it returns the runner for chaining.
+func (r *Runner) WithAdmit(f AdmitFunc) *Runner {
+	r.admit = f
+	return r
 }
 
 // BindContext attaches a campaign-wide context to the runner: every
@@ -334,6 +352,15 @@ func (r *Runner) simulate(ctx context.Context, cfg pipeline.Config, prog *isa.Pr
 		ctx, cancel = context.WithTimeout(ctx, r.opts.Timeout)
 		defer cancel()
 	}
+	if r.admit != nil {
+		release, aerr := r.admit()
+		if aerr != nil {
+			return pipeline.Result{}, aerr
+		}
+		// Registered before the recover handler so it runs after it (LIFO)
+		// and sees the attempt's final error, panics included.
+		defer func() { release(err) }()
+	}
 	defer func() {
 		if v := recover(); v != nil {
 			err = &simerr.PanicError{Value: v, Stack: debug.Stack()}
@@ -483,13 +510,30 @@ func (r *Runner) sweepBatch(ctx context.Context, cfgs []pipeline.Config, wl stri
 		return nil, nil
 	}
 
+	// One admission covers the whole batched execution; a refusal fails
+	// every pending cell at once (each then gets an individually admitted
+	// retry via the caller's fallback, which fails fast the same way).
+	var release func(error)
+	if r.admit != nil {
+		var aerr error
+		release, aerr = r.admit()
+		if aerr != nil {
+			return pending, aerr
+		}
+	}
 	prog, err := workload.Program(wl)
 	if err != nil {
+		if release != nil {
+			release(err)
+		}
 		return pending, err
 	}
 	plan := r.opts.samplingPlan()
 	windows, err := r.snaps.Windows(ctx, prog, plan)
 	if err != nil {
+		if release != nil {
+			release(err)
+		}
 		return pending, err
 	}
 	runCfgs := make([]pipeline.Config, len(pending))
@@ -498,6 +542,16 @@ func (r *Runner) sweepBatch(ctx context.Context, cfgs []pipeline.Config, wl stri
 	}
 	atomic.AddUint64(&r.stats.Simulated, uint64(len(runCfgs)))
 	sres, errs := sampling.RunSweep(ctx, runCfgs, prog, plan, windows)
+	if release != nil {
+		var first error
+		for _, e := range errs {
+			if e != nil {
+				first = e
+				break
+			}
+		}
+		release(first)
+	}
 
 	var retry []int
 	for k, i := range pending {

@@ -30,6 +30,19 @@ const (
 	// WorkerTransient fails the worker with a retryable error (detail:
 	// workload name). The runner's backoff/retry loop must absorb it.
 	WorkerTransient = "worker.transient"
+	// ServicePanic panics a pubsd pool worker mid-cell, above the
+	// runner's own recovery (detail: workload name). The service-level
+	// recover must fail only the task's cells and keep the pool serving.
+	ServicePanic = "service.worker.panic"
+	// JournalAppend fails a pubsd job-journal write (detail: record
+	// type). The daemon must count the error and keep serving — a lossy
+	// journal degrades crash recovery, never availability.
+	JournalAppend = "journal.append"
+	// CacheEvict drops a freshly stored result from the pubsd result
+	// cache (detail: content key), simulating eviction under memory
+	// pressure. Later submissions must recompute (or checkpoint-hit),
+	// never fail.
+	CacheEvict = "service.cache.evict"
 )
 
 var (

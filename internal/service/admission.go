@@ -1,0 +1,301 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/simerr"
+)
+
+// ErrRateLimited means the submitting tenant exhausted its token bucket;
+// the HTTP layer maps it to 429 with a Retry-After hint.
+var ErrRateLimited = errors.New("service: tenant rate limit exceeded")
+
+// RetryAfterError wraps a refusal with a client backoff hint. The HTTP
+// layer surfaces After as a Retry-After header; errors.Is reaches through
+// to the wrapped sentinel (ErrQueueFull, ErrRateLimited, ErrDraining).
+type RetryAfterError struct {
+	Err   error
+	After time.Duration
+}
+
+// Error renders the refusal with its hint.
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("%v (retry after %s)", e.Err, e.After)
+}
+
+// Unwrap exposes the wrapped refusal to errors.Is/As.
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
+// retryAfter wraps err with a backoff hint, flooring at one second so the
+// rendered header is never "Retry-After: 0".
+func retryAfter(err error, d time.Duration) error {
+	if d < time.Second {
+		d = time.Second
+	}
+	return &RetryAfterError{Err: err, After: d}
+}
+
+// tokenBucket is one tenant's submission budget: burst capacity refilled
+// at rate tokens/second. Callers hold the owning table's lock.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// tenantLimiter maps tenants to token buckets. A zero rate disables
+// limiting entirely (the table stays empty).
+type tenantLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+func newTenantLimiter(rate float64, burst int) *tenantLimiter {
+	if burst <= 0 {
+		burst = 4
+	}
+	return &tenantLimiter{rate: rate, burst: float64(burst), buckets: make(map[string]*tokenBucket)}
+}
+
+// take spends one token from tenant's bucket. When the bucket is dry it
+// returns false and how long until the next token accrues — the
+// Retry-After hint. The empty tenant shares one "default" bucket, so
+// anonymous traffic is rate-limited collectively rather than escaping
+// per-tenant fairness by omitting the field.
+func (t *tenantLimiter) take(tenant string) (bool, time.Duration) {
+	if t.rate <= 0 {
+		return true, 0
+	}
+	if tenant == "" {
+		tenant = "default"
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	b, ok := t.buckets[tenant]
+	if !ok {
+		b = &tokenBucket{tokens: t.burst, last: now}
+		t.buckets[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * t.rate
+	if b.tokens > t.burst {
+		b.tokens = t.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / t.rate * float64(time.Second))
+	return false, wait
+}
+
+// jobQueue is the bounded, priority-ordered submission queue that replaced
+// the plain channel: higher Priority pops first, FIFO within a priority
+// band, and a full queue can evict its lowest-priority entry to admit more
+// important work (shedLowest). Capacity is enforced by Submit, not here,
+// so journal recovery can re-enqueue past the cap without dropping
+// campaigns that were already accepted once.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*Job // sorted: priority desc, then arrival order asc
+	seq    uint64
+	closed bool
+}
+
+func newJobQueue() *jobQueue {
+	q := &jobQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push inserts the job in priority order (stable within a band).
+func (q *jobQueue) push(j *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.seq++
+	j.qseq = q.seq
+	i := len(q.items)
+	for i > 0 && q.items[i-1].priority < j.priority {
+		i--
+	}
+	q.items = append(q.items, nil)
+	copy(q.items[i+1:], q.items[i:])
+	q.items[i] = j
+	q.cond.Signal()
+}
+
+// pop blocks until a job is available (highest priority first) or the
+// queue is closed and drained, mirroring a closed channel's semantics so
+// shutdown still runs every accepted job.
+func (q *jobQueue) pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	j := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	return j, true
+}
+
+// shedLowest removes and returns the queued job with the lowest priority,
+// provided it is strictly below `below` (nil otherwise): the eviction that
+// makes room for more important work at the high-water mark. Among equals
+// the most recent arrival is shed, preserving FIFO fairness for the rest.
+func (q *jobQueue) shedLowest(below int) *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if n := len(q.items); n > 0 && q.items[n-1].priority < below {
+		j := q.items[n-1]
+		q.items[n-1] = nil
+		q.items = q.items[:n-1]
+		return j
+	}
+	return nil
+}
+
+// depth returns the number of queued jobs.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// close stops pop from blocking once the queue drains.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// Breaker states, exported as the pubsd_breaker_state gauge.
+const (
+	breakerClosed   = 0
+	breakerHalfOpen = 1
+	breakerOpen     = 2
+)
+
+// breaker is the circuit breaker around the simulator: Threshold
+// consecutive recovered panics trip it open, refusing further detailed
+// simulation (cached and checkpointed results still serve — degraded,
+// cached-only mode) until Cooldown elapses; then one half-open probe
+// decides whether to close it or re-trip. Only panics count as failures:
+// timeouts and deadlocks are per-run properties, but a panicking simulator
+// is a daemon-threatening bug to contain.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	state       int
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+	trips       uint64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a simulation attempt may proceed, transitioning
+// open→half-open after the cooldown (one probe at a time). The returned
+// error wraps simerr.ErrCircuitOpen.
+func (b *breaker) Allow() error {
+	if b == nil || b.threshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return fmt.Errorf("service: %w after %d consecutive simulator panics (degraded, cached-only)",
+				simerr.ErrCircuitOpen, b.consecutive)
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return fmt.Errorf("service: %w, probe in flight (degraded, cached-only)", simerr.ErrCircuitOpen)
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Record feeds one attempt's outcome back. A panic in half-open re-trips
+// immediately; any non-panic outcome there closes the breaker (the
+// simulator is no longer panicking — ordinary failures have their own
+// handling). In the closed state only a panic streak of Threshold trips.
+func (b *breaker) Record(err error) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	isPanic := errors.Is(err, simerr.ErrPanic)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.probing = false
+		if isPanic {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			b.trips++
+			return
+		}
+		b.state = breakerClosed
+		b.consecutive = 0
+	case breakerClosed:
+		if !isPanic {
+			b.consecutive = 0
+			return
+		}
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			b.trips++
+		}
+	}
+	// Open: attempts admitted before the trip may still drain their
+	// outcomes here; they carry no new information.
+}
+
+// State returns the breaker position and total trips.
+func (b *breaker) State() (state int, trips uint64) {
+	if b == nil {
+		return breakerClosed, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips
+}
+
+// StateString names the state for /healthz.
+func breakerStateString(s int) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

@@ -1,6 +1,10 @@
 package service
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/faultinject"
+)
 
 // cacheOutcome says how a cell was satisfied: a fresh execution, a
 // content-address hit on a completed result, or a merge onto an execution
@@ -74,6 +78,13 @@ func (c *resultCache) Do(key string, build func() (CellResult, error)) (CellResu
 	delete(c.inflight, key)
 	if f.err == nil {
 		c.done[key] = f.res
+		// Chaos point: drop the entry right after storing it, simulating a
+		// cache loss between a cell finishing and a client reading it. The
+		// caller still gets f.res; later reads fall through to the
+		// checkpoint-backed runner, which must reproduce it bit-identically.
+		if faultinject.Fire(faultinject.CacheEvict, key) {
+			delete(c.done, key)
+		}
 	}
 	c.mu.Unlock()
 	close(f.done)

@@ -12,7 +12,8 @@ type JobState string
 
 // Job lifecycle: queued → running → done | failed. A job with any failed
 // cell finishes failed but still carries every completed cell's result —
-// the partial-figure discipline the CLI campaign runner established.
+// the partial-figure discipline the CLI campaign runner established. A
+// queued job shed by admission control goes straight to failed.
 const (
 	JobQueued  JobState = "queued"
 	JobRunning JobState = "running"
@@ -28,10 +29,10 @@ type Event struct {
 	Type      string    `json:"type"` // queued | started | progress | cell | done | failed
 	Job       string    `json:"job"`
 	Time      time.Time `json:"time"`
-	Key       string    `json:"key,omitempty"`      // cell events: content address
-	Machine   string    `json:"machine,omitempty"`  // cell events
-	Workload  string    `json:"workload,omitempty"` // cell events
-	Outcome   string    `json:"outcome,omitempty"`  // cell events: simulated | cached | merged
+	Key       string    `json:"key,omitempty"`       // cell events: content address
+	Machine   string    `json:"machine,omitempty"`   // cell events
+	Workload  string    `json:"workload,omitempty"`  // cell events
+	Outcome   string    `json:"outcome,omitempty"`   // cell events: simulated | cached | merged
 	Committed uint64    `json:"committed,omitempty"` // progress events: instructions committed so far
 	Completed int       `json:"completed,omitempty"`
 	Total     int       `json:"total,omitempty"`
@@ -45,16 +46,21 @@ const maxJobEvents = 8192
 // Job is one submitted campaign: its cells, their results as they land,
 // and an event log streamed to any number of subscribers.
 type Job struct {
-	id    string
-	spec  CampaignSpec
-	cells []experiments.Cell
-	opts  experiments.Options
+	id       string
+	spec     CampaignSpec
+	cells    []experiments.Cell
+	opts     experiments.Options
+	tenant   string
+	priority int
+	qseq     uint64   // arrival order within the priority queue
+	jl       *journal // nil-safe durable log shared with the Service
 
 	cellWG sync.WaitGroup
 
 	mu        sync.Mutex
 	state     JobState
 	results   []CellResult // indexed like cells; zero Key = pending
+	reported  []bool       // cellDone already accepted for this index
 	cellErrs  []string
 	completed int
 	failed    int
@@ -66,14 +72,18 @@ type Job struct {
 	done      chan struct{}
 }
 
-func newJob(id string, spec CampaignSpec, cells []experiments.Cell, opts experiments.Options) *Job {
+func newJob(id string, spec CampaignSpec, cells []experiments.Cell, opts experiments.Options, jl *journal) *Job {
 	j := &Job{
 		id:        id,
 		spec:      spec,
 		cells:     cells,
 		opts:      opts,
+		tenant:    spec.Tenant,
+		priority:  spec.Priority,
+		jl:        jl,
 		state:     JobQueued,
 		results:   make([]CellResult, len(cells)),
+		reported:  make([]bool, len(cells)),
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
@@ -100,10 +110,11 @@ func (j *Job) append(e Event) {
 
 func (j *Job) start() {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.state = JobRunning
 	j.started = time.Now()
 	j.append(Event{Type: "started", Total: len(j.cells)})
+	j.mu.Unlock()
+	j.jl.append(journalRecord{Type: "start", Job: j.id})
 }
 
 // progress records a cell's committed-instruction count mid-simulation.
@@ -117,11 +128,18 @@ func (j *Job) progress(cell experiments.Cell, key string, committed uint64) {
 	})
 }
 
-// cellDone records one finished cell.
+// cellDone records one finished cell and releases its wait-group slot. It
+// is idempotent per index: the worker-pool panic recovery sweeps every
+// index of a task, and only the unreported ones count — so a panic midway
+// through a sweep can never double-complete a cell or unbalance cellWG.
 func (j *Job) cellDone(idx int, res CellResult, outcome cacheOutcome, err error) {
 	cell := j.cells[idx]
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	if j.reported[idx] {
+		j.mu.Unlock()
+		return
+	}
+	j.reported[idx] = true
 	e := Event{
 		Type: "cell", Key: res.Key,
 		Machine: cell.Config.Name, Workload: cell.Workload,
@@ -137,6 +155,13 @@ func (j *Job) cellDone(idx int, res CellResult, outcome cacheOutcome, err error)
 	}
 	e.Completed = j.completed
 	j.append(e)
+	j.mu.Unlock()
+	rec := journalRecord{Type: "cell", Job: j.id, Key: res.Key, Outcome: outcome.String()}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	j.jl.append(rec)
+	j.cellWG.Done()
 }
 
 // finalize moves the job to its terminal state.
@@ -151,6 +176,21 @@ func (j *Job) finalize() {
 	}
 	j.append(Event{Type: typ, Completed: j.completed, Total: len(j.cells)})
 	j.mu.Unlock()
+	j.jl.append(journalRecord{Type: typ, Job: j.id})
+	close(j.done)
+}
+
+// fail terminates a job that never started — the shed path. The caller
+// (Submit, holding the service lock) guarantees the dispatcher has not
+// seen it, so no cells are in flight.
+func (j *Job) fail(err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.state = JobFailed
+	j.cellErrs = append(j.cellErrs, err.Error())
+	j.append(Event{Type: "failed", Error: err.Error(), Total: len(j.cells)})
+	j.mu.Unlock()
+	j.jl.append(journalRecord{Type: "failed", Job: j.id, Error: err.Error()})
 	close(j.done)
 }
 
@@ -181,6 +221,8 @@ func (j *Job) latency() time.Duration {
 type JobStatus struct {
 	ID             string       `json:"id"`
 	State          JobState     `json:"state"`
+	Tenant         string       `json:"tenant,omitempty"`
+	Priority       int          `json:"priority,omitempty"`
 	TotalCells     int          `json:"total_cells"`
 	CompletedCells int          `json:"completed_cells"`
 	FailedCells    int          `json:"failed_cells"`
@@ -200,6 +242,8 @@ func (j *Job) Status() JobStatus {
 	st := JobStatus{
 		ID:             j.id,
 		State:          j.state,
+		Tenant:         j.tenant,
+		Priority:       j.priority,
 		TotalCells:     len(j.cells),
 		CompletedCells: j.completed,
 		FailedCells:    j.failed,

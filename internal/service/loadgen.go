@@ -65,7 +65,7 @@ func (c LoadtestConfig) normalized() LoadtestConfig {
 
 // LoadtestReport is the BENCH_3.json document.
 type LoadtestReport struct {
-	Schema      string    `json:"schema"` // "pubsd-load/1"
+	Schema      string    `json:"schema"` // "pubsd-load/2"
 	Timestamp   time.Time `json:"timestamp"`
 	BaseURL     string    `json:"base_url"`
 	Jobs        int       `json:"jobs"`
@@ -76,7 +76,13 @@ type LoadtestReport struct {
 	DurationMS int64   `json:"duration_ms"`
 	JobsPerSec float64 `json:"jobs_per_sec"`
 	Failed     int     `json:"failed_jobs"`
-	Rejected   int     `json:"rejected_jobs"` // 429/503 refusals (resubmitted)
+	// Admission refusals are not failures: each was retried after the
+	// daemon's Retry-After hint until accepted. Rejected is their total;
+	// the splits say which limit pushed back (429 = queue/rate pressure,
+	// 503 = draining).
+	Rejected    int `json:"rejected_jobs"`
+	Rejected429 int `json:"rejected_429,omitempty"`
+	Rejected503 int `json:"rejected_503,omitempty"`
 
 	// Exact submit-to-terminal latency quantiles over all completed jobs,
 	// from the sorted sample set (unlike the daemon's bucketed histogram).
@@ -91,6 +97,13 @@ type LoadtestReport struct {
 	CacheHits    uint64 `json:"cache_hits"`
 	Merged       uint64 `json:"singleflight_merged"`
 	MemoHits     uint64 `json:"runner_memo_hits"`
+	JobsShed     uint64 `json:"jobs_shed,omitempty"`
+	RateLimited  uint64 `json:"rate_limited,omitempty"`
+}
+
+// rejectCounts tallies one job's admission refusals by status class.
+type rejectCounts struct {
+	total, c429, c503 int
 }
 
 // Loadtest submits cfg.Jobs campaigns at cfg.Concurrency, polls each to a
@@ -100,7 +113,7 @@ func Loadtest(ctx context.Context, cfg LoadtestConfig) (LoadtestReport, error) {
 	cfg = cfg.normalized()
 	client := &http.Client{Timeout: 30 * time.Second}
 	rep := LoadtestReport{
-		Schema: "pubsd-load/1", Timestamp: time.Now(),
+		Schema: "pubsd-load/2", Timestamp: time.Now(),
 		BaseURL: cfg.BaseURL, Jobs: cfg.Jobs,
 		Concurrency: cfg.Concurrency, SpecRing: len(cfg.Specs),
 		Burst: cfg.DuplicateBurst,
@@ -110,7 +123,7 @@ func Loadtest(ctx context.Context, cfg LoadtestConfig) (LoadtestReport, error) {
 		mu        sync.Mutex
 		latencies []float64
 		failed    int
-		rejected  int
+		rejected  rejectCounts
 		firstErr  error
 	)
 	start := time.Now()
@@ -127,7 +140,9 @@ func Loadtest(ctx context.Context, cfg LoadtestConfig) (LoadtestReport, error) {
 			lat, retries, err := runOneJob(ctx, client, cfg, spec)
 			mu.Lock()
 			defer mu.Unlock()
-			rejected += retries
+			rejected.total += retries.total
+			rejected.c429 += retries.c429
+			rejected.c503 += retries.c503
 			if err != nil {
 				failed++
 				if firstErr == nil {
@@ -143,7 +158,9 @@ func Loadtest(ctx context.Context, cfg LoadtestConfig) (LoadtestReport, error) {
 
 	rep.DurationMS = elapsed.Milliseconds()
 	rep.Failed = failed
-	rep.Rejected = rejected
+	rep.Rejected = rejected.total
+	rep.Rejected429 = rejected.c429
+	rep.Rejected503 = rejected.c503
 	if elapsed > 0 {
 		rep.JobsPerSec = float64(cfg.Jobs-failed) / elapsed.Seconds()
 	}
@@ -160,6 +177,8 @@ func Loadtest(ctx context.Context, cfg LoadtestConfig) (LoadtestReport, error) {
 		rep.CacheHits = counters["pubsd_cache_hits_total"]
 		rep.Merged = counters["pubsd_singleflight_merged_total"]
 		rep.MemoHits = counters["pubsd_runner_memo_hits_total"]
+		rep.JobsShed = counters["pubsd_jobs_shed_total"]
+		rep.RateLimited = counters["pubsd_rate_limited_total"]
 	} else if firstErr == nil {
 		firstErr = fmt.Errorf("loadtest: scraping /metrics: %w", err)
 	}
@@ -167,16 +186,16 @@ func Loadtest(ctx context.Context, cfg LoadtestConfig) (LoadtestReport, error) {
 }
 
 // runOneJob submits one spec (retrying refusals with backoff) and polls it
-// to a terminal state, returning its submit-to-terminal latency and how
-// many times the daemon refused the submission.
-func runOneJob(ctx context.Context, client *http.Client, cfg LoadtestConfig, spec CampaignSpec) (time.Duration, int, error) {
+// to a terminal state, returning its submit-to-terminal latency and the
+// daemon's refusals by status class.
+func runOneJob(ctx context.Context, client *http.Client, cfg LoadtestConfig, spec CampaignSpec) (time.Duration, rejectCounts, error) {
+	var retries rejectCounts
 	body, err := json.Marshal(spec)
 	if err != nil {
-		return 0, 0, err
+		return 0, retries, err
 	}
 	start := time.Now()
 	var id string
-	retries := 0
 	for {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 			cfg.BaseURL+"/v1/jobs", bytes.NewReader(body))
@@ -189,16 +208,34 @@ func runOneJob(ctx context.Context, client *http.Client, cfg LoadtestConfig, spe
 			return 0, retries, err
 		}
 		data, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
+		if err == nil {
+			err = resp.Body.Close()
+		} else {
+			resp.Body.Close()
+		}
 		if err != nil {
 			return 0, retries, err
 		}
 		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
-			retries++
+			retries.total++
+			if resp.StatusCode == http.StatusTooManyRequests {
+				retries.c429++
+			} else {
+				retries.c503++
+			}
+			// Honor the daemon's Retry-After hint, capped so the loadtest
+			// itself stays responsive under deliberate oversubscription.
+			backoff := cfg.PollInterval
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				backoff = time.Duration(secs) * time.Second
+				if backoff > time.Second {
+					backoff = time.Second
+				}
+			}
 			select {
 			case <-ctx.Done():
 				return 0, retries, ctx.Err()
-			case <-time.After(cfg.PollInterval):
+			case <-time.After(backoff):
 			}
 			continue
 		}

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// hostileBodies is the fuzz-seeded table of corrupt and adversarial
+// POST /v1/jobs payloads. Every one of them must come back as a 400 with
+// the JSON error envelope — never a 5xx, never a panic, never an accepted
+// job. The entries double as the seed corpus for FuzzCampaignSpec.
+var hostileBodies = []struct {
+	name string
+	body string
+}{
+	{"empty", ""},
+	{"not json", "hello there"},
+	{"truncated object", `{"machines": [{"machine": "base"`},
+	{"wrong top-level type", `[1, 2, 3]`},
+	{"null", `null`},
+	{"number", `42`},
+	{"unknown field", `{"machines":[{"machine":"base"}], "frobnicate": true}`},
+	{"wrong field type", `{"machines": "base"}`},
+	{"machine wrong type", `{"machines": [42]}`},
+	{"no machines", `{"workloads": ["matmul"]}`},
+	{"empty machines", `{"machines": []}`},
+	{"unknown machine", `{"machines": [{"machine": "vax-11/780"}]}`},
+	{"unknown workload", `{"machines":[{"machine":"base"}], "workloads":["solitaire"]}`},
+	{"negative windows", `{"machines":[{"machine":"base"}], "windows": -3}`},
+	{"huge windows", `{"machines":[{"machine":"base"}], "windows": 9223372036854775807}`},
+	{"windows overflow", `{"machines":[{"machine":"base"}], "windows": 99999999999999999999999}`},
+	{"negative warmup", `{"machines":[{"machine":"base"}], "warmup": -1}`},
+	{"priority out of range", `{"machines":[{"machine":"base"}], "priority": 1000000}`},
+	{"priority wrong type", `{"machines":[{"machine":"base"}], "priority": "urgent"}`},
+	{"tenant wrong type", `{"machines":[{"machine":"base"}], "tenant": {"name": "x"}}`},
+	{"nul bytes", "{\"machines\":[{\"machine\":\"base\x00\"}]}"},
+	{"deep nesting", strings.Repeat(`{"machines":`, 200) + strings.Repeat("}", 200)},
+	{"grid over cap", `{"machines":[{"machine":"base"},{"machine":"pubs"},{"machine":"age"},{"machine":"pubs+age"}]}`},
+	{"oversized body", `{"machines":[{"machine":"` + strings.Repeat("A", 2<<20) + `"}]}`},
+	{"duplicate keys", `{"machines":[{"machine":"base"}],"machines":[{"machine":"zzz"}]}`},
+	{"bom prefix", "\xef\xbb\xbf{\"machines\":[{\"machine\":\"base\"}]}"},
+	{"negative conf bits", `{"machines":[{"machine":"pubs","conf_counter_bits":-8}]}`},
+}
+
+// TestMalformedSpecsAlwaysYield400 pushes every hostile body through the
+// real HTTP handler. A small MaxCellsPerJob makes the over-cap case cheap.
+func TestMalformedSpecsAlwaysYield400(t *testing.T) {
+	_, srv := testServer(t, Config{Workers: 1, MaxCellsPerJob: 20})
+	for _, tc := range hostileBodies {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: POST: %v", tc.name, err)
+		}
+		var envelope apiError
+		decErr := json.NewDecoder(resp.Body).Decode(&envelope)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+			continue
+		}
+		if decErr != nil || envelope.Error == "" {
+			t.Errorf("%s: 400 body is not the JSON error envelope (decode: %v)", tc.name, decErr)
+		}
+	}
+}
+
+// FuzzCampaignSpec fuzzes the submission decode + validation path (the
+// exact code POST /v1/jobs runs before admission): whatever the input, it
+// must return an error or a valid grid — never panic.
+func FuzzCampaignSpec(f *testing.F) {
+	for _, tc := range hostileBodies {
+		f.Add([]byte(tc.body))
+	}
+	f.Add([]byte(`{"machines":[{"machine":"pubs","nostall":true}],"workloads":["matmul"],"windows":2,"priority":-1,"tenant":"t"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec CampaignSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		cells, err := spec.Cells(64)
+		if err != nil {
+			return
+		}
+		if len(cells) == 0 {
+			t.Errorf("valid spec expanded to zero cells: %s", data)
+		}
+	})
+}

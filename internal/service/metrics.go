@@ -22,11 +22,19 @@ type metrics struct {
 	jobsDone      atomic.Uint64
 	jobsFailed    atomic.Uint64
 
+	jobsShed    atomic.Uint64 // overload evictions and high-water refusals
+	rateLimited atomic.Uint64 // tenant token-bucket refusals
+
 	cellsCompleted atomic.Uint64
 	cellsFailed    atomic.Uint64
 	cacheHits      atomic.Uint64
 	cacheMisses    atomic.Uint64 // fresh executions
 	merged         atomic.Uint64 // singleflight-deduped concurrent cells
+	degradedCells  atomic.Uint64 // fresh simulations refused by the open breaker
+
+	journalRecords atomic.Uint64 // successful journal appends (fed to the journal)
+	journalErrors  atomic.Uint64 // failed journal appends
+	jobsRecovered  atomic.Uint64 // jobs re-enqueued from the journal at boot
 
 	activeJobs  atomic.Int64
 	workersBusy atomic.Int64
@@ -103,19 +111,21 @@ func quantileMS(h *stats.Histogram, q float64) int64 {
 
 // snapshotGauges is what the Service contributes at render time.
 type snapshotGauges struct {
-	queueDepth   int
-	workers      int
-	cacheEntries int
-	simulated    uint64 // detailed simulations actually executed (runner stats)
-	memoHits     uint64
-	ckptHits     uint64
-	retries      uint64
+	queueDepth    int
+	workers       int
+	cacheEntries  int
+	simulated     uint64 // detailed simulations actually executed (runner stats)
+	memoHits      uint64
+	ckptHits      uint64
+	retries       uint64
 	snapPlans     uint64 // functional fast-forward passes for sampled jobs
 	snapHits      uint64 // sampled runs answered from shared snapshots
 	snapEvictions uint64 // predecoded plans evicted by the trace byte budget
 	traceResident int64  // bytes of snapshots + predecoded traces resident
 	traceBudget   int64  // configured budget (0 = unbounded)
 	draining      bool
+	breakerState  int    // 0 closed | 1 half-open | 2 open
+	breakerTrips  uint64 // closed→open transitions since boot
 }
 
 // render emits the metrics in Prometheus text exposition format.
@@ -141,8 +151,18 @@ func (m *metrics) render(g snapshotGauges) string {
 
 	line("pubsd_jobs_submitted_total", m.jobsSubmitted.Load())
 	line("pubsd_jobs_rejected_total", m.jobsRejected.Load())
+	line("pubsd_jobs_shed_total", m.jobsShed.Load())
+	line("pubsd_rate_limited_total", m.rateLimited.Load())
 	line("pubsd_jobs_completed_total", m.jobsDone.Load())
 	line("pubsd_jobs_failed_total", m.jobsFailed.Load())
+
+	line("pubsd_breaker_state", g.breakerState)
+	line("pubsd_breaker_trips_total", g.breakerTrips)
+	line("pubsd_degraded_cells_total", m.degradedCells.Load())
+
+	line("pubsd_journal_records_total", m.journalRecords.Load())
+	line("pubsd_journal_errors_total", m.journalErrors.Load())
+	line("pubsd_journal_recovered_jobs", m.jobsRecovered.Load())
 
 	line("pubsd_cells_completed_total", m.cellsCompleted.Load())
 	line("pubsd_cells_failed_total", m.cellsFailed.Load())

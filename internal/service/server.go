@@ -4,8 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 )
+
+// maxSpecBytes bounds a POST /v1/jobs body; a spec is a few hundred bytes,
+// so anything near the cap is hostile or corrupt and dies as a 400, not as
+// daemon memory.
+const maxSpecBytes = 1 << 20
 
 // apiError is the JSON error envelope for non-2xx responses.
 type apiError struct {
@@ -38,22 +44,28 @@ type submitResponse struct {
 //	GET  /v1/jobs/{id}           one job's status + completed results
 //	GET  /v1/jobs/{id}/events    NDJSON event stream until the job ends
 //	GET  /v1/results/{key}       a completed cell by content address
-//	GET  /healthz                200 serving | 503 draining
+//	GET  /healthz                200 ok/degraded | 503 draining
 //	GET  /metrics                Prometheus text exposition
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec CampaignSpec
-		dec := json.NewDecoder(r.Body)
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&spec); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
 		job, err := s.Submit(spec)
+		// Capacity refusals carry a backoff hint; 429 means "retry here
+		// after the hint", 503 means "this daemon is going away".
+		var ra *RetryAfterError
+		if errors.As(err, &ra) {
+			w.Header().Set("Retry-After", strconv.Itoa(int(ra.After.Round(time.Second).Seconds())))
+		}
 		switch {
-		case errors.Is(err, ErrQueueFull):
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrRateLimited):
 			writeError(w, http.StatusTooManyRequests, err)
 			return
 		case errors.Is(err, ErrDraining):
@@ -101,11 +113,14 @@ func (s *Service) Handler() http.Handler {
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		if s.Draining() {
-			writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		h := s.Health()
+		if h.Status == "draining" {
+			writeJSON(w, http.StatusServiceUnavailable, h)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		// Degraded (breaker not closed) is still 200: the daemon serves
+		// cached results and must not be pulled from rotation.
+		writeJSON(w, http.StatusOK, h)
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {

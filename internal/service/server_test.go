@@ -239,7 +239,7 @@ func TestLoadtestAgainstLiveServer(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Loadtest: %v", err)
 	}
-	if rep.Schema != "pubsd-load/1" || rep.Failed != 0 {
+	if rep.Schema != "pubsd-load/2" || rep.Failed != 0 {
 		t.Fatalf("report %+v", rep)
 	}
 	if rep.LatencyP50MS <= 0 || rep.LatencyP99MS < rep.LatencyP50MS {

@@ -5,21 +5,31 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/pipeline"
 	"repro/internal/sampling"
+	"repro/internal/simerr"
 )
 
-// Submission refusals. The HTTP layer maps these to 429 and 503.
+// Submission refusals. The HTTP layer maps ErrQueueFull and ErrRateLimited
+// to 429 and ErrDraining to 503, each with a Retry-After hint (see
+// RetryAfterError): 429 means "back off briefly and retry here", 503 means
+// "this daemon is going away — go elsewhere".
 var (
-	// ErrQueueFull means the bounded job queue is at capacity.
+	// ErrQueueFull means the bounded job queue is at capacity (or past its
+	// high-water mark for best-effort work).
 	ErrQueueFull = errors.New("service: job queue full")
 	// ErrDraining means the daemon is shutting down and no longer accepts
 	// jobs; in-flight and queued work still completes.
 	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrInvalidSpec wraps every submission rejected for a malformed
+	// campaign spec — the typed 400, distinct from capacity refusals.
+	ErrInvalidSpec = errors.New("service: invalid campaign spec")
 )
 
 // Config sizes the daemon.
@@ -29,11 +39,26 @@ type Config struct {
 	Workers int
 	// QueueDepth bounds jobs queued behind the active set (0 = 64).
 	QueueDepth int
+	// HighWater is the queue depth above which best-effort submissions
+	// (Priority < 0) are shed before the queue is even full (0 = 3/4 of
+	// QueueDepth). Normal and elevated work still fills to QueueDepth.
+	HighWater int
 	// MaxActiveJobs bounds campaigns expanded and executing concurrently
 	// (0 = 4). Cells from active jobs interleave on the worker pool.
 	MaxActiveJobs int
 	// MaxCellsPerJob rejects degenerate grids at submission (0 = 4096).
 	MaxCellsPerJob int
+	// TenantRate is each tenant's sustained submission budget in jobs per
+	// second (0 = unlimited); TenantBurst is the bucket capacity (0 = 4).
+	// One greedy tenant drains only its own bucket.
+	TenantRate  float64
+	TenantBurst int
+	// BreakerThreshold is how many consecutive recovered simulator panics
+	// trip the circuit breaker into degraded, cached-only mode (0 = 5,
+	// negative = disabled). BreakerCooldown is how long it stays open
+	// before a half-open probe (0 = 30s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 	// DefaultOptions supplies windows for specs that omit them and the
 	// failure handling (timeout, retries) for every run. Zero windows mean
 	// experiments.DefaultOptions.
@@ -41,6 +66,13 @@ type Config struct {
 	// CheckpointDir, when set, persists every finished run so a restarted
 	// daemon answers repeat traffic from disk.
 	CheckpointDir string
+	// JournalDir, when set, write-ahead-logs every job lifecycle
+	// transition to an append-only NDJSON journal. On startup the journal
+	// is replayed: jobs submitted but never finished are re-enqueued under
+	// their original IDs, so a kill -9 mid-campaign resumes instead of
+	// vanishing. Pair it with CheckpointDir so the resumed job's already-
+	// finished cells are served from disk rather than re-simulated.
+	JournalDir string
 	// TraceBudgetBytes bounds, per window-geometry runner, the bytes of
 	// predecoded window traces and snapshots the sampled path keeps
 	// resident, evicting whole plans LRU-first (0 = unbounded). Exported
@@ -55,11 +87,23 @@ func (c Config) normalized() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
+	if c.HighWater <= 0 || c.HighWater > c.QueueDepth {
+		c.HighWater = c.QueueDepth * 3 / 4
+		if c.HighWater < 1 {
+			c.HighWater = 1
+		}
+	}
 	if c.MaxActiveJobs <= 0 {
 		c.MaxActiveJobs = 4
 	}
 	if c.MaxCellsPerJob <= 0 {
 		c.MaxCellsPerJob = 4096
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
 	}
 	if c.DefaultOptions.Warmup == 0 && c.DefaultOptions.Measure == 0 {
 		c.DefaultOptions = experiments.DefaultOptions()
@@ -78,13 +122,20 @@ type task struct {
 	group []int
 }
 
-// Service is the campaign daemon: a bounded job queue feeding a dispatcher
-// that shards each job's grid across a fixed worker pool, with results
-// landing in the content-addressed cache.
+// Service is the campaign daemon: a bounded, priority-ordered job queue
+// feeding a dispatcher that shards each job's grid across a fixed worker
+// pool, with results landing in the content-addressed cache. Admission
+// control (per-tenant token buckets, high-water shedding, a circuit
+// breaker around the simulator) keeps it degrading gracefully instead of
+// failing open, and the optional journal makes accepted work survive a
+// crash.
 type Service struct {
-	cfg   Config
-	cache *resultCache
-	m     *metrics
+	cfg     Config
+	cache   *resultCache
+	m       *metrics
+	limiter *tenantLimiter
+	brk     *breaker
+	jl      *journal
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -93,7 +144,7 @@ type Service struct {
 	draining bool
 	seq      uint64
 
-	queue chan *Job
+	q     *jobQueue
 	tasks chan task
 
 	rootCtx context.Context
@@ -129,18 +180,44 @@ func keyFor(o experiments.Options) windowKey {
 }
 
 // New builds and starts a daemon: workers and dispatcher run until
-// Shutdown.
+// Shutdown. With Config.JournalDir set, it first replays the journal and
+// re-enqueues every campaign a previous process accepted but never
+// finished.
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.normalized()
 	s := &Service{
 		cfg:     cfg,
 		cache:   newResultCache(),
 		m:       newMetrics(),
+		limiter: newTenantLimiter(cfg.TenantRate, cfg.TenantBurst),
+		brk:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		jobs:    make(map[string]*Job),
 		runners: make(map[windowKey]*experiments.Runner),
-		queue:   make(chan *Job, cfg.QueueDepth),
+		q:       newJobQueue(),
 		tasks:   make(chan task, cfg.Workers*2),
 	}
+
+	// Recover the journal before opening it for appending: the compaction
+	// rename must land before the append handle exists, or appends would
+	// go to the unlinked pre-compaction inode.
+	var recovered []recoveredJob
+	if cfg.JournalDir != "" {
+		var maxSeq uint64
+		var err error
+		recovered, maxSeq, err = readJournal(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		if err := compactJournal(cfg.JournalDir, recovered); err != nil {
+			return nil, fmt.Errorf("service: journal compact: %w", err)
+		}
+		s.jl, err = openJournal(cfg.JournalDir, &s.m.journalRecords, &s.m.journalErrors)
+		if err != nil {
+			return nil, err
+		}
+		s.seq = maxSeq
+	}
+
 	// Fail fast on an unusable checkpoint directory.
 	if cfg.CheckpointDir != "" {
 		if _, err := s.runnerFor(cfg.DefaultOptions); err != nil {
@@ -148,6 +225,28 @@ func New(cfg Config) (*Service, error) {
 		}
 	}
 	s.rootCtx, s.cancel = context.WithCancel(context.Background())
+
+	// Re-enqueue recovered campaigns under their original IDs before the
+	// pool starts, bypassing admission control: this work was already
+	// admitted once. Specs that no longer validate (a workload or machine
+	// removed across the restart) are journaled failed, not resurrected.
+	for _, rj := range recovered {
+		cells, err := rj.Spec.Cells(cfg.MaxCellsPerJob)
+		if err == nil {
+			_, err = s.runnerFor(rj.Spec.options(cfg.DefaultOptions))
+		}
+		job := newJob(rj.ID, rj.Spec, cells, rj.Spec.options(cfg.DefaultOptions), s.jl)
+		s.jobs[rj.ID] = job
+		s.order = append(s.order, rj.ID)
+		if err != nil {
+			job.fail(fmt.Errorf("service: journal recovery: %w", err))
+			continue
+		}
+		s.jobWG.Add(1)
+		s.q.push(job)
+		s.m.jobsRecovered.Add(1)
+	}
+
 	s.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -158,9 +257,9 @@ func New(cfg Config) (*Service, error) {
 }
 
 // runnerFor returns (creating on demand) the runner for a window pair.
-// All runners share the worker pool's parallelism bound and, when
-// configured, the same checkpoint directory — keys embed the windows, so
-// the records never collide.
+// All runners share the worker pool's parallelism bound, the circuit
+// breaker, and, when configured, the same checkpoint directory — keys
+// embed the windows, so the records never collide.
 func (s *Service) runnerFor(o experiments.Options) (*experiments.Runner, error) {
 	k := keyFor(o)
 	s.mu.Lock()
@@ -168,9 +267,10 @@ func (s *Service) runnerFor(o experiments.Options) (*experiments.Runner, error) 
 	if r, ok := s.runners[k]; ok {
 		return r, nil
 	}
-	// Every runner feeds the daemon-wide replay-latency histogram.
+	// Every runner feeds the daemon-wide replay-latency histogram and is
+	// gated by the daemon-wide breaker.
 	o.WindowObserve = s.m.observeWindow
-	r := experiments.NewRunner(o)
+	r := experiments.NewRunner(o).WithAdmit(s.admitSim)
 	if s.cfg.CheckpointDir != "" {
 		var err error
 		if r, err = r.WithCheckpoint(s.cfg.CheckpointDir); err != nil {
@@ -181,14 +281,29 @@ func (s *Service) runnerFor(o experiments.Options) (*experiments.Runner, error) 
 	return r, nil
 }
 
-// Submit validates a spec, assigns a job ID, and enqueues it. It never
-// blocks: a full queue returns ErrQueueFull, a draining daemon
-// ErrDraining.
+// admitSim is the experiments.AdmitFunc every runner shares: it consults
+// the circuit breaker immediately before a detailed simulation would
+// execute (memo and checkpoint hits never reach it — that is what makes
+// the open state a cached-only mode rather than an outage) and feeds the
+// attempt's outcome back.
+func (s *Service) admitSim() (func(error), error) {
+	if err := s.brk.Allow(); err != nil {
+		s.m.degradedCells.Add(1)
+		return nil, err
+	}
+	return s.brk.Record, nil
+}
+
+// Submit validates a spec and runs it through admission control: draining
+// refuses outright (503), the tenant's token bucket may refuse with a
+// backoff hint (429), and the bounded queue refuses — or sheds a queued
+// lower-priority job to make room — when saturated (429). It never
+// blocks.
 func (s *Service) Submit(spec CampaignSpec) (*Job, error) {
 	cells, err := spec.Cells(s.cfg.MaxCellsPerJob)
 	if err != nil {
 		s.m.jobsRejected.Add(1)
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrInvalidSpec, err)
 	}
 	opts := spec.options(s.cfg.DefaultOptions)
 	if _, err := s.runnerFor(opts); err != nil {
@@ -200,24 +315,73 @@ func (s *Service) Submit(spec CampaignSpec) (*Job, error) {
 	if s.draining {
 		s.mu.Unlock()
 		s.m.jobsRejected.Add(1)
-		return nil, ErrDraining
+		return nil, retryAfter(ErrDraining, 30*time.Second)
 	}
-	s.seq++
-	id := fmt.Sprintf("j%06d", s.seq)
-	job := newJob(id, spec, cells, opts)
-	select {
-	case s.queue <- job:
-	default:
+	if ok, wait := s.limiter.take(spec.Tenant); !ok {
 		s.mu.Unlock()
 		s.m.jobsRejected.Add(1)
-		return nil, ErrQueueFull
+		s.m.rateLimited.Add(1)
+		return nil, retryAfter(ErrRateLimited, wait)
 	}
+
+	depth := s.q.depth()
+	var victim *Job
+	switch {
+	case depth >= s.cfg.QueueDepth:
+		// Full: evict the lowest-priority queued job if the newcomer
+		// outranks it; otherwise refuse with a depth-aware hint.
+		victim = s.q.shedLowest(spec.Priority)
+		if victim == nil {
+			s.mu.Unlock()
+			s.m.jobsRejected.Add(1)
+			return nil, retryAfter(ErrQueueFull, s.retryHint(depth))
+		}
+	case depth >= s.cfg.HighWater && spec.Priority < 0:
+		// Above the high-water mark best-effort work is shed first, so
+		// the remaining headroom is reserved for normal-and-up traffic.
+		s.mu.Unlock()
+		s.m.jobsRejected.Add(1)
+		s.m.jobsShed.Add(1)
+		return nil, retryAfter(fmt.Errorf("%w: %w above high-water mark", ErrQueueFull, simerr.ErrOverload), s.retryHint(depth))
+	}
+
+	s.seq++
+	id := fmt.Sprintf("j%06d", s.seq)
+	job := newJob(id, spec, cells, opts, s.jl)
 	s.jobs[id] = job
 	s.order = append(s.order, id)
 	s.jobWG.Add(1)
+	// Journal the acceptance before it becomes runnable: once Submit
+	// returns, a crash must not lose the job.
+	specCopy := spec
+	s.jl.append(journalRecord{Type: "submit", Job: id, Spec: &specCopy})
+	s.q.push(job)
+	if victim != nil {
+		victim.fail(fmt.Errorf("service: %w: evicted from a full queue by higher-priority job %s", simerr.ErrOverload, id))
+		s.m.jobsShed.Add(1)
+		s.jobWG.Done()
+	}
 	s.mu.Unlock()
 	s.m.jobsSubmitted.Add(1)
 	return job, nil
+}
+
+// retryHint estimates how long a refused client should back off: the
+// queue's drain time at the current depth, gauged by the median job
+// latency over the active-job parallelism, clamped to [1s, 60s].
+func (s *Service) retryHint(depth int) time.Duration {
+	p50 := time.Duration(s.m.latencyQuantileMS(0.5)) * time.Millisecond
+	if p50 <= 0 {
+		p50 = time.Second
+	}
+	hint := p50 * time.Duration(depth) / time.Duration(s.cfg.MaxActiveJobs)
+	if hint < time.Second {
+		hint = time.Second
+	}
+	if hint > time.Minute {
+		hint = time.Minute
+	}
+	return hint
 }
 
 // Job looks a job up by ID.
@@ -245,14 +409,18 @@ func (s *Service) JobStatuses() []JobStatus {
 // Result returns a completed cell by content key.
 func (s *Service) Result(key string) (CellResult, bool) { return s.cache.Get(key) }
 
-// dispatch pulls queued jobs and runs each on its own goroutine, at most
-// MaxActiveJobs at a time. Concurrent active jobs are what give the
-// singleflight layer work: two identical campaigns in flight share every
-// cell execution.
+// dispatch pulls queued jobs (highest priority first) and runs each on its
+// own goroutine, at most MaxActiveJobs at a time. Concurrent active jobs
+// are what give the singleflight layer work: two identical campaigns in
+// flight share every cell execution.
 func (s *Service) dispatch() {
 	defer s.dispWG.Done()
 	sem := make(chan struct{}, s.cfg.MaxActiveJobs)
-	for job := range s.queue {
+	for {
+		job, ok := s.q.pop()
+		if !ok {
+			return
+		}
 		sem <- struct{}{}
 		go func(j *Job) {
 			defer func() { <-sem }()
@@ -277,7 +445,6 @@ func (s *Service) runJob(j *Job) {
 			// cells already queued are failed by the workers.
 			for _, i := range t.indices() {
 				j.cellDone(i, CellResult{}, outcomeRun, s.rootCtx.Err())
-				j.cellWG.Done()
 			}
 		}
 	}
@@ -292,14 +459,33 @@ func (s *Service) runJob(j *Job) {
 	s.m.observeLatency(j.latency())
 }
 
-// worker executes tasks until the task channel closes at shutdown.
+// worker executes tasks until the task channel closes at shutdown. A
+// panic escaping a task — a service-layer bug, or the chaos harness's
+// ServicePanic point — is recovered here: the task's unreported cells
+// fail typed, the breaker records the panic, and the pool keeps serving.
 func (s *Service) worker() {
 	defer s.workerWG.Done()
 	for t := range s.tasks {
 		s.m.workersBusy.Add(1)
-		s.execute(t)
+		s.executeRecover(t)
 		s.m.workersBusy.Add(-1)
 	}
+}
+
+// executeRecover is the worker's panic bulkhead around one task.
+func (s *Service) executeRecover(t task) {
+	defer func() {
+		if v := recover(); v != nil {
+			perr := &simerr.PanicError{Value: v, Stack: debug.Stack()}
+			s.brk.Record(perr)
+			for _, i := range t.indices() {
+				// Idempotent: only cells the panic cut short still count.
+				s.m.cellsFailed.Add(1)
+				t.job.cellDone(i, CellResult{}, outcomeRun, perr)
+			}
+		}
+	}()
+	s.execute(t)
 }
 
 // indices returns the cell indices a task covers.
@@ -341,8 +527,10 @@ func (s *Service) execute(t task) {
 		s.executeSweep(t)
 		return
 	}
-	defer t.job.cellWG.Done()
 	cell := t.job.cells[t.idx]
+	if faultinject.Fire(faultinject.ServicePanic, cell.Workload) {
+		panic(fmt.Sprintf("injected service worker panic on %s", cell.Workload))
+	}
 	if err := s.rootCtx.Err(); err != nil {
 		t.job.cellDone(t.idx, CellResult{}, outcomeRun, err)
 		s.m.cellsFailed.Add(1)
@@ -391,16 +579,15 @@ func (s *Service) execute(t task) {
 // progress events are not emitted (cells complete in window-major order).
 func (s *Service) executeSweep(t task) {
 	j := t.job
-	defer func() {
-		for range t.group {
-			j.cellWG.Done()
-		}
-	}()
 	failAll := func(err error) {
 		for _, i := range t.group {
 			s.m.cellsFailed.Add(1)
 			j.cellDone(i, CellResult{}, outcomeRun, err)
 		}
+	}
+	wl := j.cells[t.group[0]].Workload
+	if faultinject.Fire(faultinject.ServicePanic, wl) {
+		panic(fmt.Sprintf("injected service worker panic on %s", wl))
 	}
 	if err := s.rootCtx.Err(); err != nil {
 		failAll(err)
@@ -412,7 +599,6 @@ func (s *Service) executeSweep(t task) {
 		return
 	}
 	opts := runner.Options()
-	wl := j.cells[t.group[0]].Workload
 	cfgs := make([]pipeline.Config, len(t.group))
 	for k, i := range t.group {
 		cfgs[k] = j.cells[i].Config
@@ -493,6 +679,34 @@ func (s *Service) Draining() bool {
 	return s.draining
 }
 
+// Health is the /healthz document: overall status plus the degraded-mode
+// detail. Status is "ok", "degraded" (circuit breaker not closed — cached
+// results serve, fresh simulation is refused or probing), or "draining".
+type Health struct {
+	Status        string `json:"status"`
+	Breaker       string `json:"breaker"`
+	BreakerTrips  uint64 `json:"breaker_trips,omitempty"`
+	RecoveredJobs uint64 `json:"recovered_jobs,omitempty"`
+}
+
+// Health snapshots the daemon's health.
+func (s *Service) Health() Health {
+	state, trips := s.brk.State()
+	h := Health{
+		Status:        "ok",
+		Breaker:       breakerStateString(state),
+		BreakerTrips:  trips,
+		RecoveredJobs: s.m.jobsRecovered.Load(),
+	}
+	if state != breakerClosed {
+		h.Status = "degraded"
+	}
+	if s.Draining() {
+		h.Status = "draining"
+	}
+	return h
+}
+
 // Shutdown drains the daemon: submissions are refused immediately, every
 // accepted job (queued or active) runs to completion, then the pool stops.
 // If ctx expires first, in-flight simulations are canceled — they fail
@@ -505,7 +719,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		return errors.New("service: already shut down")
 	}
 	s.draining = true
-	close(s.queue)
+	s.q.close()
 	s.mu.Unlock()
 
 	drained := make(chan struct{})
@@ -525,6 +739,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	close(s.tasks)
 	s.workerWG.Wait()
 	s.cancel()
+	s.jl.close()
 	return err
 }
 
@@ -532,7 +747,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 func (s *Service) Workers() int { return s.cfg.Workers }
 
 // QueueDepth returns the number of jobs currently queued (not yet active).
-func (s *Service) QueueDepth() int { return len(s.queue) }
+func (s *Service) QueueDepth() int { return s.q.depth() }
 
 // DefaultOptions returns the daemon's default (normalized) run options.
 func (s *Service) DefaultOptions() experiments.Options { return s.cfg.DefaultOptions }
@@ -540,20 +755,23 @@ func (s *Service) DefaultOptions() experiments.Options { return s.cfg.DefaultOpt
 // MetricsText renders the /metrics document.
 func (s *Service) MetricsText() string {
 	rs, snaps := s.runnerStats()
+	brkState, brkTrips := s.brk.State()
 	return s.m.render(snapshotGauges{
-		queueDepth:   s.QueueDepth(),
-		workers:      s.cfg.Workers,
-		cacheEntries: s.cache.Len(),
-		simulated:    rs.Simulated,
-		memoHits:     rs.MemoHits,
-		ckptHits:     rs.CheckpointHits,
-		retries:      rs.Retries,
+		queueDepth:    s.QueueDepth(),
+		workers:       s.cfg.Workers,
+		cacheEntries:  s.cache.Len(),
+		simulated:     rs.Simulated,
+		memoHits:      rs.MemoHits,
+		ckptHits:      rs.CheckpointHits,
+		retries:       rs.Retries,
 		snapPlans:     snaps.Plans,
 		snapHits:      snaps.Hits,
 		snapEvictions: snaps.Evictions,
 		traceResident: snaps.ResidentBytes,
 		traceBudget:   s.cfg.TraceBudgetBytes,
 		draining:      s.Draining(),
+		breakerState:  brkState,
+		breakerTrips:  brkTrips,
 	})
 }
 

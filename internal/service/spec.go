@@ -89,6 +89,11 @@ func (m MachineSpec) Config() (pipeline.Config, error) {
 	if err != nil {
 		return pipeline.Config{}, err
 	}
+	// Negative overrides are malformed, not "unset": silently ignoring
+	// them would accept a spec the submitter believes says something.
+	if m.PriorityEntries < 0 || m.ConfCounterBits < 0 {
+		return pipeline.Config{}, fmt.Errorf("service: machine %q: negative PUBS override", m.Machine)
+	}
 	if cfg.PUBS.Enable {
 		if m.PriorityEntries > 0 {
 			cfg.PUBS.PriorityEntries = m.PriorityEntries
@@ -152,13 +157,33 @@ type CampaignSpec struct {
 	ParallelWindows int           `json:"parallel_windows,omitempty"`
 	WindowMajor     bool          `json:"window_major,omitempty"`
 	LiveDecode      bool          `json:"live_decode,omitempty"`
+
+	// Admission-control metadata. Tenant names the submitter for the
+	// per-tenant token buckets (empty = the shared "default" bucket);
+	// Priority orders the job queue and picks shedding victims under
+	// overload (higher runs first, lower sheds first; negative =
+	// best-effort, refused above the high-water mark). Neither enters
+	// memo, checkpoint, or content keys — two submissions differing only
+	// here share every cell.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
 }
+
+// maxSampleWindows bounds a sampled spec's window count: beyond it a
+// submission is a typo or an attack, not an experiment.
+const maxSampleWindows = 65536
 
 // Cells validates the spec and enumerates its grid. maxCells caps
 // degenerate submissions (0 disables the cap).
 func (s CampaignSpec) Cells(maxCells int) ([]experiments.Cell, error) {
 	if len(s.Machines) == 0 {
 		return nil, fmt.Errorf("service: spec needs at least one machine")
+	}
+	if s.Windows < 0 || s.Windows > maxSampleWindows {
+		return nil, fmt.Errorf("service: windows must be in [0, %d], got %d", maxSampleWindows, s.Windows)
+	}
+	if s.Priority < -1000 || s.Priority > 1000 {
+		return nil, fmt.Errorf("service: priority must be in [-1000, 1000], got %d", s.Priority)
 	}
 	cfgs := make([]pipeline.Config, 0, len(s.Machines))
 	for i, m := range s.Machines {

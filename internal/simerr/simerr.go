@@ -17,6 +17,12 @@
 //	                   (issue queue, ROB, LSQ, or PUBS table state).
 //	ErrPanic         — a worker panicked; the campaign recovered it and
 //	                   failed only that run.
+//	ErrCircuitOpen   — the service's circuit breaker tripped after
+//	                   consecutive simulator panics; detailed simulation
+//	                   is refused while cached results still serve.
+//	ErrOverload      — admission control shed the work: the job was
+//	                   evicted from a full queue (or refused above the
+//	                   high-water mark) to protect accepted work.
 //
 // Transient wraps an error to mark it retryable; the experiment runner
 // retries transient failures with exponential backoff and treats every
@@ -44,6 +50,12 @@ var (
 	ErrInvariant = errors.New("invariant violation")
 	// ErrPanic marks a recovered worker panic.
 	ErrPanic = errors.New("worker panic")
+	// ErrCircuitOpen marks a simulation refused because the service's
+	// circuit breaker is open (degraded, cached-only mode).
+	ErrCircuitOpen = errors.New("circuit breaker open")
+	// ErrOverload marks work shed by admission control to protect the
+	// work already accepted.
+	ErrOverload = errors.New("shed under overload")
 )
 
 // transientError marks its wrapped error as retryable.

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Chaos smoke test: kill -9 a pubsd daemon mid-campaign and prove the
+# self-healing story end to end. A journaled daemon accepts an 8-cell
+# campaign, is killed without warning after at least one cell has
+# checkpointed, and is restarted on the same journal and checkpoint
+# directories. The restarted daemon must re-enqueue the orphaned job under
+# its original ID, serve the already-finished cells from the checkpoint
+# store (no re-simulation), finish the rest, and produce results
+# bit-identical to an uninterrupted daemon running the same campaign on
+# fresh state. A resubmission of the same spec must then complete with
+# zero new simulations.
+#
+# Usage: scripts/chaos_smoke.sh [path-to-pubsd-binary]
+set -euo pipefail
+
+PUBSD=${1:-}
+if [[ -z "$PUBSD" ]]; then
+  go build -o /tmp/pubsd ./cmd/pubsd
+  PUBSD=/tmp/pubsd
+fi
+
+ADDR=127.0.0.1:8322
+BASE=http://$ADDR
+STATE=$(mktemp -d)
+trap 'kill -9 $PID 2>/dev/null || true; rm -rf "$STATE"' EXIT
+
+# 4 machines x 2 workloads = 8 cells, each large enough (~1s on one
+# worker) that the kill below reliably lands mid-campaign.
+SPEC='{"machines":[{"machine":"base"},{"machine":"pubs"},{"machine":"age"},{"machine":"pubs+age"}],"workloads":["matmul","chess"],"warmup":2000,"measure":400000}'
+
+start_daemon() {
+  "$PUBSD" serve -addr "$ADDR" -workers 1 -warmup 2000 -insts 400000 \
+    -journal "$STATE/journal" -checkpoint "$STATE/ckpt" 2>>"$STATE/log" &
+  PID=$!
+  for i in $(seq 1 50); do
+    curl -sf "$BASE/healthz" >/dev/null && return 0
+    kill -0 $PID 2>/dev/null || { echo "daemon died at boot"; cat "$STATE/log"; exit 1; }
+    sleep 0.2
+  done
+  echo "daemon never became healthy"; exit 1
+}
+
+metric() { curl -sf "$BASE/metrics" | awk -v m="$1" '$1 == m {print $2}'; }
+
+wait_done() {
+  local id=$1
+  for i in $(seq 1 300); do
+    state=$(curl -sf "$BASE/v1/jobs/$id" | jq -r .state)
+    case "$state" in
+      done) return 0 ;;
+      failed) echo "job $id failed:" >&2
+              curl -sf "$BASE/v1/jobs/$id" | jq .errors >&2; exit 1 ;;
+    esac
+    sleep 0.2
+  done
+  echo "job $id never finished (state=$state)" >&2; exit 1
+}
+
+# --- Phase 1: accept a campaign, then die without warning. ---------------
+start_daemon
+JOB=$(curl -sf -X POST "$BASE/v1/jobs" -d "$SPEC" | jq -r .id)
+[[ -n "$JOB" && "$JOB" != null ]] || { echo "submission failed"; exit 1; }
+
+# Let at least one cell finish (and checkpoint) so recovery has something
+# to prove, but kill before the campaign completes.
+for i in $(seq 1 300); do
+  DONE_CELLS=$(curl -sf "$BASE/v1/jobs/$JOB" | jq -r .completed_cells)
+  [[ "$DONE_CELLS" -ge 1 ]] && break
+  [[ $i == 300 ]] && { echo "no cell ever completed"; exit 1; }
+  sleep 0.1
+done
+STATE_AT_KILL=$(curl -sf "$BASE/v1/jobs/$JOB" | jq -r .state)
+[[ "$STATE_AT_KILL" == done ]] && { echo "campaign finished before the kill; grow the cells"; exit 1; }
+kill -9 $PID
+wait $PID 2>/dev/null || true
+echo "chaos: killed daemon with $DONE_CELLS/8 cells done (job $JOB)"
+
+# --- Phase 2: restart on the same state; the job must self-heal. ---------
+start_daemon
+RECOVERED=$(metric pubsd_journal_recovered_jobs)
+[[ "$RECOVERED" == 1 ]] || { echo "expected 1 recovered job, got $RECOVERED"; exit 1; }
+wait_done "$JOB"
+
+CKPT_HITS=$(metric pubsd_runner_checkpoint_hits_total)
+[[ "$CKPT_HITS" -ge 1 ]] || { echo "recovered job re-simulated checkpointed cells (hits=$CKPT_HITS)"; exit 1; }
+SIMS_AFTER_RECOVERY=$(metric pubsd_sims_executed_total)
+[[ $((CKPT_HITS + SIMS_AFTER_RECOVERY)) -ge 8 ]] || { echo "cells unaccounted for: $CKPT_HITS hits + $SIMS_AFTER_RECOVERY sims"; exit 1; }
+R_RECOVERED=$(curl -sf "$BASE/v1/jobs/$JOB" | jq -S .results)
+[[ $(echo "$R_RECOVERED" | jq length) == 8 ]] || { echo "recovered job has incomplete results"; exit 1; }
+
+# Resubmitting the identical spec must cost zero new simulations.
+JOB2=$(curl -sf -X POST "$BASE/v1/jobs" -d "$SPEC" | jq -r .id)
+[[ "$JOB2" != "$JOB" ]] || { echo "resubmission reused the recovered job ID"; exit 1; }
+wait_done "$JOB2"
+SIMS_AFTER_RESUBMIT=$(metric pubsd_sims_executed_total)
+[[ "$SIMS_AFTER_RESUBMIT" == "$SIMS_AFTER_RECOVERY" ]] || { echo "resubmission re-simulated: $SIMS_AFTER_RECOVERY -> $SIMS_AFTER_RESUBMIT"; exit 1; }
+R_RESUBMIT=$(curl -sf "$BASE/v1/jobs/$JOB2" | jq -S .results)
+[[ "$R_RECOVERED" == "$R_RESUBMIT" ]] || { echo "resubmission differs from recovered job"; exit 1; }
+
+kill -TERM $PID
+wait $PID || { echo "recovered daemon exited non-zero"; exit 1; }
+
+# --- Phase 3: a clean daemon on fresh state must agree bit for bit. ------
+STATE2=$(mktemp -d)
+ADDR=127.0.0.1:8323
+BASE=http://$ADDR
+"$PUBSD" serve -addr "$ADDR" -workers 1 -warmup 2000 -insts 400000 \
+  -journal "$STATE2/journal" -checkpoint "$STATE2/ckpt" 2>>"$STATE/log" &
+PID=$!
+trap 'kill -9 $PID 2>/dev/null || true; rm -rf "$STATE" "$STATE2"' EXIT
+for i in $(seq 1 50); do
+  curl -sf "$BASE/healthz" >/dev/null && break
+  [[ $i == 50 ]] && { echo "clean daemon never became healthy"; exit 1; }
+  sleep 0.2
+done
+JOB3=$(curl -sf -X POST "$BASE/v1/jobs" -d "$SPEC" | jq -r .id)
+wait_done "$JOB3"
+R_CLEAN=$(curl -sf "$BASE/v1/jobs/$JOB3" | jq -S .results)
+[[ "$R_RECOVERED" == "$R_CLEAN" ]] || {
+  echo "crash-recovered results differ from a clean run";
+  diff <(echo "$R_RECOVERED") <(echo "$R_CLEAN") | head -40
+  exit 1
+}
+
+kill -TERM $PID
+wait $PID || { echo "clean daemon exited non-zero"; exit 1; }
+trap 'rm -rf "$STATE" "$STATE2"' EXIT
+
+echo "chaos smoke OK: killed at $DONE_CELLS/8 cells, recovered job $JOB with $CKPT_HITS checkpoint hits, recovered == resubmitted == clean"
