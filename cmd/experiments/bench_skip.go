@@ -1,0 +1,257 @@
+package main
+
+// Idle-skip benchmark harness: -bench-skip-out measures single runs of the
+// memory-bound workload set two ways — poll mode (Config.NoIdleSkip, the
+// pre-skip cycle loop that walks every stage every cycle) and skip mode
+// (the default event-driven idle-cycle skipping, DESIGN.md §14) — verifies
+// the two produce bit-identical Results, and writes a machine-readable
+// report (BENCH_6.json schema). -bench-skip-baseline gates regressions:
+// skip mode must stay at least minSkipSpeedup faster than polling on this
+// set, and within tolerance of the committed baseline's speedup.
+//
+// The set is deliberately memory-bound (pointer chases, sparse gathers,
+// cache-hostile strides): those are the workloads whose cycles are
+// dominated by provably-null miss shadows, the regime the skip is built
+// for. Compute-bound workloads sit near 1.0x by construction and are
+// gated for overhead by BENCH_2's sims/sec floor instead.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+
+	pubsim "repro"
+)
+
+// Skip-benchmark geometry: one contiguous window per run, long enough that
+// the measured span is dominated by steady-state miss behaviour rather
+// than cold caches.
+const (
+	skipWarmup  = 20_000
+	skipMeasure = 80_000
+)
+
+// minSkipSpeedup is the hard floor on the geomean skip-vs-poll speedup
+// across the memory-bound set: below this the event-driven skip has
+// stopped earning its complexity.
+const minSkipSpeedup = 2.0
+
+type benchSkipEntry struct {
+	Name     string `json:"name"` // workload-machine
+	Workload string `json:"workload"`
+	Machine  string `json:"machine"`
+
+	PollNs  int64   `json:"poll_ns"` // NoIdleSkip reference run
+	SkipNs  int64   `json:"skip_ns"` // event-driven skipping run
+	Speedup float64 `json:"speedup"` // PollNs / SkipNs
+	PollSPS float64 `json:"poll_sims_per_sec"`
+	SkipSPS float64 `json:"skip_sims_per_sec"`
+
+	Identical bool `json:"identical"` // results bit-identical across modes
+}
+
+type benchSkipReport struct {
+	Schema     string `json:"schema"`
+	GoOS       string `json:"goos"`
+	GoArch     string `json:"goarch"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+
+	Warmup  uint64 `json:"warmup_insts"`
+	Measure uint64 `json:"measure_insts"`
+
+	Entries        []benchSkipEntry `json:"entries"`
+	GeomeanSpeedup float64          `json:"geomean_speedup"`
+}
+
+// benchSkipSet crosses the memory-bound workloads with the paper's two
+// anchor machines, so the gate covers both the baseline cycle loop and the
+// PUBS dispatch/select paths under skipping.
+func benchSkipSet() []struct {
+	workload string
+	machine  string
+} {
+	var set []struct {
+		workload string
+		machine  string
+	}
+	for _, wl := range []string{"sparse", "treewalk", "quantsim", "bfs"} {
+		for _, m := range []string{"base", "pubs"} {
+			set = append(set, struct {
+				workload string
+				machine  string
+			}{wl, m})
+		}
+	}
+	return set
+}
+
+// runSkipOnce runs one (workload, machine) cell contiguously in the given
+// mode. No Runner, no memoization: the benchmark times the bare pipeline.
+func runSkipOnce(workload, machine string, poll bool) (pubsim.Result, error) {
+	cfg, err := pubsim.MachineConfig(machine)
+	if err != nil {
+		return pubsim.Result{}, err
+	}
+	cfg.NoIdleSkip = poll
+	return pubsim.Run(cfg, workload, skipWarmup, skipMeasure)
+}
+
+// runBenchSkipReport measures every cell both ways and verifies
+// bit-identity between the modes.
+func runBenchSkipReport() (*benchSkipReport, error) {
+	rep := &benchSkipReport{
+		Schema: "pubsim-bench-skip/1",
+		GoOS:   runtime.GOOS, GoArch: runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Warmup:     skipWarmup,
+		Measure:    skipMeasure,
+	}
+	for _, bc := range benchSkipSet() {
+		name := bc.workload + "-" + bc.machine
+		// Correctness first: both modes must produce identical Results.
+		pollRes, err := runSkipOnce(bc.workload, bc.machine, true)
+		if err != nil {
+			return nil, fmt.Errorf("poll %s: %w", name, err)
+		}
+		skipRes, err := runSkipOnce(bc.workload, bc.machine, false)
+		if err != nil {
+			return nil, fmt.Errorf("skip %s: %w", name, err)
+		}
+		identical := reflect.DeepEqual(pollRes, skipRes)
+
+		var runErr error
+		poll := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := runSkipOnce(bc.workload, bc.machine, true); err != nil {
+					runErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+		skip := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := runSkipOnce(bc.workload, bc.machine, false); err != nil {
+					runErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+
+		pollNs, skipNs := poll.NsPerOp(), skip.NsPerOp()
+		if pollNs <= 0 {
+			pollNs = 1
+		}
+		if skipNs <= 0 {
+			skipNs = 1
+		}
+		e := benchSkipEntry{
+			Name: name, Workload: bc.workload, Machine: bc.machine,
+			PollNs: pollNs, SkipNs: skipNs,
+			Speedup:   float64(pollNs) / float64(skipNs),
+			PollSPS:   1e9 / float64(pollNs),
+			SkipSPS:   1e9 / float64(skipNs),
+			Identical: identical,
+		}
+		rep.Entries = append(rep.Entries, e)
+		fmt.Fprintf(os.Stderr,
+			"bench-skip %-18s poll %7.1f ms  skip %7.1f ms  speedup %.2fx  identical=%v\n",
+			name, float64(pollNs)/1e6, float64(skipNs)/1e6, e.Speedup, identical)
+	}
+	var logSum float64
+	for _, e := range rep.Entries {
+		logSum += math.Log(e.Speedup)
+	}
+	rep.GeomeanSpeedup = math.Exp(logSum / float64(len(rep.Entries)))
+	return rep, nil
+}
+
+func loadBenchSkipReport(path string) (*benchSkipReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchSkipReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench-skip baseline %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareBenchSkipReports gates the skip path: every entry bit-identical,
+// geomean speedup above the hard floor, and within the tolerance of the
+// committed baseline.
+func compareBenchSkipReports(base, cur *benchSkipReport) []string {
+	var regressions []string
+	for _, e := range cur.Entries {
+		if !e.Identical {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: idle-skip results diverged from the poll-mode reference", e.Name))
+		}
+	}
+	if cur.GeomeanSpeedup < minSkipSpeedup {
+		regressions = append(regressions, fmt.Sprintf(
+			"geomean speedup %.2fx is below the %.2fx floor — idle skipping has regressed into overhead",
+			cur.GeomeanSpeedup, float64(minSkipSpeedup)))
+	}
+	if base != nil && base.GeomeanSpeedup > 0 &&
+		cur.GeomeanSpeedup < base.GeomeanSpeedup*(1-benchTolerance) {
+		regressions = append(regressions, fmt.Sprintf(
+			"geomean speedup %.2fx is a %.0f%% regression from baseline %.2fx",
+			cur.GeomeanSpeedup,
+			(1-cur.GeomeanSpeedup/base.GeomeanSpeedup)*100,
+			base.GeomeanSpeedup))
+	}
+	return regressions
+}
+
+// runBenchSkipMode executes the -bench-skip-out / -bench-skip-baseline
+// flow; it returns a process exit code.
+func runBenchSkipMode(outPath, baselinePath string) int {
+	rep, err := runBenchSkipReport()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "bench-skip report written to %s (geomean speedup %.2fx)\n",
+			outPath, rep.GeomeanSpeedup)
+	}
+	var base *benchSkipReport
+	if baselinePath != "" {
+		if base, err = loadBenchSkipReport(baselinePath); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+	}
+	if regs := compareBenchSkipReports(base, rep); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "experiments: bench-skip regression: %s\n", r)
+		}
+		return 1
+	}
+	if base != nil {
+		fmt.Fprintf(os.Stderr, "bench-skip within %.0f%% of baseline %s (geomean %.2fx vs %.2fx)\n",
+			benchTolerance*100, baselinePath, rep.GeomeanSpeedup, base.GeomeanSpeedup)
+	}
+	return 0
+}

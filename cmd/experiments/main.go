@@ -98,6 +98,9 @@ func main() {
 		winMajor = flag.Bool("window-major", false, "sampled multi-machine sweeps replay each predecoded window across all machines while hot; never changes results")
 		liveDec  = flag.Bool("live-decode", false, "sampled windows re-decode through a live functional emulator instead of the shared predecoded trace; slower, bit-identical")
 		traceBud = flag.Int64("trace-budget", 0, "byte budget for resident window snapshots + predecoded traces, evicting whole plans LRU-first (0 = unbounded)")
+		idleSkip = flag.Bool("idle-skip", true, "event-driven idle-cycle skipping in every simulation (bit-identical; -idle-skip=false polls every cycle)")
+		skOut    = flag.String("bench-skip-out", "", "run the idle-skip benchmark and write a JSON report (BENCH_6.json schema) to this file")
+		skCmp    = flag.String("bench-skip-baseline", "", "compare the idle-skip benchmark against this baseline; exit 1 on lost bit-identity or speedup regression")
 	)
 	flag.Parse()
 	showCharts = *charts
@@ -117,6 +120,9 @@ func main() {
 	}
 	if *btOut != "" || *btCmp != "" {
 		os.Exit(runBenchTraceMode(*btOut, *btCmp))
+	}
+	if *skOut != "" || *skCmp != "" {
+		os.Exit(runBenchSkipMode(*skOut, *skCmp))
 	}
 
 	known := map[string]bool{}
@@ -162,6 +168,7 @@ func main() {
 	opts.WindowMajor = *winMajor
 	opts.LiveDecode = *liveDec
 	opts.TraceBudgetBytes = *traceBud
+	opts.NoIdleSkip = !*idleSkip
 	// SIGINT/SIGTERM cancel the campaign: binding the signal context to the
 	// runner reaches every in-flight simulation (each stops within ~1K
 	// cycles), and with -checkpoint the completed runs are already on disk,

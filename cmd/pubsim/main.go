@@ -42,6 +42,7 @@ func main() {
 		sampleFF  = flag.Uint64("sample-ff", 1_000_000, "functionally fast-forwarded instructions between sampled windows")
 		parWin    = flag.Int("parallel-windows", 0, "sampled windows simulated concurrently (0/1 = serial, -1 = GOMAXPROCS); never changes results")
 		liveDec   = flag.Bool("live-decode", false, "sampled windows re-decode through a live functional emulator instead of the shared predecoded trace; slower, bit-identical")
+		idleSkip  = flag.Bool("idle-skip", true, "event-driven idle-cycle skipping (bit-identical; -idle-skip=false polls every cycle)")
 		jsonOut   = flag.Bool("json", false, "emit the result as one JSON object (the pubsd job-result schema)")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
@@ -64,6 +65,7 @@ func main() {
 	cfg.Profile = *profile
 	cfg.DistributedIQ = *distrib
 	cfg.WrongPathDecode = *wrongp
+	cfg.NoIdleSkip = !*idleSkip
 	if cfg.PUBS.Enable {
 		cfg.PUBS.PriorityEntries = *priority
 		cfg.PUBS.ConfCounterBits = *bits

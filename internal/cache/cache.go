@@ -7,6 +7,15 @@
 // Timing is modelled with deterministic latency propagation: an access at
 // cycle `now` returns the cycle its data is available, accounting for hit
 // latency, MSHR occupancy and merging, and memory bus contention.
+//
+// This makes the whole hierarchy event-driven by construction, which the
+// pipeline's idle-cycle skip (DESIGN.md §14) depends on: state changes
+// only inside Access/WriteBack calls, and time enters only as the `now`
+// argument compared against absolute-cycle thresholds (line readyAt, MSHR
+// completion, bus busy-until). A span of cycles with no accesses leaves
+// the hierarchy byte-identical, so skipped (provably access-free) spans
+// need no cache ticking — prefetches included, since they are issued from
+// inside demand accesses, never from a timer.
 package cache
 
 import "fmt"

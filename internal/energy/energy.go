@@ -8,6 +8,12 @@
 // magnitude CACTI-style numbers). Absolute joules are not calibrated to any
 // silicon; use the model for *relative* comparisons between machines
 // running the same work, which is how the experiment harness uses it.
+//
+// The model is evaluated post-hoc from a finished Result — including the
+// leakage term, which integrates over Result.Cycles rather than ticking
+// per simulated cycle — so it is skip-invariant under the pipeline's
+// idle-cycle skip (DESIGN.md §14) by construction: identical Results give
+// identical energy, and the skip is gated on producing identical Results.
 package energy
 
 import (

@@ -77,6 +77,13 @@ type Options struct {
 	WindowMajor      bool
 	TraceBudgetBytes int64
 	WindowObserve    func(time.Duration)
+
+	// NoIdleSkip forces every simulation onto the per-cycle polling loop
+	// (pipeline.Config.NoIdleSkip). The event-driven idle skip is
+	// bit-identical (DESIGN.md §14), so this is a diagnostic control like
+	// LiveDecode: result-neutral and excluded from memo and checkpoint
+	// keys.
+	NoIdleSkip bool
 }
 
 // Sampled reports whether runs use the sampled path.
@@ -220,6 +227,14 @@ func (r *Runner) withBase(ctx context.Context) (context.Context, func()) {
 		return ctx, func() {}
 	}
 	merged, cancel := context.WithCancelCause(ctx)
+	if err := r.base.Err(); err != nil {
+		// The campaign context is already done: the merged context must be
+		// born canceled. Relying on AfterFunc alone would cancel it from a
+		// freshly spawned goroutine, and a short run can win that race and
+		// complete — idle skipping made fast runs fast enough to expose it.
+		cancel(err)
+		return merged, func() { cancel(nil) }
+	}
 	release := context.AfterFunc(r.base, func() { cancel(r.base.Err()) })
 	return merged, func() { release(); cancel(nil) }
 }
@@ -249,7 +264,11 @@ func cfgKey(cfg pipeline.Config, wl string, o Options) string {
 	// so it stays out of the key — as do LiveDecode, WindowMajor,
 	// TraceBudgetBytes, and WindowObserve, which are bit-identical by
 	// construction; the sampling geometry changes what is measured and must
-	// be part of it.
+	// be part of it. Config.NoIdleSkip is likewise result-neutral (the idle
+	// skip is proven bit-identical, DESIGN.md §14), so it is zeroed here:
+	// a poll-mode run and a skipping run share every memo and checkpoint
+	// entry.
+	cfg.NoIdleSkip = false
 	key := fmt.Sprintf("%s|%d|%d|%+v", wl, o.Warmup, o.Measure, cfg)
 	if o.Sampled() {
 		key += fmt.Sprintf("|sw%d|ff%d", o.SampleWindows, o.SampleFastForward)
@@ -347,6 +366,9 @@ func (r *Runner) RunContext(ctx context.Context, cfg pipeline.Config, wl string)
 // model included — is recovered into a *simerr.PanicError, failing only
 // this run.
 func (r *Runner) simulate(ctx context.Context, cfg pipeline.Config, prog *isa.Program, wl string) (res pipeline.Result, err error) {
+	if r.opts.NoIdleSkip {
+		cfg.NoIdleSkip = true
+	}
 	if r.opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, r.opts.Timeout)
@@ -539,6 +561,9 @@ func (r *Runner) sweepBatch(ctx context.Context, cfgs []pipeline.Config, wl stri
 	runCfgs := make([]pipeline.Config, len(pending))
 	for k, i := range pending {
 		runCfgs[k] = cfgs[i]
+		if r.opts.NoIdleSkip {
+			runCfgs[k].NoIdleSkip = true
+		}
 	}
 	atomic.AddUint64(&r.stats.Simulated, uint64(len(runCfgs)))
 	sres, errs := sampling.RunSweep(ctx, runCfgs, prog, plan, windows)

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+// TestIdleSkipNeverEntersKeys: Config.NoIdleSkip is result-neutral
+// (DESIGN.md §14), so a poll-mode cell and a skipping cell must share
+// every memo, checkpoint, and cache key.
+func TestIdleSkipNeverEntersKeys(t *testing.T) {
+	o := Options{Warmup: 1_000, Measure: 4_000}
+	skip := Cell{Config: pipeline.BaseConfig(), Workload: "chess"}
+	poll := skip
+	poll.Config.NoIdleSkip = true
+	if skip.MemoKey(o) != poll.MemoKey(o) {
+		t.Errorf("NoIdleSkip leaked into the memo key:\n skip: %s\n poll: %s",
+			skip.MemoKey(o), poll.MemoKey(o))
+	}
+	if skip.Key(o) != poll.Key(o) {
+		t.Errorf("NoIdleSkip leaked into the content address")
+	}
+}
+
+// TestIdleSkipSharesMemo: because the keys coincide and the results are
+// bit-identical, a skipping run must answer a later poll-mode submission
+// of the same cell from the memo cache (and vice versa) — one simulation
+// total.
+func TestIdleSkipSharesMemo(t *testing.T) {
+	r := NewRunner(Options{Warmup: 1_000, Measure: 4_000})
+	skip := Cell{Config: pipeline.BaseConfig(), Workload: "fft"}
+	a, err := r.RunCell(context.Background(), skip)
+	if err != nil {
+		t.Fatalf("skip run: %v", err)
+	}
+	poll := skip
+	poll.Config.NoIdleSkip = true
+	b, err := r.RunCell(context.Background(), poll)
+	if err != nil {
+		t.Fatalf("poll run: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("memo-shared results differ between skip and poll submissions")
+	}
+	if st := r.Stats(); st.Simulated != 1 || st.MemoHits != 1 {
+		t.Errorf("stats = %+v, want 1 simulated / 1 memo hit", st)
+	}
+}
+
+// TestOptionsNoIdleSkipForcesPolling: Options.NoIdleSkip must reach the
+// pipeline (a campaign-wide -idle-skip=false really polls) while staying
+// bit-identical to the skipping default.
+func TestOptionsNoIdleSkipForcesPolling(t *testing.T) {
+	skipR := NewRunner(Options{Warmup: 1_000, Measure: 4_000})
+	pollR := NewRunner(Options{Warmup: 1_000, Measure: 4_000, NoIdleSkip: true})
+	c := Cell{Config: pipeline.BaseConfig(), Workload: "sparse"}
+	a, err := skipR.RunCell(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pollR.RunCell(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Options.NoIdleSkip changed results")
+	}
+}

@@ -90,6 +90,12 @@ func Reset() {
 	armed.Store(0)
 }
 
+// Armed reports whether any injection point is currently armed (one atomic
+// load). The pipeline's idle skip consults it: fast-forwarding while a
+// fault is armed would change how many times the per-cycle Fire hooks run,
+// and the robustness tests rely on that cadence.
+func Armed() bool { return armed.Load() != 0 }
+
 // Fire reports whether the named point should inject a fault for the given
 // detail, consuming one firing when it does. The disarmed fast path is a
 // single atomic load.

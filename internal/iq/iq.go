@@ -21,6 +21,15 @@
 //
 // An optional age matrix (§V-G1) lifts the single oldest ready instruction
 // to the highest priority ahead of the positional scan.
+//
+// Skip-invariance contract (DESIGN.md §14): the pipeline's idle-cycle skip
+// relies on a failed cycle leaving the queue byte-identical. Every
+// Dispatch* method mutates nothing when it fails (the free list, ring
+// tail, and shift window are only touched on success), and a Select that
+// grants nothing is pure: the ready bitset is per-call scratch, age-matrix
+// marks happen only on grant, and the placement RNG is consumed only on
+// pop/grant. Tests pin both properties; changing either breaks the
+// null-cycle induction even if results still look plausible.
 package iq
 
 import (

@@ -3,6 +3,11 @@
 // 64 entries). Effective addresses are registered at dispatch — the
 // trace-driven timing model knows them architecturally, which amounts to
 // perfect memory-dependence prediction (documented in DESIGN.md §6).
+//
+// Like the ROB, the LSQ never observes the cycle counter — it changes only
+// on Alloc/Pop calls from active pipeline stages, and ForwardFrom is a
+// pure lookup — so it is trivially skip-invariant under the idle-cycle
+// skip (DESIGN.md §14).
 package lsq
 
 import (

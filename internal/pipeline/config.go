@@ -93,11 +93,30 @@ type Config struct {
 	// the correct-path-only simplification is second-order.
 	WrongPathDecode bool
 
+	// NoIdleSkip disables event-driven idle-cycle skipping and polls every
+	// structure every cycle, the pre-skip behaviour. The default (false,
+	// skip enabled) fast-forwards across provably quiescent spans — fetch
+	// drained or redirecting, no selectable instruction, store buffer
+	// waiting on a port — directly to the next wakeup event (a cache-miss
+	// completion, a function-unit writeback, a redirect arrival, a
+	// front-end pipeline arrival). Skipping is bit-identical by
+	// construction: a span is only skipped when the just-simulated cycle
+	// mutated nothing, and the per-cycle accumulators that do tick during
+	// stalls (dispatch-stall counters, the weighted-dispatch RNG, the
+	// profile occupancy histogram) are integrated over the span. The flag
+	// is result-neutral and excluded from memoization/checkpoint keys;
+	// it exists for differential testing and for measuring the win
+	// (BENCH_6). See DESIGN.md §14.
+	NoIdleSkip bool
+
 	// WatchdogCycles is the liveness budget: a run that commits nothing for
-	// this many consecutive cycles is declared deadlocked and aborted with
-	// a DeadlockError (wrapping simerr.ErrDeadlock) carrying an occupancy
-	// dump. 0 selects DefaultWatchdogCycles; negative disables the
-	// watchdog entirely.
+	// this many consecutive polled (non-skipped) cycles is declared
+	// deadlocked and aborted with a DeadlockError (wrapping
+	// simerr.ErrDeadlock) carrying an occupancy dump. Idle-skipped spans
+	// do not count against the budget: a skip is only taken when the next
+	// wakeup event is known, which is a proof of progress, not a hang.
+	// 0 selects DefaultWatchdogCycles; negative disables the watchdog
+	// entirely.
 	WatchdogCycles int64
 
 	// Checks enables the structural invariant sweep: every

@@ -1,0 +1,128 @@
+package pipeline
+
+import "math"
+
+// Event-driven idle-cycle skipping (DESIGN.md §14).
+//
+// The cycle loop normally polls every structure every cycle. On memory-bound
+// workloads most of those cycles are null: commit is blocked on a
+// fixed-latency miss, the issue queue holds nothing ready, dispatch is
+// stalled on a full window, the store buffer is drained or port-blocked, and
+// fetch is either redirecting or waiting on an instruction line. Rather than
+// poll through such a span, the simulator jumps s.now directly to the next
+// cycle at which anything can change.
+//
+// Correctness rests on a null-cycle induction, not on per-structure idle
+// heuristics:
+//
+//  1. Every stage marks s.active when it mutates any persistent state:
+//     committing, granting, draining a store, decoding or dispatching,
+//     walking the wrong path, pulling from the instruction stream,
+//     requesting an I-line, or staging a fetched instruction. A cycle that
+//     ends with s.active still false mutated nothing except the recorded
+//     integrable tick (below) — machine state at the end of the cycle equals
+//     state at its start.
+//
+//  2. Every stage predicate depends on time only through comparisons
+//     against absolute-cycle thresholds (uop completion cycles, fuBusy
+//     busy-until cycles, D-port free cycles, fetchResumeAt, lineReadyAt,
+//     fetch-queue entry age). nextWake collects every such threshold that
+//     lies in the future. If none lies in (now, T), a null cycle at `now`
+//     implies cycles now+1 .. T-1 are null too, with byte-identical state
+//     and therefore the identical per-cycle tick.
+//
+//  3. The only state that legitimately advances during a stalled cycle is
+//     integrable: exactly one dispatch-stall counter (recorded as
+//     s.stallCtr by the stall site that fired this cycle), one xorshift
+//     draw when the failing dispatch path was the weighted §III-B3 policy
+//     (s.stallRand), and one occupancy-histogram sample under
+//     Config.Profile. skipCycles replays k of each in closed form.
+//
+// The skip is disabled while any fault-injection point is armed (the
+// robustness tests count per-cycle Fire calls) and after an injected hang
+// (the watchdog must diagnose it on the polled path). A machine with no
+// future event — a genuine deadlock — never skips, so the watchdog retains
+// its full diagnostic power.
+
+// neverWakes is nextWake's "no future event" sentinel.
+const neverWakes = int64(math.MaxInt64)
+
+// nextWake returns the earliest future cycle at which any stage predicate
+// can change its truth value, or neverWakes if no such cycle is known.
+// Thresholds that cannot matter in the current machine state may still be
+// included (a busy FU nobody waits for, a stale line-fill time): a spurious
+// wakeup only shortens the skip — the landing cycle is simulated normally
+// and re-enters the skip if it too is null.
+func (s *Sim) nextWake() int64 {
+	t := neverWakes
+	consider := func(v int64) {
+		if v > s.now && v < t {
+			t = v
+		}
+	}
+	// Execution completions: wake IQ dependents and unblock the ROB head.
+	for i := range s.uops {
+		u := &s.uops[i]
+		if u.live && u.scheduled {
+			consider(u.completeCycle)
+		}
+	}
+	// Non-pipelined function units freeing up can turn a zero-grant select
+	// into a granting one.
+	for p := range s.fuBusy {
+		for _, busy := range s.fuBusy[p] {
+			consider(busy)
+		}
+	}
+	// A D-port freeing lets a committed store drain.
+	if s.sbLen > 0 {
+		for _, d := range s.dports {
+			consider(d)
+		}
+	}
+	// Fetch redirect arrival and the in-flight I-line fill.
+	consider(s.fetchResumeAt)
+	consider(s.lineReadyAt)
+	// The oldest fetched instruction clearing the front-end pipeline makes
+	// it eligible for dispatch.
+	if s.fqLen > 0 {
+		consider(s.fetchQ[s.fqHead].fetchCycle + s.cfg.FrontEndDepth)
+	}
+	return t
+}
+
+// skipCycles advances the machine k cycles in one step, integrating the
+// per-cycle accumulators the skipped cycles would have produced: the
+// occupancy histogram sample, the dispatch-stall counter recorded by this
+// cycle's stall site, and the weighted-dispatch RNG draw. lastCommitAt
+// advances with the span so the watchdog keeps counting polled cycles
+// since the last commit (a proven-idle span is proven progress, not a
+// hang). Callers guarantee the current cycle was null and that no stage
+// threshold lies inside the span.
+func (s *Sim) skipCycles(k int64) {
+	if s.occHist != nil {
+		s.occHist.AddN(s.q.Occupancy(), uint64(k))
+	}
+	if s.stallCtr != nil {
+		*s.stallCtr += uint64(k)
+	}
+	if s.stallRand {
+		for i := int64(0); i < k; i++ {
+			s.rng ^= s.rng >> 12
+			s.rng ^= s.rng << 25
+			s.rng ^= s.rng >> 27
+		}
+	}
+	s.lastCommitAt += k
+	s.now += k
+	s.skipSpans++
+	s.skippedCycles += uint64(k)
+}
+
+// SkipStats reports the idle-skip telemetry for the whole run so far:
+// the number of skipped spans and the total cycles they covered. The
+// counters live outside Result on purpose — skip on and skip off must
+// produce DeepEqual-identical Results.
+func (s *Sim) SkipStats() (spans, cycles uint64) {
+	return s.skipSpans, s.skippedCycles
+}

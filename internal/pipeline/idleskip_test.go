@@ -1,0 +1,307 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// TestGoldenEquivalenceSkipOff: the poll-mode loop (NoIdleSkip) must still
+// reproduce the golden table for every machine variant. Together with
+// TestGoldenEquivalence (which runs the skipping default) this pins both
+// modes to the same pre-rewrite fingerprints — the bit-identity contract of
+// DESIGN.md §14.
+func TestGoldenEquivalenceSkipOff(t *testing.T) {
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := gc.cfg
+			cfg.NoIdleSkip = true
+			res := runBench(t, cfg, gc.workload, goldenWarmup, goldenMeasure)
+			fp := goldenFingerprint(res)
+			want, ok := goldenTable[gc.name]
+			if !ok {
+				t.Fatalf("no golden entry for %s", gc.name)
+			}
+			if res.Cycles != want.cycles || fp != want.fingerprint {
+				t.Errorf("%s: poll mode cycles=%d fingerprint=0x%x, want cycles=%d fingerprint=0x%x — "+
+					"idle skipping and polling disagree", gc.name, res.Cycles, fp, want.cycles, want.fingerprint)
+			}
+		})
+	}
+}
+
+// TestTraceReplaySkipEquivalence: on the trace-driven front end, a skipping
+// run must equal a poll-mode run bit for bit. The replay path exercises
+// fetch-queue aging and redirect thresholds differently from live decode,
+// so it gets its own differential.
+func TestTraceReplaySkipEquivalence(t *testing.T) {
+	const slack = 2048
+	for _, gc := range []goldenCase{
+		{"base-random", "chess", BaseConfig()},
+		{"pubs-goplay", "goplay", PUBSConfig()},
+	} {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			t.Parallel()
+			prog := workload.MustProgram(gc.workload)
+			m := emu.MustNew(prog)
+			n := goldenWarmup + goldenMeasure + slack
+			pre := emu.NewPredecode(n)
+			for i := 0; i < n; i++ {
+				di, ok := m.Step()
+				if !ok {
+					break
+				}
+				pre.Append(di)
+			}
+			dec := emu.NewStaticDecode(prog.Code)
+
+			run := func(poll bool) Result {
+				cfg := gc.cfg
+				cfg.NoIdleSkip = poll
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.SetStaticCode(prog.Code)
+				rp := &Replay{
+					Pre:    pre,
+					Decode: dec,
+					Fallback: func() (InstStream, error) {
+						fm := emu.MustNew(prog)
+						fm.Run(uint64(pre.Len()))
+						return Stream{M: fm}, nil
+					},
+				}
+				res, err := s.Run(rp, goldenWarmup, goldenMeasure)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			skip, poll := run(false), run(true)
+			if !reflect.DeepEqual(skip, poll) {
+				t.Errorf("%s: trace replay diverged between skip and poll:\n skip: %+v\n poll: %+v",
+					gc.name, skip, poll)
+			}
+		})
+	}
+}
+
+// skipPropRNG is the xorshift64* generator of the sampling property test
+// (math/rand is deliberately not used anywhere in the repo).
+type skipPropRNG uint64
+
+func (r *skipPropRNG) next() uint64 {
+	x := *r
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = x
+	return uint64(x) * 0x2545F4914F6CDD1D
+}
+
+// skipRandomProgram builds a deterministic pseudo-random workload:
+// straight-line ALU chains, data-dependent loads and stores into a
+// scrambled data image, data-dependent forward branches, all inside one
+// bounded outer loop so the program always halts. It mirrors the sampling
+// package's property-test generator so the differential below sees program
+// shapes nobody hand-tuned for the skip.
+func skipRandomProgram(seed uint64) *isa.Program {
+	rng := skipPropRNG(seed)
+	b := asm.New(fmt.Sprintf("skipprop-%d", seed))
+	const words = 256
+	vals := make([]uint64, words)
+	for i := range vals {
+		vals[i] = rng.next()
+	}
+	base := b.Words(vals...)
+
+	ctr, dbase := isa.R(2), isa.R(3)
+	scratch := []isa.Reg{isa.R(4), isa.R(5), isa.R(6), isa.R(7), isa.R(8), isa.R(9), isa.R(10), isa.R(11)}
+	addr, tmp := isa.R(12), isa.R(13)
+
+	for i, r := range scratch {
+		b.Li(r, int64(rng.next()>>(8+i)))
+	}
+	b.Li(ctr, int64(1200+rng.next()%1200))
+	b.Li(dbase, int64(base))
+	b.Label("outer")
+	labels := 0
+	pick := func() isa.Reg { return scratch[rng.next()%uint64(len(scratch))] }
+	for blk := 0; blk < 4+int(rng.next()%4); blk++ {
+		for k := 0; k < 3+int(rng.next()%5); k++ {
+			rd, rs1, rs2 := pick(), pick(), pick()
+			switch rng.next() % 6 {
+			case 0:
+				b.Add(rd, rs1, rs2)
+			case 1:
+				b.Sub(rd, rs1, rs2)
+			case 2:
+				b.Xor(rd, rs1, rs2)
+			case 3:
+				b.And(rd, rs1, rs2)
+			case 4:
+				b.Or(rd, rs1, rs2)
+			default:
+				b.Mul(rd, rs1, rs2)
+			}
+		}
+		src := pick()
+		b.Andi(addr, src, words-1)
+		b.Shli(addr, addr, 3)
+		b.Add(addr, addr, dbase)
+		b.Ld(tmp, addr, 0)
+		b.Xor(pick(), pick(), tmp)
+		if rng.next()%2 == 0 {
+			b.St(pick(), addr, 0)
+		}
+		lbl := fmt.Sprintf("skip%d", labels)
+		labels++
+		b.Andi(tmp, pick(), 1)
+		b.Bne(tmp, isa.RZero, lbl)
+		b.Add(pick(), pick(), tmp)
+		b.Sub(pick(), pick(), tmp)
+		b.Label(lbl)
+	}
+	b.Addi(ctr, ctr, -1)
+	b.Bne(ctr, isa.RZero, "outer")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TestIdleSkipDifferentialRandomPrograms: for pseudo-random programs on
+// both anchor machines (plus a profiled PUBS variant, so the span-integrated
+// histogram path is covered), a skipping run and a poll-mode run must agree
+// on the entire Result. Runs under -race in CI.
+func TestIdleSkipDifferentialRandomPrograms(t *testing.T) {
+	seeds := []uint64{1, 0xDEAD, 0xFEEDFACE}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	profiled := PUBSConfig()
+	profiled.Name = "pubs-profile"
+	profiled.Profile = true
+	cfgs := []Config{BaseConfig(), PUBSConfig(), profiled}
+	for _, seed := range seeds {
+		for _, cfg := range cfgs {
+			cfg := cfg
+			t.Run(fmt.Sprintf("%s/seed%x", cfg.Name, seed), func(t *testing.T) {
+				t.Parallel()
+				prog := skipRandomProgram(seed)
+				skip, err := RunProgram(cfg, prog, 2_000, 8_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				poll := cfg
+				poll.NoIdleSkip = true
+				want, err := RunProgram(poll, prog, 2_000, 8_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(skip, want) {
+					t.Errorf("seed %#x on %s: skip and poll diverged:\n skip: %+v\n poll: %+v",
+						seed, cfg.Name, skip, want)
+				}
+			})
+		}
+	}
+}
+
+// TestIdleSkipWatchdogLongMiss: a memory latency far beyond the watchdog
+// budget must not trip the liveness watchdog when the stalled span is
+// provably idle — skipped cycles are proven progress, not a hang. The same
+// configuration in poll mode does trip (every cycle of the miss shadow is
+// walked and counted), which is exactly the false positive the skip-aware
+// rebase removes; the poll-mode expectation pins that contrast so a future
+// change to either semantic is a conscious one.
+func TestIdleSkipWatchdogLongMiss(t *testing.T) {
+	cfg := BaseConfig()
+	cfg.MemLatency = 50_000
+	cfg.WatchdogCycles = 10_000
+
+	if _, err := RunProgram(cfg, workload.MustProgram("treewalk"), 500, 1_500); err != nil {
+		t.Errorf("skip mode: long miss spuriously tripped the watchdog: %v", err)
+	}
+
+	cfg.NoIdleSkip = true
+	_, err := RunProgram(cfg, workload.MustProgram("treewalk"), 500, 1_500)
+	var dead *DeadlockError
+	if !errors.As(err, &dead) {
+		t.Errorf("poll mode: expected the 50K-cycle miss to exhaust the 10K watchdog, got %v", err)
+	}
+}
+
+// TestIdleSkipProgressCadence: the WithProgress hook must fire at the same
+// committed-instruction counts whether the run skips or polls — the hook
+// keys on commit progress, which skipped (commit-free) spans cannot move.
+func TestIdleSkipProgressCadence(t *testing.T) {
+	run := func(poll bool) []uint64 {
+		cfg := PUBSConfig()
+		cfg.NoIdleSkip = poll
+		var fired []uint64
+		ctx := WithProgress(context.Background(), 1_000, func(committed uint64) {
+			fired = append(fired, committed)
+		})
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := workload.MustProgram("sparse")
+		s.SetStaticCode(prog.Code)
+		if _, err := s.RunContext(ctx, Stream{M: emu.MustNew(prog)}, 1_000, 6_000); err != nil {
+			t.Fatal(err)
+		}
+		return fired
+	}
+	skip, poll := run(false), run(true)
+	if len(skip) == 0 {
+		t.Fatal("progress hook never fired")
+	}
+	if !reflect.DeepEqual(skip, poll) {
+		t.Errorf("progress cadence diverged:\n skip: %v\n poll: %v", skip, poll)
+	}
+}
+
+// TestSkipStatsTelemetry: a memory-bound run must actually skip (the
+// telemetry is how the benchmark harness and EXPERIMENTS.md sanity-check
+// the machinery), a poll-mode run must never skip, and the telemetry must
+// stay out of Result.
+func TestSkipStatsTelemetry(t *testing.T) {
+	prog := workload.MustProgram("sparse")
+	run := func(poll bool) (Result, uint64, uint64) {
+		cfg := BaseConfig()
+		cfg.NoIdleSkip = poll
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetStaticCode(prog.Code)
+		res, err := s.Run(Stream{M: emu.MustNew(prog)}, 1_000, 6_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans, cycles := s.SkipStats()
+		return res, spans, cycles
+	}
+	skipRes, spans, cycles := run(false)
+	if spans == 0 || cycles == 0 {
+		t.Errorf("sparse run did not skip: spans=%d cycles=%d", spans, cycles)
+	}
+	pollRes, pollSpans, pollCycles := run(true)
+	if pollSpans != 0 || pollCycles != 0 {
+		t.Errorf("poll mode skipped: spans=%d cycles=%d", pollSpans, pollCycles)
+	}
+	if !reflect.DeepEqual(skipRes, pollRes) {
+		t.Errorf("telemetry leaked into Result:\n skip: %+v\n poll: %+v", skipRes, pollRes)
+	}
+}

@@ -23,6 +23,11 @@ type progressHook struct {
 // fast and must not block; a service streaming NDJSON progress should hand
 // the count to a channel or buffer, not do I/O inline. A zero interval or
 // nil fn leaves the context unchanged.
+//
+// The cadence keys on committed instructions, not cycles, so it is
+// unaffected by the idle-cycle skip: skipped spans commit nothing by
+// construction, and the hook fires at identical counts in skip and poll
+// mode (pinned by TestIdleSkipProgressCadence).
 func WithProgress(ctx context.Context, every uint64, fn func(committed uint64)) context.Context {
 	if every == 0 || fn == nil {
 		return ctx

@@ -75,6 +75,9 @@ func (s *Sim) Reset() {
 	s.rng = 0x9E3779B97F4A7C15
 	s.pipeTrace, s.pipeTraceLeft = nil, 0
 
+	s.active, s.stallCtr, s.stallRand = false, nil, false
+	s.polled, s.skipSpans, s.skippedCycles = 0, 0, 0
+
 	s.st = stats.Sim{}
 	if s.occHist != nil {
 		s.occHist.Reset()

@@ -206,6 +206,22 @@ type Sim struct {
 	pipeTrace     io.Writer
 	pipeTraceLeft int64
 
+	// Idle-skip bookkeeping (see idleskip.go). active is reset at the top
+	// of every cycle and set by any stage that mutates persistent state;
+	// a cycle that ends with it false is provably null and eligible for
+	// fast-forward. stallCtr/stallRand record the one integrable tick a
+	// stalled dispatch produces per cycle (which stall counter fired, and
+	// whether the weighted policy consumed a rand01 draw). polled counts
+	// executed loop iterations — in poll mode it equals s.now; the
+	// invariant-check and context-poll cadences key on it so their
+	// behaviour is independent of how far each iteration advanced time.
+	active        bool
+	stallCtr      *uint64
+	stallRand     bool
+	polled        int64
+	skipSpans     uint64
+	skippedCycles uint64
+
 	st             stats.Sim
 	occHist        *stats.Histogram
 	brProf         *branchProfile
@@ -395,6 +411,9 @@ func (s *Sim) peek() (emu.DynInst, bool) {
 		return emu.DynInst{}, false
 	}
 	if !s.hasPending {
+		// Pulling from the stream steps the emulator (or trace cursor) —
+		// a one-time mutation, as is the done transition.
+		s.active = true
 		di, ok := s.stream.Next()
 		if !ok {
 			s.streamDone = true
@@ -445,6 +464,7 @@ func (s *Sim) opReady(h int) bool {
 func (s *Sim) lineReady(pc uint64) bool {
 	line := pc &^ 63
 	if !s.haveLine || line != s.lastLine {
+		s.active = true // new line request mutates the I-cache
 		done := s.l1i.Access(pc, s.now, false)
 		s.lastLine, s.haveLine = line, true
 		s.lineReadyAt = done
@@ -566,6 +586,7 @@ func (s *Sim) fetch() {
 		}
 		stop := s.fetchControl(f)
 		s.fqLen++
+		s.active = true
 		if stop {
 			break
 		}
@@ -590,25 +611,33 @@ func (s *Sim) dispatch() {
 				f.unconf = s.pubs.Decode(f.di.PC, f.di.Inst)
 			}
 			f.decoded = true
+			s.active = true // one-time PUBS table update + decoded mark
 		}
 
 		// Structural hazards (checked oldest-first; dispatch is in-order).
+		// A stall here repeats identically every cycle while the machine is
+		// otherwise frozen, so each site records which counter it bumped:
+		// an idle skip integrates k more ticks of exactly that counter.
 		if s.rob.Full() {
 			s.st.DispatchStallROB++
+			s.stallCtr = &s.st.DispatchStallROB
 			break
 		}
 		if f.di.Inst.IsMem() && s.lsq.Full() {
 			s.st.DispatchStallLSQ++
+			s.stallCtr = &s.st.DispatchStallLSQ
 			break
 		}
 		if f.di.Inst.HasDest() {
 			if f.di.Inst.Rd.IsFP() {
 				if s.fpInFlight >= s.cfg.PhysFPRegs-32 {
 					s.st.DispatchStallRegs++
+					s.stallCtr = &s.st.DispatchStallRegs
 					break
 				}
 			} else if s.intInFlight >= s.cfg.PhysIntRegs-32 {
 				s.st.DispatchStallRegs++
+				s.stallCtr = &s.st.DispatchStallRegs
 				break
 			}
 		}
@@ -626,6 +655,7 @@ func (s *Sim) dispatch() {
 					ok = true
 				} else {
 					s.st.DispatchStallNormal++
+					s.stallCtr = &s.st.DispatchStallNormal
 				}
 			case s.pubs != nil && s.pubs.Active():
 				if f.unconf {
@@ -633,29 +663,39 @@ func (s *Sim) dispatch() {
 						ok, inPriority = true, true
 					} else if s.cfg.PUBS.StallDispatch {
 						s.st.DispatchStallPriority++
+						s.stallCtr = &s.st.DispatchStallPriority
 					} else if s.q.DispatchNormal(req) {
 						ok = true
 					} else {
 						s.st.DispatchStallNormal++
+						s.stallCtr = &s.st.DispatchStallNormal
 					}
 				} else if s.q.DispatchNormal(req) {
 					ok = true
 				} else {
 					s.st.DispatchStallNormal++
+					s.stallCtr = &s.st.DispatchStallNormal
 				}
 			case s.pubs != nil:
 				// PUBS configured but mode-switched off: both free lists
 				// serve everyone, weighted by the entry ratio (§III-B3).
+				// The draw is consumed whether or not dispatch succeeds,
+				// and failure is pick-independent (both lists full), so a
+				// stalled cycle burns exactly one draw — stallRand tells
+				// the idle skip to replay k of them.
 				if s.q.DispatchWeighted(req, s.rand01()) {
 					ok = true
 				} else {
 					s.st.DispatchStallNormal++
+					s.stallCtr = &s.st.DispatchStallNormal
+					s.stallRand = true
 				}
 			default:
 				if s.q.DispatchNormal(req) {
 					ok = true
 				} else {
 					s.st.DispatchStallNormal++
+					s.stallCtr = &s.st.DispatchStallNormal
 				}
 			}
 			if !ok {
@@ -663,6 +703,7 @@ func (s *Sim) dispatch() {
 			}
 		}
 		s.freeU = s.freeU[:len(s.freeU)-1]
+		s.active = true
 
 		u := &s.uops[h]
 		*u = uop{
@@ -733,6 +774,9 @@ func (s *Sim) issue() {
 		s.fuRemaining[p] = free
 	}
 	granted := s.q.Select(s.cfg.IssueWidth, s.readyFn, s.fuFn)
+	if len(granted) > 0 {
+		s.active = true // a zero-grant Select mutates nothing
+	}
 	for _, g := range granted {
 		s.schedule(g.Handle)
 	}
@@ -824,6 +868,7 @@ func (s *Sim) decodeWrongPath() {
 	if s.wrongPathIdx < 0 || s.pubs == nil || s.blockedOnSeq == noSeq {
 		return
 	}
+	s.active = true // every pass advances or parks the walk
 	for n := 0; n < s.cfg.FetchWidth; n++ {
 		if s.wrongPathLeft <= 0 {
 			s.wrongPathIdx = -1
@@ -886,6 +931,7 @@ func (s *Sim) drainStores() {
 	// One committed store drains per cycle when a D-port is idle.
 	for i := range s.dports {
 		if s.dports[i] <= s.now {
+			s.active = true
 			s.dports[i] = s.now + 1
 			s.l1d.Access(s.storeBuf[s.sbHead], s.now, true)
 			s.sbHead = (s.sbHead + 1) % len(s.storeBuf)
@@ -910,11 +956,12 @@ func (s *Sim) commit() {
 		in := u.di.Inst
 		if in.IsStore() {
 			if s.sbLen >= len(s.storeBuf) {
-				break // store buffer full: commit stalls
+				break // store buffer full: commit stalls (pure — no mutation)
 			}
 			s.storeBuf[(s.sbHead+s.sbLen)%len(s.storeBuf)] = u.di.Addr
 			s.sbLen++
 		}
+		s.active = true // the instruction retires this cycle
 		if in.IsMem() {
 			s.lsq.Pop(h)
 		}
@@ -1012,9 +1059,11 @@ func (s *Sim) Run(stream InstStream, warmup, measure uint64) (Result, error) {
 	return s.RunContext(context.Background(), stream, warmup, measure)
 }
 
-// ctxCheckMask throttles the context poll: deadlines and cancellation are
-// observed within ~1K cycles, far below any useful watchdog budget.
-const ctxCheckMask = 1024 - 1
+// ctxCheckEvery throttles the context poll: deadlines and cancellation are
+// observed within ~1K cycles (plus at most one idle-skip span), far below
+// any useful watchdog budget. The poll is scheduled as a cycle threshold
+// rather than a mask on s.now so an idle skip cannot jump over it.
+const ctxCheckEvery = 1024
 
 // RunContext is Run with cancellation and deadline support. A context
 // deadline expiring mid-run aborts with an error wrapping
@@ -1048,7 +1097,13 @@ func (s *Sim) RunContext(ctx context.Context, stream InstStream, warmup, measure
 	hook := progressFrom(ctx)
 	nextProgress := hook.every
 
+	skipEnabled := !s.cfg.NoIdleSkip
+	nextCtxCheck := s.now + ctxCheckEvery
+
 	for {
+		s.active = false
+		s.stallCtr = nil
+		s.stallRand = false
 		if s.hangInjected {
 			// Fault injection: the commit stage is wedged; the watchdog
 			// below must diagnose it.
@@ -1081,16 +1136,32 @@ func (s *Sim) RunContext(ctx context.Context, stream InstStream, warmup, measure
 		if s.occHist != nil {
 			s.occHist.Add(s.q.Occupancy())
 		}
+		// Idle skip: if this cycle mutated nothing, fast-forward to just
+		// before the next wakeup event (idleskip.go) so the s.now++ below
+		// lands exactly on it. Disabled while fault injection is armed
+		// (robustness tests count per-cycle Fire calls) and after an
+		// injected hang (the watchdog diagnoses it on the polled path).
+		if skipEnabled && !s.active && !s.hangInjected && !faultinject.Armed() {
+			if t := s.nextWake(); t > s.now+1 {
+				s.skipCycles(t - s.now - 1)
+			}
+		}
 		s.now++
+		s.polled++
 		if watchdog > 0 && s.now-s.lastCommitAt > watchdog {
 			return Result{}, s.deadlockError()
 		}
-		if s.cfg.Checks && s.now%checkInterval == 0 {
+		// The invariant-sweep cadence keys on polled iterations, not on
+		// s.now: in poll mode the two are equal, and under skipping the
+		// sweep stays proportional to simulation work done instead of
+		// aliasing against whatever cycles the skips happen to land on.
+		if s.cfg.Checks && s.polled%checkInterval == 0 {
 			if err := s.checkInvariants(); err != nil {
 				return Result{}, err
 			}
 		}
-		if s.now&ctxCheckMask == 0 {
+		if s.now >= nextCtxCheck {
+			nextCtxCheck = s.now + ctxCheckEvery
 			if err := ctx.Err(); err != nil {
 				if errors.Is(err, context.DeadlineExceeded) {
 					return Result{}, fmt.Errorf("%w: pipeline %s: deadline exceeded at cycle %d (%d committed)",

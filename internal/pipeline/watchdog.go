@@ -25,6 +25,12 @@ type StalledInst struct {
 // and carries the occupancy of every window structure plus the oldest
 // stalled instruction, so a hung campaign run leaves an actionable report
 // instead of a wedged process.
+//
+// The budget counts polled cycles only: spans fast-forwarded by the idle
+// skip (DESIGN.md §14) advance lastCommitAt with s.now, because a skip is
+// only taken when a future wakeup event provably exists — a machine with
+// no future event never skips, so every genuine deadlock is still walked
+// and diagnosed cycle by cycle.
 type DeadlockError struct {
 	Config      string // machine name
 	Cycle       int64  // cycle at which the watchdog tripped

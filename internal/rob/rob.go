@@ -2,6 +2,10 @@
 // instruction handles. The pipeline owns per-instruction state; the ROB
 // enforces program-order allocation and retirement and the structural
 // capacity limit (Table I: 128 entries).
+//
+// The ROB never observes the cycle counter — it changes only on
+// Alloc/Pop calls from active pipeline stages — so it is trivially
+// skip-invariant under the idle-cycle skip (DESIGN.md §14).
 package rob
 
 import (

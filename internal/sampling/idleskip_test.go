@@ -1,0 +1,49 @@
+package sampling
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestSampledIdleSkipEquivalence: for every machine variant, a sampled run
+// with event-driven idle skipping (the default) must equal a poll-mode run
+// bit for bit — serially and on the parallel window pool, over predecoded
+// traces and live decode. Skipping composes with every scheduling mode
+// because it is internal to one window's cycle loop. Runs under -race in
+// CI.
+func TestSampledIdleSkipEquivalence(t *testing.T) {
+	for _, vc := range variantCases() {
+		vc := vc
+		t.Run(vc.name, func(t *testing.T) {
+			t.Parallel()
+			prog := workload.MustProgram(vc.workload)
+			for _, mode := range []struct {
+				name string
+				plan Config
+			}{
+				{"serial-trace", Config{Windows: 3, FastForward: 30_000, Warmup: 2_000, Measure: 5_000}},
+				{"parallel-live", Config{Windows: 3, FastForward: 30_000, Warmup: 2_000, Measure: 5_000, Parallel: -1, LiveDecode: true}},
+			} {
+				skipCfg := vc.cfg
+				want, err := Run(skipCfg, prog, mode.plan)
+				if err != nil {
+					t.Fatalf("%s skip: %v", mode.name, err)
+				}
+				pollCfg := vc.cfg
+				pollCfg.NoIdleSkip = true
+				got, err := Run(pollCfg, prog, mode.plan)
+				if err != nil {
+					t.Fatalf("%s poll: %v", mode.name, err)
+				}
+				// Window-by-window comparison, not just the merged
+				// aggregate: a compensating error across windows must not
+				// pass.
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("%s/%s: skip and poll diverged", vc.name, mode.name)
+				}
+			}
+		})
+	}
+}

@@ -38,6 +38,12 @@ type MachineSpec struct {
 	// Machine-level toggles.
 	Distributed bool `json:"distributed,omitempty"`
 	WrongPath   bool `json:"wrongpath,omitempty"`
+
+	// NoIdleSkip forces the per-cycle polling loop (diagnostics; the
+	// event-driven idle skip is bit-identical and on by default). It is
+	// result-neutral, so it does not enter the machine name or any
+	// content-addressed key.
+	NoIdleSkip bool `json:"no_idle_skip,omitempty"`
 }
 
 // MachineConfig resolves a machine name to its configuration — the same
@@ -128,6 +134,9 @@ func (m MachineSpec) Config() (pipeline.Config, error) {
 		cfg.WrongPathDecode = true
 		cfg.Name += "-wp"
 	}
+	// Result-neutral, deliberately not folded into the name: a poll-mode
+	// submission must share cache entries with the skipping default.
+	cfg.NoIdleSkip = m.NoIdleSkip
 	if err := cfg.Validate(); err != nil {
 		return pipeline.Config{}, err
 	}

@@ -195,6 +195,21 @@ func (h *Histogram) Add(v int) {
 	h.Buckets[v]++
 }
 
+// AddN records n identical observations of value v in O(1) — the
+// span-integrated form of Add the idle-skipping pipeline uses when the
+// observed value is provably constant across a skipped span.
+func (h *Histogram) AddN(v int, n uint64) {
+	h.total += n
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.Buckets) {
+		h.over += n
+		return
+	}
+	h.Buckets[v] += n
+}
+
 // Total returns the number of observations.
 func (h *Histogram) Total() uint64 { return h.total }
 
