@@ -225,7 +225,7 @@ func runBenchTraceReport() (*benchTraceReport, error) {
 			LiveSPS:       sims * 1e9 / float64(liveNs),
 			TraceSPS:      sims * 1e9 / float64(traceNs),
 			SnapshotPlans: snaps.Plans, SnapshotHits: snaps.Hits,
-			Identical:     identical,
+			Identical: identical,
 		}
 		rep.Entries = append(rep.Entries, e)
 		fmt.Fprintf(os.Stderr,

@@ -6,8 +6,11 @@
 // Usage:
 //
 //	pubsd serve    -addr :8080 [-workers N] [-checkpoint DIR] [-journal DIR]
+//	pubsd serve    -addr :8080 -coordinator [-peers node=URL,...]
+//	pubsd serve    -addr :8081 -join http://coordinator:8080 [-node-id ID] [-advertise URL]
 //	pubsd loadtest -addr http://host:8080 [-jobs N] [-out BENCH_3.json]
 //	pubsd loadtest -self [-jobs N] [-out BENCH_3.json]
+//	pubsd clusterbench [-jobs N] [-concurrency N] [-out BENCH_7.json] [-baseline BENCH_7.json]
 //
 // serve runs until SIGINT/SIGTERM, then drains: submissions are refused
 // (503) while accepted jobs run to completion, bounded by -drain-timeout.
@@ -15,11 +18,25 @@
 // daemon re-enqueues the incomplete ones at the next boot; pair it with
 // -checkpoint so their finished cells replay from disk.
 //
+// With -coordinator, serve fronts a worker fleet instead of simulating
+// locally: campaign cells are sharded across the ring by content address,
+// stolen onto idle nodes when their owner is saturated, and re-sharded
+// when a node dies. With -join (mutually exclusive), serve runs as a
+// worker shard: it announces itself to the coordinator and serves the
+// cluster wire protocol — including the peer tier of the two-tier result
+// cache — in front of its normal API.
+//
 // loadtest generates duplicate-heavy traffic against a running daemon
 // (or, with -self, against one it boots in-process) and writes a
 // pubsd-load/2 report with exact latency quantiles, the daemon's dedup
 // counters, and admission refusals (429/503) counted separately from
 // failures.
+//
+// clusterbench boots in-process 1-worker and 3-worker clusters on
+// loopback ports, drives each with >= 64 concurrent clients, and writes
+// the BENCH_7 pubsd-cluster/1 report (jobs/sec, p99, cluster-wide
+// cache-hit ratio, speedups). It exits nonzero when the 3-worker geomean
+// speedup drops below -min-speedup or regresses >20% from -baseline.
 package main
 
 import (
@@ -32,9 +49,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/service"
 )
@@ -50,6 +69,8 @@ func main() {
 		err = serve(os.Args[2:])
 	case "loadtest":
 		err = loadtest(os.Args[2:])
+	case "clusterbench":
+		err = clusterbench(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -71,8 +92,13 @@ func usage() {
                  [-journal DIR] [-drain-timeout D] [-trace-budget BYTES]
                  [-tenant-rate R] [-tenant-burst N]
                  [-breaker-threshold N] [-breaker-cooldown D]
+                 [-coordinator [-peers node=URL,...]]
+                 [-join URL [-node-id ID] [-advertise URL]]
   pubsd loadtest (-addr URL | -self) [-jobs N] [-concurrency N] [-burst N]
-                 [-warmup N] [-insts N] [-out FILE]`)
+                 [-warmup N] [-insts N] [-out FILE]
+  pubsd clusterbench [-jobs N] [-concurrency N] [-worker-queue N]
+                 [-worker-active N] [-warmup N] [-insts N] [-out FILE]
+                 [-min-speedup X] [-baseline FILE]`)
 }
 
 // serviceFlags registers the flags shared by both subcommands that size
@@ -101,29 +127,92 @@ func serve(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	drain := fs.Duration("drain-timeout", 5*time.Minute, "max time to finish accepted jobs at shutdown")
 	timeout := fs.Duration("cell-timeout", 0, "per-simulation timeout (0 = none)")
+	coordinator := fs.Bool("coordinator", false, "run as cluster coordinator: shard cells across joined workers instead of simulating locally")
+	peersFlag := fs.String("peers", "", "coordinator only: static worker list, node=URL[,node=URL...]")
+	join := fs.String("join", "", "run as cluster worker: announce to this coordinator URL at boot")
+	nodeID := fs.String("node-id", "", "stable cluster node identity (default: the bound listen address)")
+	advertise := fs.String("advertise", "", "base URL peers reach this node at (default: http://<bound address>; set it when binding a wildcard address)")
 	cfg := serviceFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg.DefaultOptions.Timeout = *timeout
-
-	s, err := service.New(*cfg)
-	if err != nil {
-		return err
+	if *coordinator && *join != "" {
+		return errors.New("serve: -coordinator and -join are mutually exclusive")
 	}
+
+	// Listen before building the daemon: the default node identity and
+	// advertise URL derive from the bound (possibly kernel-chosen) address.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: s.Handler()}
+	if *nodeID == "" {
+		*nodeID = ln.Addr().String()
+	}
+	if *advertise == "" {
+		*advertise = "http://" + ln.Addr().String()
+	}
+	cfg.NodeID = *nodeID
+
+	var coord *cluster.Coordinator
+	if *coordinator {
+		coord = cluster.NewCoordinator()
+		cfg.Remote = coord.Remote
+	}
+	s, err := service.New(*cfg)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	handler := s.Handler()
+	role := "single-node"
+	switch {
+	case coord != nil:
+		coord.BindCounters(s.ClusterCounters())
+		handler = coord.Handler(handler)
+		role = "coordinator"
+		if *peersFlag != "" {
+			for _, kv := range strings.Split(*peersFlag, ",") {
+				node, url, ok := strings.Cut(strings.TrimSpace(kv), "=")
+				if !ok || node == "" || url == "" {
+					return fmt.Errorf("serve: -peers entry %q is not node=URL", kv)
+				}
+				coord.AddNode(node, url)
+			}
+		}
+	case *join != "":
+		wk := cluster.NewWorker(s)
+		handler = wk.Handler(handler)
+		role = "worker"
+		// Join after the listener is serving, retrying briefly so worker
+		// and coordinator boot order doesn't matter in scripts.
+		go func() {
+			hc := &http.Client{}
+			for attempt := 0; ; attempt++ {
+				peers, err := cluster.Join(context.Background(), hc, *join, *nodeID, *advertise)
+				if err == nil {
+					wk.SetPeers(peers)
+					fmt.Fprintf(os.Stderr, "pubsd: joined %s as %q (%d peers)\n", *join, *nodeID, len(peers))
+					return
+				}
+				if attempt >= 20 {
+					fmt.Fprintf(os.Stderr, "pubsd: join %s failed: %v (serving unjoined)\n", *join, err)
+					return
+				}
+				time.Sleep(500 * time.Millisecond)
+			}
+		}()
+	}
+	srv := &http.Server{Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "pubsd: serving on %s (%d workers, queue %d)\n",
-		ln.Addr(), s.Workers(), cfg.QueueDepth)
+	fmt.Fprintf(os.Stderr, "pubsd: serving on %s (%s, %d workers, queue %d)\n",
+		ln.Addr(), role, s.Workers(), cfg.QueueDepth)
 
 	select {
 	case err := <-errc:
@@ -227,5 +316,79 @@ func loadtest(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "pubsd: loadtest done: %d jobs, p50 %.0fms p99 %.0fms, %d sims (%d merged, %d cached) → %s\n",
 		rep.Jobs, rep.LatencyP50MS, rep.LatencyP99MS, rep.SimsExecuted, rep.Merged, rep.CacheHits, *out)
+	return nil
+}
+
+// clusterbenchTolerance matches the other bench gates: a fresh run may sit
+// up to 20% below the committed baseline's geomean before the gate trips.
+const clusterbenchTolerance = 0.20
+
+func clusterbench(args []string) error {
+	fs := flag.NewFlagSet("pubsd clusterbench", flag.ExitOnError)
+	jobs := fs.Int("jobs", 96, "jobs per scenario")
+	conc := fs.Int("concurrency", 64, "concurrent clients (the BENCH_7 contract wants >= 64)")
+	wq := fs.Int("worker-queue", 4, "per-worker job queue depth")
+	wa := fs.Int("worker-active", 2, "per-worker concurrently active jobs")
+	wr := fs.Float64("worker-rate", 12, "per-worker admission budget, jobs/sec (the deterministic capacity the scaling measurement rests on)")
+	wb := fs.Int("worker-burst", 4, "per-worker admission token-bucket burst")
+	warmup := fs.Uint64("warmup", 2_000, "per-cell warm-up instructions")
+	insts := fs.Uint64("insts", 8_000, "per-cell measured instructions")
+	out := fs.String("out", "", "write the pubsd-cluster/1 JSON report here (default stdout)")
+	minSpeedup := fs.Float64("min-speedup", 1.8, "fail when the 3-worker geomean speedup is below this floor")
+	baseline := fs.String("baseline", "", "compare against this committed BENCH_7 report; fail on a >20% geomean regression")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := cluster.RunBench(ctx, cluster.BenchConfig{
+		Jobs: *jobs, Concurrency: *conc,
+		Warmup: *warmup, Measure: *insts,
+		WorkerQueue: *wq, WorkerActive: *wa,
+		WorkerRate: *wr, WorkerBurst: *wb,
+		Log: os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "pubsd: clusterbench report written to %s (geomean speedup %.2fx)\n",
+			*out, rep.GeomeanSpeedup)
+	}
+
+	if rep.GeomeanSpeedup < *minSpeedup {
+		return fmt.Errorf("clusterbench: geomean speedup %.2fx is below the %.2fx floor — the fleet no longer outruns one node",
+			rep.GeomeanSpeedup, *minSpeedup)
+	}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			return fmt.Errorf("clusterbench baseline: %w", err)
+		}
+		var base cluster.BenchReport
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("clusterbench baseline %s: %w", *baseline, err)
+		}
+		if base.GeomeanSpeedup > 0 && rep.GeomeanSpeedup < base.GeomeanSpeedup*(1-clusterbenchTolerance) {
+			return fmt.Errorf("clusterbench: geomean speedup %.2fx is a %.0f%% regression from baseline %.2fx",
+				rep.GeomeanSpeedup, (1-rep.GeomeanSpeedup/base.GeomeanSpeedup)*100, base.GeomeanSpeedup)
+		}
+		fmt.Fprintf(os.Stderr, "pubsd: clusterbench within %.0f%% of baseline %s (geomean %.2fx vs %.2fx)\n",
+			clusterbenchTolerance*100, *baseline, rep.GeomeanSpeedup, base.GeomeanSpeedup)
+	}
 	return nil
 }

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Timeouts for the three traffic classes of the wire protocol. Execute
+// bounds a detailed simulation, so it is generous; a peer-cache fetch is a
+// map lookup, so a peer that cannot answer fast is treated as a miss; the
+// control plane (join, membership pushes) sits in between.
+const (
+	executeTimeout = 5 * time.Minute
+	fetchTimeout   = 3 * time.Second
+	controlTimeout = 5 * time.Second
+)
+
+// saturatedError is a worker's admission refusal (HTTP 429 or 503): the
+// node is healthy but full, so the cell should be offered to another node —
+// the work-stealing trigger — and retried here only after the hint.
+type saturatedError struct {
+	after time.Duration
+	msg   string
+}
+
+func (e *saturatedError) Error() string { return e.msg }
+
+// executeCell runs one cell on the node at base. A nil error means the
+// worker answered (possibly with a cell-level failure inside the response);
+// a *saturatedError means admission pushed back; any other error means the
+// node itself failed and should leave the ring.
+func executeCell(ctx context.Context, hc *http.Client, base string, rc service.RemoteCell) (executeResponse, error) {
+	body, err := json.Marshal(rc)
+	if err != nil {
+		return executeResponse{}, fmt.Errorf("cluster: encoding cell: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(ctx, executeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/cluster/execute", bytes.NewReader(body))
+	if err != nil {
+		return executeResponse{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return executeResponse{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxWireBytes))
+	if err != nil {
+		return executeResponse{}, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var out executeResponse
+		if err := json.Unmarshal(data, &out); err != nil {
+			return executeResponse{}, fmt.Errorf("cluster: decoding execute response: %w", err)
+		}
+		return out, nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		after := time.Second
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			after = time.Duration(secs) * time.Second
+		}
+		return executeResponse{}, &saturatedError{after: after, msg: fmt.Sprintf("cluster: %s saturated: %s", base, strings.TrimSpace(string(data)))}
+	default:
+		return executeResponse{}, fmt.Errorf("cluster: %s: execute: %s: %s", base, resp.Status, strings.TrimSpace(string(data)))
+	}
+}
+
+// fetchResult asks the node at base for a finished cell by content address —
+// the peer tier of the two-tier cache. Any failure (timeout, 404, a dead
+// peer) is simply a miss.
+func fetchResult(ctx context.Context, hc *http.Client, base, key string) (service.CellResult, bool) {
+	ctx, cancel := context.WithTimeout(ctx, fetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/cluster/result/"+key, nil)
+	if err != nil {
+		return service.CellResult{}, false
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return service.CellResult{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return service.CellResult{}, false
+	}
+	var res service.CellResult
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxWireBytes)).Decode(&res); err != nil || res.Key != key {
+		return service.CellResult{}, false
+	}
+	return res, true
+}
+
+// Join announces a worker to the coordinator and returns the cluster's
+// member map (node ID -> base URL) as of the join.
+func Join(ctx context.Context, hc *http.Client, coordinatorURL, node, selfURL string) (map[string]string, error) {
+	body, err := json.Marshal(joinRequest{Node: node, URL: selfURL})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, controlTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(coordinatorURL, "/")+"/v1/cluster/join", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxWireBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: join: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	var msg peersMsg
+	if err := json.Unmarshal(data, &msg); err != nil {
+		return nil, fmt.Errorf("cluster: decoding join response: %w", err)
+	}
+	return msg.Peers, nil
+}
+
+// pushPeers sends the full member map to one worker (best effort; the join
+// response is the authoritative copy for the joiner itself).
+func pushPeers(ctx context.Context, hc *http.Client, base string, peers map[string]string) error {
+	body, err := json.Marshal(peersMsg{Peers: peers})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(ctx, controlTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/cluster/peers", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: peers push to %s: %s", base, resp.Status)
+	}
+	return nil
+}

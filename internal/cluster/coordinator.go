@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Coordinator shards cells across worker nodes by content address. It
+// plugs into a pubsd daemon as its service.RemoteFunc: the daemon keeps
+// owning admission control, job lifecycle, and the cluster-wide
+// singleflight (each unique cell reaches Remote once), while the
+// coordinator owns placement — ring ownership first, work-stealing onto
+// idle peers when the owner is saturated, and re-sharding when a node
+// stops answering.
+type Coordinator struct {
+	hc *http.Client
+
+	mu   sync.Mutex
+	ring *Ring
+	urls map[string]string // node ID -> base URL
+
+	counters *service.ClusterCounters
+}
+
+// NewCoordinator builds an empty coordinator; nodes arrive via AddNode
+// (the join endpoint) or static configuration.
+func NewCoordinator() *Coordinator {
+	return &Coordinator{hc: &http.Client{}, ring: NewRing(), urls: make(map[string]string)}
+}
+
+// BindCounters connects the coordinator to its daemon's pubsd_cluster_*
+// family. Called after service.New — the daemon's Config needs Remote
+// before the daemon exists — and nil-safe until then.
+func (c *Coordinator) BindCounters(cc *service.ClusterCounters) {
+	c.mu.Lock()
+	c.counters = cc
+	c.mu.Unlock()
+	cc.SetPeers(c.ring.Len())
+}
+
+func (c *Coordinator) countersRef() *service.ClusterCounters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters
+}
+
+// AddNode adds (or re-adds, after a restart under the same ID) a worker to
+// the ring and pushes the updated member map to every worker, so the peer
+// tier of each node's cache sees the whole fleet.
+func (c *Coordinator) AddNode(node, url string) {
+	c.mu.Lock()
+	c.ring.Add(node)
+	c.urls[node] = url
+	n := c.ring.Len()
+	c.mu.Unlock()
+	c.countersRef().SetPeers(n)
+	c.broadcastPeers()
+}
+
+// RemoveNode drops a worker from the ring. Keys it owned fall to the next
+// point clockwise (see Ring.Remove), so the unfinished cells of a dead
+// node re-shard across the survivors on their next dispatch.
+func (c *Coordinator) RemoveNode(node string) {
+	c.mu.Lock()
+	c.ring.Remove(node)
+	delete(c.urls, node)
+	n := c.ring.Len()
+	c.mu.Unlock()
+	c.countersRef().SetPeers(n)
+	c.broadcastPeers()
+}
+
+// Nodes snapshots the member map.
+func (c *Coordinator) Nodes() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string, len(c.urls))
+	for n, u := range c.urls {
+		out[n] = u
+	}
+	return out
+}
+
+// broadcastPeers pushes the member map to every worker, asynchronously and
+// best-effort: the joiner already got the map in its join response, and a
+// worker that misses a push only loses peer-fetch reach until the next
+// membership change.
+func (c *Coordinator) broadcastPeers() {
+	peers := c.Nodes()
+	for _, url := range peers {
+		go func(base string) {
+			_ = pushPeers(context.Background(), c.hc, base, peers)
+		}(url)
+	}
+}
+
+// plan snapshots the dispatch order for a key: the ring owner first, then
+// every other member in deterministic ring order — the steal candidates.
+func (c *Coordinator) plan(key string) (order []string, urls map[string]string, owner string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	owner, ok = c.ring.Owner(key)
+	if !ok {
+		return nil, nil, "", false
+	}
+	order = append(order, owner)
+	for _, n := range c.ring.Nodes() {
+		if n != owner {
+			order = append(order, n)
+		}
+	}
+	urls = make(map[string]string, len(order))
+	for _, n := range order {
+		urls[n] = c.urls[n]
+	}
+	return order, urls, owner, true
+}
+
+// stealBackoffCap bounds the wait between dispatch rounds when the whole
+// fleet is saturated; workers' Retry-After hints shorten it, never extend
+// it past a second, so a draining queue is re-offered promptly.
+const stealBackoffCap = time.Second
+
+// Remote is the service.RemoteFunc a coordinator daemon runs with. For
+// each cell it tries the ring owner, steals to the other members when the
+// owner pushes back, drops members that stop answering (their cells
+// re-shard by construction), and backs off briefly when the whole fleet is
+// saturated. With no live workers it declines the cell, which makes an
+// empty or fully failed cluster degrade to a plain single-node daemon.
+func (c *Coordinator) Remote(ctx context.Context, rc service.RemoteCell) (service.CellResult, bool, error) {
+	for {
+		order, urls, owner, ok := c.plan(rc.Key)
+		if !ok {
+			return service.CellResult{}, false, nil
+		}
+		wait := time.Duration(0)
+		for _, node := range order {
+			resp, err := executeCell(ctx, c.hc, urls[node], rc)
+			var sat *saturatedError
+			switch {
+			case err == nil:
+				cc := c.countersRef()
+				cc.AddRemoteCell()
+				if node != owner {
+					cc.AddSteal()
+				}
+				if resp.Source == "error" || resp.Error != "" {
+					return service.CellResult{}, true, errors.New(resp.Error)
+				}
+				return resp.Result, true, nil
+			case errors.As(err, &sat):
+				// Healthy but full: a steal candidate for this round and a
+				// backoff hint for the next.
+				if wait == 0 || sat.after < wait {
+					wait = sat.after
+				}
+			case ctx.Err() != nil:
+				// Shutdown or cancellation, not a node fault.
+				return service.CellResult{}, true, ctx.Err()
+			default:
+				// The node itself failed (connection refused, mid-request
+				// death, 5xx): remove it so every cell it owned re-shards,
+				// and keep trying this cell on the rest of this round's
+				// snapshot.
+				c.countersRef().AddNodeFailure()
+				c.RemoveNode(node)
+			}
+		}
+		if wait <= 0 {
+			wait = 50 * time.Millisecond
+		}
+		if wait > stealBackoffCap {
+			wait = stealBackoffCap
+		}
+		select {
+		case <-ctx.Done():
+			return service.CellResult{}, true, ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+}
+
+// Handler serves the coordinator's control endpoints — workers join here —
+// falling through to next (the daemon's public API) otherwise.
+func (c *Coordinator) Handler(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/join", func(w http.ResponseWriter, r *http.Request) {
+		var req joinRequest
+		if err := decodeBody(w, r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Node == "" || req.URL == "" {
+			writeError(w, http.StatusBadRequest, errors.New("cluster: join needs node and url"))
+			return
+		}
+		c.AddNode(req.Node, req.URL)
+		writeJSON(w, http.StatusOK, peersMsg{Peers: c.Nodes()})
+	})
+	mux.HandleFunc("GET /v1/cluster/nodes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, peersMsg{Peers: c.Nodes()})
+	})
+	if next != nil {
+		mux.Handle("/", next)
+	}
+	return mux
+}

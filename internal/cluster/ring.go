@@ -1,0 +1,134 @@
+// Package cluster turns pubsd into a sharded multi-node campaign fabric:
+// a coordinator daemon shards campaign cells across N worker daemons by
+// their existing content address (experiments.KeyHash) on a consistent-hash
+// ring, dispatches them over an HTTP/JSON worker protocol that reuses the
+// service.CellResult schema, steals work from saturated shards onto idle
+// peers, and re-shards the cells of a node that dies mid-campaign. Caching
+// is two-tier: every node answers from its own result cache, memo, and
+// checkpoint store first, then fetches by hash from its peers — so a cell
+// submitted by any client is simulated exactly once cluster-wide, and a
+// ring change (join, failover) moves results instead of recomputing them.
+// Bit-identity is the contract throughout: a campaign run against a
+// cluster returns CellResults byte-identical to a single-node run.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// vnodesPerNode is how many virtual points each node contributes to the
+// ring. A node's share of the key space has relative standard deviation
+// ~1/sqrt(vnodes); 4096 points keep it ~1.5%, tight enough that the
+// chi-squared uniformity gate (TestRingUniformDistribution) holds with the
+// multinomial critical values, while ring rebuilds stay trivially cheap
+// (a few thousand points per fleet).
+const vnodesPerNode = 4096
+
+// ringPoint is one virtual node: a position on the 64-bit ring owned by a
+// physical node.
+type ringPoint struct {
+	pos  uint64
+	node string
+}
+
+// Ring is a consistent-hash ring mapping content addresses (hex SHA-256
+// keys, the experiments.KeyHash discipline) to node IDs. Ownership depends
+// only on the member set — never on insertion order — so every coordinator
+// that knows the same peers routes every key identically. Ring is not
+// safe for concurrent use; the Coordinator serializes access.
+type Ring struct {
+	points []ringPoint // sorted by pos
+	nodes  map[string]struct{}
+}
+
+// NewRing builds an empty ring.
+func NewRing() *Ring {
+	return &Ring{nodes: make(map[string]struct{})}
+}
+
+// nodePoint hashes one virtual node onto the ring. SHA-256 keeps the
+// placement discipline identical to the content addresses being routed.
+func nodePoint(node string, replica int) uint64 {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", node, replica)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a node (idempotent). Adding re-sorts the point list, so the
+// resulting ring is identical no matter the order nodes arrived in.
+func (r *Ring) Add(node string) {
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < vnodesPerNode; i++ {
+		r.points = append(r.points, ringPoint{pos: nodePoint(node, i), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].pos < r.points[j].pos })
+}
+
+// Remove deletes a node and its virtual points (idempotent). Only keys the
+// departed node owned move — each to the next point clockwise — which is
+// what makes failover re-sharding cheap.
+func (r *Ring) Remove(node string) {
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Has reports membership.
+func (r *Ring) Has(node string) bool {
+	_, ok := r.nodes[node]
+	return ok
+}
+
+// Len returns the number of member nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the member IDs, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// keyPos maps a content address onto the ring. Keys are already hex
+// SHA-256 (experiments.KeyHash), so the first 8 bytes are uniform; a
+// malformed key is re-hashed rather than rejected, keeping Owner total.
+func keyPos(key string) uint64 {
+	if len(key) >= 16 {
+		if b, err := hex.DecodeString(key[:16]); err == nil {
+			return binary.BigEndian.Uint64(b)
+		}
+	}
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the node owning a content address: the first virtual point
+// clockwise from the key's position. ok is false on an empty ring.
+func (r *Ring) Owner(key string) (node string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	pos := keyPos(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point
+	}
+	return r.points[i].node, true
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// testKeys returns n deterministic content addresses with the same hashing
+// discipline production keys use (hex SHA-256 of the memo key).
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = experiments.KeyHash(fmt.Sprintf("synthetic-memo-key-%d", i))
+	}
+	return keys
+}
+
+func ringOf(nodes ...string) *Ring {
+	r := NewRing()
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+// TestRingUniformDistribution checks that keys spread evenly: the
+// chi-squared statistic of the per-node counts against the uniform
+// expectation stays under the 99.9% critical value for N-1 degrees of
+// freedom. Keys and node IDs are fixed, so the statistic is deterministic —
+// the bound guards the hashing discipline, not luck.
+func TestRingUniformDistribution(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("w%d", i+1)
+		}
+		r := ringOf(nodes...)
+		const keyCount = 5000
+		counts := make(map[string]int, n)
+		for _, k := range testKeys(keyCount) {
+			owner, ok := r.Owner(k)
+			if !ok {
+				t.Fatalf("n=%d: Owner returned !ok on a populated ring", n)
+			}
+			counts[owner]++
+		}
+		expected := float64(keyCount) / float64(n)
+		chi2 := 0.0
+		for _, node := range nodes {
+			d := float64(counts[node]) - expected
+			chi2 += d * d / expected
+		}
+		// 99.9% chi-squared critical values for df = n-1.
+		critical := map[int]float64{2: 10.83, 3: 13.82, 5: 18.47, 8: 24.32}[n]
+		if chi2 > critical {
+			t.Errorf("n=%d: chi2 = %.2f exceeds %.2f (counts %v)", n, chi2, critical, counts)
+		}
+	}
+}
+
+// TestRingMinimalRemapOnJoin checks the consistent-hashing contract: when
+// the N+1th node joins, fewer than 2/(N+1) of keys change owner (the
+// expectation is 1/(N+1)), and every key that moved landed on the new node.
+func TestRingMinimalRemapOnJoin(t *testing.T) {
+	keys := testKeys(10000)
+	for _, n := range []int{2, 3, 5} {
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("w%d", i+1)
+		}
+		r := ringOf(nodes...)
+		before := make([]string, len(keys))
+		for i, k := range keys {
+			before[i], _ = r.Owner(k)
+		}
+		joined := fmt.Sprintf("w%d", n+1)
+		r.Add(joined)
+		moved := 0
+		for i, k := range keys {
+			after, _ := r.Owner(k)
+			if after != before[i] {
+				moved++
+				if after != joined {
+					t.Fatalf("n=%d: key %s moved %s -> %s, not to the joining node", n, k[:12], before[i], after)
+				}
+			}
+		}
+		bound := 2 * len(keys) / (n + 1)
+		if moved >= bound {
+			t.Errorf("n=%d: %d of %d keys moved on join, bound %d", n, moved, len(keys), bound)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d: no keys moved to the joining node", n)
+		}
+	}
+}
+
+// TestRingMinimalRemapOnLeave checks the inverse: removing one of N nodes
+// moves only the keys it owned, each to a surviving node.
+func TestRingMinimalRemapOnLeave(t *testing.T) {
+	keys := testKeys(10000)
+	r := ringOf("w1", "w2", "w3", "w4")
+	before := make([]string, len(keys))
+	owned := 0
+	for i, k := range keys {
+		before[i], _ = r.Owner(k)
+		if before[i] == "w2" {
+			owned++
+		}
+	}
+	r.Remove("w2")
+	moved := 0
+	for i, k := range keys {
+		after, _ := r.Owner(k)
+		if after == "w2" {
+			t.Fatalf("key %s still owned by removed node", k[:12])
+		}
+		if after != before[i] {
+			if before[i] != "w2" {
+				t.Fatalf("key %s moved %s -> %s though its owner survived", k[:12], before[i], after)
+			}
+			moved++
+		}
+	}
+	if moved != owned {
+		t.Errorf("%d keys moved but the removed node owned %d", moved, owned)
+	}
+}
+
+// TestRingDeterministicOwnership checks that ownership depends only on the
+// member set: any insertion order, and any add/remove history converging on
+// the same members, routes every key identically.
+func TestRingDeterministicOwnership(t *testing.T) {
+	keys := testKeys(2000)
+	a := ringOf("w1", "w2", "w3")
+	b := ringOf("w3", "w1", "w2")
+	c := ringOf("w4", "w2", "w3", "w1")
+	c.Remove("w4")
+	for _, k := range keys {
+		oa, _ := a.Owner(k)
+		ob, _ := b.Owner(k)
+		oc, _ := c.Owner(k)
+		if oa != ob || oa != oc {
+			t.Fatalf("key %s owners diverge: %s / %s / %s", k[:12], oa, ob, oc)
+		}
+	}
+	if got, want := fmt.Sprint(a.Nodes()), fmt.Sprint(b.Nodes()); got != want {
+		t.Errorf("node lists diverge: %s vs %s", got, want)
+	}
+}
+
+// TestRingEmptyAndIdempotent covers the degenerate paths: an empty ring
+// owns nothing, double-add and double-remove are no-ops.
+func TestRingEmptyAndIdempotent(t *testing.T) {
+	r := NewRing()
+	if _, ok := r.Owner(testKeys(1)[0]); ok {
+		t.Error("empty ring claimed an owner")
+	}
+	r.Add("w1")
+	r.Add("w1")
+	if got := len(r.points); got != vnodesPerNode {
+		t.Errorf("double add produced %d points, want %d", got, vnodesPerNode)
+	}
+	r.Remove("w9")
+	r.Remove("w1")
+	r.Remove("w1")
+	if r.Len() != 0 || len(r.points) != 0 {
+		t.Errorf("ring not empty after removals: %d nodes, %d points", r.Len(), len(r.points))
+	}
+}

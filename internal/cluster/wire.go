@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/service"
+)
+
+// The cluster wire protocol is HTTP/JSON, mounted under /v1/cluster/ next
+// to the public pubsd API:
+//
+//	POST /v1/cluster/execute      coordinator -> worker: run one cell
+//	GET  /v1/cluster/result/{key} peer -> peer: cache-only fetch by hash
+//	POST /v1/cluster/peers        coordinator -> worker: membership push
+//	POST /v1/cluster/join         worker -> coordinator: announce self
+//	GET  /v1/cluster/nodes        anyone -> coordinator: member map
+//
+// The execute body is a service.RemoteCell and every result payload is the
+// service.CellResult schema — the same record the public API serves, which
+// is what makes cluster bit-identity checkable byte for byte.
+
+// executeResponse is the 200 body of POST /v1/cluster/execute. Source says
+// which cache tier answered: "cache" (the worker's own store), "peer" (a
+// peer fetch by hash), "executed" (the worker's Submit path ran it — which
+// may itself have been answered by the worker's memo or checkpoint without
+// a fresh simulation), or "error". Simulation failures travel as Source
+// "error" with Error set, still HTTP 200: the cell failed, the node did
+// not, and the coordinator must not drop a healthy node over a bad spec.
+type executeResponse struct {
+	Result service.CellResult `json:"result,omitempty"`
+	Source string             `json:"source"`
+	Error  string             `json:"error,omitempty"`
+}
+
+// joinRequest is the body of POST /v1/cluster/join: a worker announcing
+// its stable node ID and the base URL peers reach it at.
+type joinRequest struct {
+	Node string `json:"node"`
+	URL  string `json:"url"`
+}
+
+// peersMsg carries the full member map (node ID -> base URL): the join
+// response, the membership push, and the nodes listing all share it.
+type peersMsg struct {
+	Peers map[string]string `json:"peers"`
+}
+
+// maxWireBytes bounds every cluster request body; a RemoteCell is a few
+// hundred bytes and a member map a few KB.
+const maxWireBytes = 1 << 20
+
+type wireError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, wireError{Error: err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxWireBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

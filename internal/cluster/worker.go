@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Worker adapts one pubsd daemon into a cluster shard: it serves the
+// cluster wire protocol in front of the daemon's own Submit path, so a
+// cell dispatched by the coordinator flows through exactly the admission
+// control, journal, runner, and cache machinery a directly submitted
+// campaign would. Its answer path is the two-tier cache: the node-local
+// store first, a peer fetch by content address second, and only then a
+// fresh execution.
+type Worker struct {
+	svc *service.Service
+	hc  *http.Client
+
+	mu    sync.Mutex
+	peers map[string]string // node ID -> base URL, self excluded
+}
+
+// NewWorker wraps a running daemon.
+func NewWorker(svc *service.Service) *Worker {
+	return &Worker{svc: svc, hc: &http.Client{}, peers: make(map[string]string)}
+}
+
+// SetPeers replaces the worker's member map (from a join response or a
+// coordinator push). The worker's own entry is dropped: fetching from
+// yourself is tier 1, not tier 2.
+func (wk *Worker) SetPeers(peers map[string]string) {
+	self := wk.svc.NodeID()
+	next := make(map[string]string, len(peers))
+	for node, url := range peers {
+		if node != self && url != "" {
+			next[node] = strings.TrimRight(url, "/")
+		}
+	}
+	wk.mu.Lock()
+	wk.peers = next
+	wk.mu.Unlock()
+	wk.svc.ClusterCounters().SetPeers(len(next))
+}
+
+// peerList snapshots the peer URLs in deterministic (node ID) order.
+func (wk *Worker) peerList() []string {
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	nodes := make([]string, 0, len(wk.peers))
+	for n := range wk.peers {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	urls := make([]string, len(nodes))
+	for i, n := range nodes {
+		urls[i] = wk.peers[n]
+	}
+	return urls
+}
+
+// Handler serves the worker's cluster endpoints, falling through to next
+// (the daemon's public API) for every other path.
+func (wk *Worker) Handler(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/execute", wk.handleExecute)
+	mux.HandleFunc("GET /v1/cluster/result/{key}", wk.handleResult)
+	mux.HandleFunc("POST /v1/cluster/peers", wk.handlePeers)
+	if next != nil {
+		mux.Handle("/", next)
+	}
+	return mux
+}
+
+// handleExecute runs one cell through the two-tier cache and then the
+// daemon's own Submit path. Admission refusals surface as 429/503 with the
+// daemon's Retry-After hint — the coordinator's steal trigger. Simulation
+// failures return 200 with Source "error": the cell failed, the node is
+// healthy.
+func (wk *Worker) handleExecute(w http.ResponseWriter, r *http.Request) {
+	var rc service.RemoteCell
+	if err := decodeBody(w, r, &rc); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if rc.Key == "" {
+		writeError(w, http.StatusBadRequest, errors.New("cluster: execute: empty key"))
+		return
+	}
+	// Tier 1: this node already has it (its own earlier execution, an
+	// adopted peer result, or a duplicate in a concurrent burst).
+	if res, ok := wk.svc.Result(rc.Key); ok {
+		writeJSON(w, http.StatusOK, executeResponse{Result: res, Source: "cache"})
+		return
+	}
+	// Tier 2: a peer has it — after a ring change (join, failover) the old
+	// owner still holds the result, and moving it is cheaper than ever
+	// re-simulating. Adopt so this node answers tier-1 next time.
+	for _, base := range wk.peerList() {
+		if res, ok := fetchResult(r.Context(), wk.hc, base, rc.Key); ok {
+			wk.svc.AdoptResult(res)
+			wk.svc.ClusterCounters().AddPeerHit()
+			writeJSON(w, http.StatusOK, executeResponse{Result: res, Source: "peer"})
+			return
+		}
+	}
+	// Tier 3: execute, via the full single-node pipeline. The single-cell
+	// spec carries resolved windows, so the worker derives the same content
+	// address the coordinator sharded by.
+	job, err := wk.svc.Submit(rc.Spec)
+	if err != nil {
+		var ra *service.RetryAfterError
+		if errors.As(err, &ra) {
+			w.Header().Set("Retry-After", strconv.Itoa(int(ra.After.Round(time.Second).Seconds())))
+		}
+		switch {
+		case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrRateLimited):
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, service.ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		// The coordinator gave up (or died). The job keeps running: its
+		// result lands in the local cache, so the inevitable re-dispatch —
+		// here or on a peer that fetches from here — is a cache hit, not a
+		// second simulation.
+		return
+	}
+	st := job.Status()
+	if st.State == service.JobFailed {
+		writeJSON(w, http.StatusOK, executeResponse{Source: "error", Error: strings.Join(st.Errors, "; ")})
+		return
+	}
+	for _, res := range st.Results {
+		if res.Key == rc.Key {
+			writeJSON(w, http.StatusOK, executeResponse{Result: res, Source: "executed"})
+			return
+		}
+	}
+	// The worker resolved the spec to a different content address than the
+	// coordinator — a protocol bug worth failing loudly, not silently
+	// serving the wrong cell.
+	keys := make([]string, 0, len(st.Results))
+	for _, res := range st.Results {
+		keys = append(keys, res.Key)
+	}
+	writeJSON(w, http.StatusOK, executeResponse{
+		Source: "error",
+		Error:  fmt.Sprintf("cluster: key mismatch: coordinator asked for %s, worker computed %v", rc.Key, keys),
+	})
+}
+
+// handleResult is the cache-only peer-fetch endpoint: it answers from this
+// node's finished-result store and never triggers work, which is what
+// keeps peer fetches cheap and recursion-free.
+func (wk *Worker) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, ok := wk.svc.Result(r.PathValue("key"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("cluster: no result under that key"))
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handlePeers applies a coordinator membership push.
+func (wk *Worker) handlePeers(w http.ResponseWriter, r *http.Request) {
+	var msg peersMsg
+	if err := decodeBody(w, r, &msg); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	wk.SetPeers(msg.Peers)
+	writeJSON(w, http.StatusOK, peersMsg{Peers: msg.Peers})
+}

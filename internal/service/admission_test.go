@@ -327,7 +327,7 @@ func TestBreakerDegradedCachedOnly(t *testing.T) {
 	if h := s.Health(); h.Status != "degraded" || h.Breaker != "open" || h.BreakerTrips != 1 {
 		t.Fatalf("health after trip: %+v", h)
 	}
-	if !strings.Contains(s.MetricsText(), "pubsd_breaker_state 2\n") {
+	if !strings.Contains(s.MetricsText(), "pubsd_breaker_state{node=\"local\"} 2\n") {
 		t.Error("metrics do not show the open breaker")
 	}
 

@@ -91,6 +91,19 @@ func (c *resultCache) Do(key string, build func() (CellResult, error)) (CellResu
 	return f.res, outcomeRun, f.err
 }
 
+// Adopt installs a result computed elsewhere (a cluster peer) under its own
+// content key. An existing local entry wins: by the bit-identity contract
+// the two are equal, and the local one may already be serving readers.
+// Waiters merged onto an in-flight execution of the same key are left to
+// that flight — Adopt never resolves a flight it did not start.
+func (c *resultCache) Adopt(res CellResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.done[res.Key]; !ok {
+		c.done[res.Key] = res
+	}
+}
+
 // Get returns a completed result by content key.
 func (c *resultCache) Get(key string) (CellResult, bool) {
 	c.mu.Lock()

@@ -55,6 +55,11 @@ type Job struct {
 	qseq     uint64   // arrival order within the priority queue
 	jl       *journal // nil-safe durable log shared with the Service
 
+	// perMachine is the grid stride: cells per machine (= the workload
+	// count), so cell i belongs to machine i/perMachine. Zero for jobs
+	// whose grid failed to expand (recovery failures).
+	perMachine int
+
 	cellWG sync.WaitGroup
 
 	mu        sync.Mutex
@@ -86,6 +91,9 @@ func newJob(id string, spec CampaignSpec, cells []experiments.Cell, opts experim
 		reported:  make([]bool, len(cells)),
 		submitted: time.Now(),
 		done:      make(chan struct{}),
+	}
+	if len(spec.Machines) > 0 {
+		j.perMachine = len(cells) / len(spec.Machines)
 	}
 	j.events = append(j.events, Event{Type: "queued", Job: id, Time: j.submitted, Total: len(cells)})
 	return j

@@ -229,7 +229,7 @@ func TestJournalAppendFaultDegradesNotFails(t *testing.T) {
 	if got := s.m.journalErrors.Load(); got == 0 {
 		t.Error("journal errors not counted under injected write faults")
 	}
-	if strings.Contains(s.MetricsText(), "pubsd_journal_errors_total 0\n") {
+	if strings.Contains(s.MetricsText(), "pubsd_journal_errors_total{node=\"local\"} 0\n") {
 		t.Error("/metrics does not surface the journal errors")
 	}
 }

@@ -292,7 +292,11 @@ func quantileExact(sorted []float64, q float64) float64 {
 	return sorted[idx]
 }
 
-// scrapeMetrics fetches /metrics and parses the un-labeled numeric lines.
+// scrapeMetrics fetches /metrics and parses the integer-valued series,
+// summing across label sets: every pubsd series carries a `node` label, and
+// aggregating over it gives the scrape a cluster-wide view for free when
+// multiple nodes are behind one endpoint. Quantile series are skipped —
+// summing quantiles across nodes would be meaningless.
 func scrapeMetrics(ctx context.Context, client *http.Client, baseURL string) (map[string]uint64, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
 	if err != nil {
@@ -307,15 +311,27 @@ func scrapeMetrics(ctx context.Context, client *http.Client, baseURL string) (ma
 	if err != nil {
 		return nil, err
 	}
+	return parseMetrics(string(data)), nil
+}
+
+// parseMetrics is scrapeMetrics' parser, split out for reuse by the cluster
+// benchmark: metric base name -> sum of its integer samples across labels.
+func parseMetrics(text string) map[string]uint64 {
 	out := make(map[string]uint64)
-	for _, ln := range strings.Split(string(data), "\n") {
+	for _, ln := range strings.Split(text, "\n") {
 		name, val, ok := strings.Cut(strings.TrimSpace(ln), " ")
-		if !ok || strings.Contains(name, "{") {
+		if !ok {
 			continue
 		}
+		if base, labels, cut := strings.Cut(name, "{"); cut {
+			if strings.Contains(labels, "quantile=") {
+				continue
+			}
+			name = base
+		}
 		if v, err := strconv.ParseUint(val, 10, 64); err == nil {
-			out[name] = v
+			out[name] += v
 		}
 	}
-	return out, nil
+	return out
 }

@@ -48,6 +48,10 @@ type metrics struct {
 	lat   *stats.Histogram
 	winMu sync.Mutex
 	win   *stats.Histogram
+
+	// cluster is the pubsd_cluster_* family, fed by the cluster package
+	// (zero-valued on a standalone daemon).
+	cluster ClusterCounters
 }
 
 // latBuckets covers up to ~2^39 ms (≈17 years) of job latency.
@@ -128,12 +132,14 @@ type snapshotGauges struct {
 	breakerTrips  uint64 // closed→open transitions since boot
 }
 
-// render emits the metrics in Prometheus text exposition format.
-func (m *metrics) render(g snapshotGauges) string {
+// render emits the metrics in Prometheus text exposition format. Every
+// series carries a `node` label — the daemon's stable cluster identity —
+// so dashboards scraping a whole fabric can attribute load per node.
+func (m *metrics) render(node string, g snapshotGauges) string {
 	var sb strings.Builder
 	up := time.Since(m.start).Seconds()
 	line := func(name string, v any) {
-		fmt.Fprintf(&sb, "%s %v\n", name, v)
+		fmt.Fprintf(&sb, "%s{node=%q} %v\n", name, node, v)
 	}
 	b := func(v bool) int {
 		if v {
@@ -163,6 +169,12 @@ func (m *metrics) render(g snapshotGauges) string {
 	line("pubsd_journal_records_total", m.journalRecords.Load())
 	line("pubsd_journal_errors_total", m.journalErrors.Load())
 	line("pubsd_journal_recovered_jobs", m.jobsRecovered.Load())
+
+	line("pubsd_cluster_peers", m.cluster.peers.Load())
+	line("pubsd_cluster_steals_total", m.cluster.steals.Load())
+	line("pubsd_cluster_peer_cache_hits_total", m.cluster.peerHits.Load())
+	line("pubsd_cluster_remote_cells_total", m.cluster.remoteCells.Load())
+	line("pubsd_cluster_node_failures_total", m.cluster.nodeFailures.Load())
 
 	line("pubsd_cells_completed_total", m.cellsCompleted.Load())
 	line("pubsd_cells_failed_total", m.cellsFailed.Load())
@@ -195,14 +207,14 @@ func (m *metrics) render(g snapshotGauges) string {
 	m.latMu.Unlock()
 	line("pubsd_job_latency_count", total)
 	for _, q := range []float64{0.5, 0.9, 0.99} {
-		fmt.Fprintf(&sb, "pubsd_job_latency_ms{quantile=\"%g\"} %d\n", q, m.latencyQuantileMS(q))
+		fmt.Fprintf(&sb, "pubsd_job_latency_ms{node=%q,quantile=\"%g\"} %d\n", node, q, m.latencyQuantileMS(q))
 	}
 	m.winMu.Lock()
 	wins := m.win.Total()
 	m.winMu.Unlock()
 	line("pubsd_window_replay_latency_count", wins)
 	for _, q := range []float64{0.5, 0.9, 0.99} {
-		fmt.Fprintf(&sb, "pubsd_window_replay_latency_ms{quantile=\"%g\"} %d\n", q, m.windowQuantileMS(q))
+		fmt.Fprintf(&sb, "pubsd_window_replay_latency_ms{node=%q,quantile=\"%g\"} %d\n", node, q, m.windowQuantileMS(q))
 	}
 	return sb.String()
 }

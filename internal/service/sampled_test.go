@@ -53,7 +53,7 @@ func TestSampledJob(t *testing.T) {
 	if snaps.Hits != 2 {
 		t.Errorf("snapshot hits = %d, want 2 (remaining machines)", snaps.Hits)
 	}
-	for _, metric := range []string{"pubsd_snapshot_plans_total 1", "pubsd_snapshot_hits_total 2"} {
+	for _, metric := range []string{"pubsd_snapshot_plans_total{node=\"local\"} 1", "pubsd_snapshot_hits_total{node=\"local\"} 2"} {
 		if !strings.Contains(s.MetricsText(), metric) {
 			t.Errorf("metrics missing %q", metric)
 		}
@@ -147,9 +147,9 @@ func TestWindowMajorJob(t *testing.T) {
 	}
 	text := s.MetricsText()
 	for _, metric := range []string{
-		"pubsd_predecode_misses_total 1",
-		"pubsd_predecode_evictions_total 0",
-		"pubsd_trace_budget_bytes 1073741824",
+		"pubsd_predecode_misses_total{node=\"local\"} 1",
+		"pubsd_predecode_evictions_total{node=\"local\"} 0",
+		"pubsd_trace_budget_bytes{node=\"local\"} 1073741824",
 		"pubsd_trace_resident_bytes",
 		"pubsd_window_replay_latency_count",
 	} {
@@ -157,7 +157,7 @@ func TestWindowMajorJob(t *testing.T) {
 			t.Errorf("metrics missing %q", metric)
 		}
 	}
-	if strings.Contains(text, "pubsd_window_replay_latency_count 0") {
+	if strings.Contains(text, "pubsd_window_replay_latency_count{node=\"local\"} 0") {
 		t.Error("replay-latency histogram never observed a window")
 	}
 }

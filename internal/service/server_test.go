@@ -203,7 +203,7 @@ func TestHTTPHealthzAndMetrics(t *testing.T) {
 		sb.WriteString("\n")
 	}
 	resp.Body.Close()
-	if !strings.Contains(sb.String(), "pubsd_queue_depth 0") {
+	if !strings.Contains(sb.String(), "pubsd_queue_depth{node=\"local\"} 0") {
 		t.Errorf("metrics body missing gauges:\n%s", sb.String())
 	}
 

@@ -78,6 +78,17 @@ type Config struct {
 	// resident, evicting whole plans LRU-first (0 = unbounded). Exported
 	// live through the pubsd_trace_resident_bytes gauge.
 	TraceBudgetBytes int64
+	// NodeID is the daemon's stable identity in a cluster — the `node`
+	// label on every metric it exports ("" = "local"). It must be unique
+	// and stable across restarts within one cluster: the consistent-hash
+	// ring shards by it, so a node that rejoins under its old ID takes
+	// back exactly the cells it owned.
+	NodeID string
+	// Remote, when set, is the cluster fabric's remote-execution seam: the
+	// dispatcher offers every cell to it (inside the singleflight critical
+	// section, so each unique cell is offered once) before falling back to
+	// the local worker pool. See RemoteFunc.
+	Remote RemoteFunc
 }
 
 func (c Config) normalized() Config {
@@ -110,6 +121,9 @@ func (c Config) normalized() Config {
 	}
 	c.DefaultOptions.Parallelism = c.Workers
 	c.DefaultOptions.TraceBudgetBytes = c.TraceBudgetBytes
+	if c.NodeID == "" {
+		c.NodeID = "local"
+	}
 	return c
 }
 
@@ -437,7 +451,7 @@ func (s *Service) runJob(j *Job) {
 	defer s.m.activeJobs.Add(-1)
 	j.start()
 	j.cellWG.Add(len(j.cells))
-	for _, t := range j.tasks() {
+	for _, t := range j.tasks(s.cfg.Remote != nil) {
 		select {
 		case s.tasks <- t:
 		case <-s.rootCtx.Done():
@@ -498,9 +512,11 @@ func (t task) indices() []int {
 
 // tasks shards the job for the worker pool: one task per cell, except
 // window-major sampled jobs, which get one task per workload covering that
-// workload's whole machine sweep.
-func (j *Job) tasks() []task {
-	if !j.opts.WindowMajor || !j.opts.Sampled() {
+// workload's whole machine sweep. perCell forces the per-cell shape even
+// then — the cluster dispatcher routes cells individually by content
+// address, and each worker daemon re-applies window-major locally.
+func (j *Job) tasks(perCell bool) []task {
+	if perCell || !j.opts.WindowMajor || !j.opts.Sampled() {
 		out := make([]task, len(j.cells))
 		for i := range j.cells {
 			out[i] = task{job: j, idx: i}
@@ -551,6 +567,18 @@ func (s *Service) execute(t task) {
 		t.job.progress(cell, key, committed)
 	})
 	res, outcome, err := s.cache.Do(key, func() (CellResult, error) {
+		// Offer the cell to the cluster fabric first. Running inside the
+		// singleflight critical section means the fabric sees each unique
+		// content address at most once per coordinator — the cluster-wide
+		// exactly-once contract rests on this ordering. A declined cell
+		// (no live peers) falls through to the local runner unchanged.
+		if s.cfg.Remote != nil {
+			if spec, ok := t.job.remoteSpec(t.idx); ok {
+				if rres, handled, rerr := s.cfg.Remote(ctx, RemoteCell{Key: key, Spec: spec}); handled {
+					return rres, rerr
+				}
+			}
+		}
 		r, err := runner.RunCell(ctx, cell)
 		if err != nil {
 			return CellResult{}, err
@@ -756,7 +784,7 @@ func (s *Service) DefaultOptions() experiments.Options { return s.cfg.DefaultOpt
 func (s *Service) MetricsText() string {
 	rs, snaps := s.runnerStats()
 	brkState, brkTrips := s.brk.State()
-	return s.m.render(snapshotGauges{
+	return s.m.render(s.cfg.NodeID, snapshotGauges{
 		queueDepth:    s.QueueDepth(),
 		workers:       s.cfg.Workers,
 		cacheEntries:  s.cache.Len(),

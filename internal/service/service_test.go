@@ -390,13 +390,13 @@ func TestMetricsText(t *testing.T) {
 	}))
 	text := s.MetricsText()
 	for _, want := range []string{
-		"pubsd_jobs_submitted_total 1",
-		"pubsd_jobs_completed_total 1",
-		"pubsd_cells_completed_total 1",
-		"pubsd_sims_executed_total 1",
-		"pubsd_workers 2",
-		"pubsd_job_latency_count 1",
-		"pubsd_job_latency_ms{quantile=\"0.5\"}",
+		"pubsd_jobs_submitted_total{node=\"local\"} 1",
+		"pubsd_jobs_completed_total{node=\"local\"} 1",
+		"pubsd_cells_completed_total{node=\"local\"} 1",
+		"pubsd_sims_executed_total{node=\"local\"} 1",
+		"pubsd_workers{node=\"local\"} 2",
+		"pubsd_job_latency_count{node=\"local\"} 1",
+		"pubsd_job_latency_ms{node=\"local\",quantile=\"0.5\"}",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q\n%s", want, text)

@@ -19,8 +19,6 @@ if [[ -z "$PUBSD" ]]; then
   PUBSD=/tmp/pubsd
 fi
 
-ADDR=127.0.0.1:8322
-BASE=http://$ADDR
 STATE=$(mktemp -d)
 trap 'kill -9 $PID 2>/dev/null || true; rm -rf "$STATE"' EXIT
 
@@ -28,19 +26,36 @@ trap 'kill -9 $PID 2>/dev/null || true; rm -rf "$STATE"' EXIT
 # worker) that the kill below reliably lands mid-campaign.
 SPEC='{"machines":[{"machine":"base"},{"machine":"pubs"},{"machine":"age"},{"machine":"pubs+age"}],"workloads":["matmul","chess"],"warmup":2000,"measure":400000}'
 
-start_daemon() {
-  "$PUBSD" serve -addr "$ADDR" -workers 1 -warmup 2000 -insts 400000 \
-    -journal "$STATE/journal" -checkpoint "$STATE/ckpt" 2>>"$STATE/log" &
-  PID=$!
+# Daemons listen on kernel-chosen ports (-addr 127.0.0.1:0); each start
+# parses the bound address back out of the "serving on" stderr line, so a
+# restart or a parallel smoke run never races a hardcoded port.
+wait_serving() { # $1 = stderr log
   for i in $(seq 1 50); do
-    curl -sf "$BASE/healthz" >/dev/null && return 0
-    kill -0 $PID 2>/dev/null || { echo "daemon died at boot"; cat "$STATE/log"; exit 1; }
+    ADDR=$(sed -n 's/^pubsd: serving on \([0-9.]*:[0-9]*\) .*/\1/p' "$1" | tail -1)
+    if [[ -n "$ADDR" ]]; then
+      BASE=http://$ADDR
+      curl -sf "$BASE/healthz" >/dev/null && return 0
+    fi
+    kill -0 $PID 2>/dev/null || { echo "daemon died at boot"; cat "$1"; exit 1; }
     sleep 0.2
   done
-  echo "daemon never became healthy"; exit 1
+  echo "daemon never became healthy"; cat "$1"; exit 1
 }
 
-metric() { curl -sf "$BASE/metrics" | awk -v m="$1" '$1 == m {print $2}'; }
+start_daemon() {
+  : >"$STATE/log"
+  "$PUBSD" serve -addr 127.0.0.1:0 -workers 1 -warmup 2000 -insts 400000 \
+    -journal "$STATE/journal" -checkpoint "$STATE/ckpt" 2>>"$STATE/log" &
+  PID=$!
+  wait_serving "$STATE/log"
+}
+
+# Metric samples carry a {node="..."} label set; match the bare name or any
+# labeled series of it (skipping quantile series) and sum.
+metric() {
+  curl -sf "$BASE/metrics" | awk -v m="$1" \
+    '($1 == m || index($1, m"{") == 1) && $1 !~ /quantile=/ {s += $2} END {print s+0}'
+}
 
 wait_done() {
   local id=$1
@@ -102,17 +117,12 @@ wait $PID || { echo "recovered daemon exited non-zero"; exit 1; }
 
 # --- Phase 3: a clean daemon on fresh state must agree bit for bit. ------
 STATE2=$(mktemp -d)
-ADDR=127.0.0.1:8323
-BASE=http://$ADDR
-"$PUBSD" serve -addr "$ADDR" -workers 1 -warmup 2000 -insts 400000 \
-  -journal "$STATE2/journal" -checkpoint "$STATE2/ckpt" 2>>"$STATE/log" &
+: >"$STATE2/log"
+"$PUBSD" serve -addr 127.0.0.1:0 -workers 1 -warmup 2000 -insts 400000 \
+  -journal "$STATE2/journal" -checkpoint "$STATE2/ckpt" 2>>"$STATE2/log" &
 PID=$!
 trap 'kill -9 $PID 2>/dev/null || true; rm -rf "$STATE" "$STATE2"' EXIT
-for i in $(seq 1 50); do
-  curl -sf "$BASE/healthz" >/dev/null && break
-  [[ $i == 50 ]] && { echo "clean daemon never became healthy"; exit 1; }
-  sleep 0.2
-done
+wait_serving "$STATE2/log"
 JOB3=$(curl -sf -X POST "$BASE/v1/jobs" -d "$SPEC" | jq -r .id)
 wait_done "$JOB3"
 R_CLEAN=$(curl -sf "$BASE/v1/jobs/$JOB3" | jq -S .results)

@@ -13,25 +13,33 @@ if [[ -z "$PUBSD" ]]; then
   PUBSD=/tmp/pubsd
 fi
 
-ADDR=127.0.0.1:8321
-BASE=http://$ADDR
 SPEC='{"machines":[{"machine":"base"},{"machine":"pubs"}],"workloads":["matmul","chess"],"warmup":2000,"measure":8000}'
+LOG=$(mktemp)
 
 # 256 MiB trace budget: far above what the tiny sampled sweep below needs,
 # so the resident-bytes assertion proves the gauge stays within budget
 # rather than that eviction kicked in.
 TRACE_BUDGET=268435456
 
+# -addr 127.0.0.1:0 lets the kernel pick a free port; the bound address is
+# parsed back out of the daemon's "serving on" line, so parallel smoke runs
+# never collide.
+#
 # 8 workers: more than the cells in any one loadtest spec, so a burst of
 # duplicate jobs has identical cells in flight simultaneously — the
 # precondition for the singleflight-merge assertion below.
-"$PUBSD" serve -addr "$ADDR" -workers 8 -warmup 2000 -insts 8000 -trace-budget $TRACE_BUDGET &
+"$PUBSD" serve -addr 127.0.0.1:0 -workers 8 -warmup 2000 -insts 8000 -trace-budget $TRACE_BUDGET 2>>"$LOG" &
 PID=$!
-trap 'kill -9 $PID 2>/dev/null || true' EXIT
+trap 'kill -9 $PID 2>/dev/null || true; rm -f "$LOG"' EXIT
 
 for i in $(seq 1 50); do
-  curl -sf "$BASE/healthz" >/dev/null && break
-  [[ $i == 50 ]] && { echo "daemon never became healthy"; exit 1; }
+  ADDR=$(sed -n 's/^pubsd: serving on \([0-9.]*:[0-9]*\) .*/\1/p' "$LOG" | tail -1)
+  if [[ -n "$ADDR" ]]; then
+    BASE=http://$ADDR
+    curl -sf "$BASE/healthz" >/dev/null && break
+  fi
+  kill -0 $PID 2>/dev/null || { echo "daemon died at boot"; cat "$LOG"; exit 1; }
+  [[ $i == 50 ]] && { echo "daemon never became healthy"; cat "$LOG"; exit 1; }
   sleep 0.2
 done
 
@@ -51,7 +59,12 @@ submit_and_wait() {
   echo "job $id never finished (state=$state)" >&2; exit 1
 }
 
-metric() { curl -sf "$BASE/metrics" | awk -v m="$1" '$1 == m {print $2}'; }
+# Metric samples carry a {node="..."} label set; match the bare name or any
+# labeled series of it (skipping quantile series) and sum.
+metric() {
+  curl -sf "$BASE/metrics" | awk -v m="$1" \
+    '($1 == m || index($1, m"{") == 1) && $1 !~ /quantile=/ {s += $2} END {print s+0}'
+}
 
 JOB1=$(submit_and_wait)
 SIMS1=$(metric pubsd_sims_executed_total)
