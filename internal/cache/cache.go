@@ -16,6 +16,15 @@
 // the hierarchy byte-identical, so skipped (provably access-free) spans
 // need no cache ticking — prefetches included, since they are issued from
 // inside demand accesses, never from a timer.
+//
+// Threshold publication (DESIGN.md §14.1): every future cycle at which the
+// hierarchy's answer to a caller changes is *returned* to that caller as
+// an absolute cycle (`done` from Access) at the moment it is decided —
+// nothing in here schedules a state change without handing its cycle back.
+// The pipeline pushes those cycles into its event-heap wakeup index as it
+// receives them (I-line fills, load completions), which is what makes the
+// heap's superset invariant hold for the memory system: a threshold that
+// was never returned cannot exist, so none can be missing from the heap.
 package cache
 
 import "fmt"

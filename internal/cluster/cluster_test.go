@@ -314,14 +314,18 @@ func TestClusterFailover(t *testing.T) {
 
 	// w1 dies the moment it finishes its first cell: connections are
 	// severed mid-flight (responses in flight may or may not land — both
-	// happen in real failures) and every later request aborts.
+	// happen in real failures) and every later request aborts. The kill is
+	// synchronous with the first execute's completion: an asynchronous kill
+	// raced against the remaining cells, and fast simulation (the idle-skip
+	// bursts) let w1 finish its whole share before the kill landed, leaving
+	// the ring intact.
 	killer := &killableWorker{}
 	wrap := func(inner http.Handler) http.Handler {
 		var firstDone sync.Once
 		killer.inner = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			inner.ServeHTTP(w, r)
 			if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/execute") {
-				firstDone.Do(func() { go killer.kill() })
+				firstDone.Do(killer.kill)
 			}
 		})
 		return killer

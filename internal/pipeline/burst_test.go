@@ -1,0 +1,355 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cache"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// recordProgLoop is recordStream for an arbitrary program: it captures the
+// first n committed-order instructions and loops them forever. n must be
+// comfortably below the program's dynamic length so a Halt never enters
+// the loop buffer.
+func recordProgLoop(t *testing.T, prog *isa.Program, n int) *loopStream {
+	t.Helper()
+	m, err := emu.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]emu.DynInst, 0, n)
+	for len(buf) < n {
+		di, ok := m.Step()
+		if !ok {
+			t.Fatalf("program ended after %d instructions, want %d", len(buf), n)
+		}
+		buf = append(buf, di)
+	}
+	return &loopStream{buf: buf}
+}
+
+// TestWakeHeapNeverLate audits the event heap against the pre-heap
+// threshold rescan: at the end of every simulated cycle, nextWake (heap)
+// must not report a later wake than nextWakeScan (ground truth) — a later
+// wake would let a skip jump across a live threshold. Earlier is fine
+// (spurious wakeups only shorten skips). Driven by a branch-heavy
+// workload, a memory-bound one, and pseudo-random programs, on both
+// anchor machines.
+func TestWakeHeapNeverLate(t *testing.T) {
+	const cycles = 30_000
+	streams := map[string]func(t *testing.T) *loopStream{
+		"chess":    func(t *testing.T) *loopStream { return recordStream(t, "chess", 4096) },
+		"treewalk": func(t *testing.T) *loopStream { return recordStream(t, "treewalk", 4096) },
+		"rand7":    func(t *testing.T) *loopStream { return recordProgLoop(t, skipRandomProgram(7), 4096) },
+		"randBEEF": func(t *testing.T) *loopStream { return recordProgLoop(t, skipRandomProgram(0xBEEF), 4096) },
+	}
+	for _, cfg := range []Config{BaseConfig(), PUBSConfig()} {
+		for name, mk := range streams {
+			cfg, name, mk := cfg, name, mk
+			t.Run(fmt.Sprintf("%s/%s", cfg.Name, name), func(t *testing.T) {
+				t.Parallel()
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.stream = mk(t)
+				for c := 0; c < cycles; c++ {
+					s.act = 0
+					s.commit()
+					s.issue()
+					s.drainStores()
+					s.dispatch()
+					s.decodeWrongPath()
+					s.fetch()
+					scan := s.nextWakeScan()
+					heap := s.nextWake()
+					if heap > scan {
+						t.Fatalf("cycle %d: heap wake %d later than scanned wake %d (act=%#x)",
+							s.now, heap, scan, s.act)
+					}
+					s.now++
+				}
+			})
+		}
+	}
+}
+
+// burstFetchProgram wedges the backend on a data-dependent load chase
+// (every load misses far into memory) and follows it with a block of
+// independent ALU work: while the chase blocks commit and the window
+// fills, dispatch stalls and fetch alone drains ready I-lines into the
+// queue — the fetch-drain burst shape.
+func burstFetchProgram() *isa.Program {
+	rng := skipPropRNG(0x5EED)
+	b := asm.New("burst-fetch")
+	const words = 512
+	vals := make([]uint64, words)
+	for i := range vals {
+		vals[i] = rng.next()
+	}
+	base := b.Words(vals...)
+
+	ctr, dbase, x, addr := isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+	alu := []isa.Reg{isa.R(6), isa.R(7), isa.R(8), isa.R(9)}
+	b.Li(ctr, 400)
+	b.Li(dbase, int64(base))
+	b.Li(x, 1)
+	for i, r := range alu {
+		b.Li(r, int64(i+1))
+	}
+	b.Label("loop")
+	// Dependent chase, 4 links deep per iteration.
+	for i := 0; i < 4; i++ {
+		b.Andi(addr, x, words-1)
+		b.Shli(addr, addr, 3)
+		b.Add(addr, addr, dbase)
+		b.Ld(x, addr, 0)
+	}
+	// Independent ALU block: plenty to fetch while the chase stalls.
+	for i := 0; i < 40; i++ {
+		r := alu[i%len(alu)]
+		b.Add(r, r, alu[(i+1)%len(alu)])
+	}
+	b.Addi(ctr, ctr, -1)
+	b.Bne(ctr, isa.RZero, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// burstCommitProgram loops over a straight-line ALU body spanning many
+// instruction lines: with a tiny L1I every traversal misses, freezing the
+// front end while the already-dispatched, quickly-completed backlog
+// retires at commit width from an empty fetch queue — the commit-run
+// shape. Loads and stores are absent so retirement never arms the store
+// drain.
+func burstCommitProgram() *isa.Program {
+	b := asm.New("burst-commit")
+	ctr := isa.R(2)
+	alu := []isa.Reg{isa.R(3), isa.R(4), isa.R(5), isa.R(6), isa.R(7), isa.R(8)}
+	b.Li(ctr, 600)
+	for i, r := range alu {
+		b.Li(r, int64(i+1))
+	}
+	b.Label("loop")
+	for i := 0; i < 192; i++ {
+		r := alu[i%len(alu)]
+		b.Add(r, r, alu[(i+1)%len(alu)])
+	}
+	b.Addi(ctr, ctr, -1)
+	b.Bne(ctr, isa.RZero, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// burstShapeCases returns (config, program) pairs purpose-built so each
+// quasi-null class provably fires: the differential below checks both
+// bit-identity and, via telemetry, that the shape actually exercised the
+// burst it was built for.
+type burstShape struct {
+	name   string
+	cfg    Config
+	prog   *isa.Program
+	fetchy bool // expects fetch-drain bursts
+	commit bool // expects commit-run bursts
+}
+
+func burstShapeCases() []burstShape {
+	// Long memory latency amplifies the backend wedge under the chase.
+	fetchCfg := BaseConfig()
+	fetchCfg.Name = "base-longmiss"
+	fetchCfg.MemLatency = 1_000
+
+	// Tiny fetch queue (fetchQ is 4×FetchWidth): the fetch-drain span hits
+	// the queue-full boundary almost immediately, pinning the break path.
+	tinyCfg := BaseConfig()
+	tinyCfg.Name = "base-tinyfq"
+	tinyCfg.FetchWidth = 1
+	tinyCfg.MemLatency = 1_000
+
+	// Two-line L1I: every traversal of the large loop body misses, and the
+	// L2 hit latency freezes fetch while the ROB backlog retires.
+	commitCfg := BaseConfig()
+	commitCfg.Name = "base-tinyl1i"
+	commitCfg.L1I = cache.Config{Name: "L1I", Sets: 1, Ways: 2, LineBytes: 64, HitLat: 0, MSHRs: 2}
+
+	pubsCommitCfg := PUBSConfig()
+	pubsCommitCfg.Name = "pubs-tinyl1i"
+	pubsCommitCfg.L1I = cache.Config{Name: "L1I", Sets: 1, Ways: 2, LineBytes: 64, HitLat: 0, MSHRs: 2}
+
+	return []burstShape{
+		{"fetch-drain", fetchCfg, burstFetchProgram(), true, false},
+		{"fetch-drain-tinyfq", tinyCfg, burstFetchProgram(), true, false},
+		{"commit-run", commitCfg, burstCommitProgram(), false, true},
+		{"commit-run-pubs", pubsCommitCfg, burstCommitProgram(), false, true},
+	}
+}
+
+// runBurstTelemetry runs prog on cfg and returns the Result plus the
+// run's skip telemetry.
+func runBurstTelemetry(t *testing.T, cfg Config, prog *isa.Program, warmup, measure uint64) (Result, SkipTelemetry) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetStaticCode(prog.Code)
+	res, err := s.Run(Stream{M: emu.MustNew(prog)}, warmup, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, s.SkipTelemetry()
+}
+
+// TestBurstDifferentialShapes: on programs shaped to force each burst
+// class, phase-2 skipping (bursts on), phase-1 skipping (NoBurstSkip),
+// and full polling must produce DeepEqual Results — and the telemetry
+// must confirm the intended class actually fired, so the equality is a
+// covered claim rather than a vacuous one.
+func TestBurstDifferentialShapes(t *testing.T) {
+	const warmup, measure = 2_000, 10_000
+	for _, sc := range burstShapeCases() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			full, tel := runBurstTelemetry(t, sc.cfg, sc.prog, warmup, measure)
+			if sc.fetchy && tel.FetchBurstSpans == 0 {
+				t.Errorf("shape %s never fetch-burst: %+v", sc.name, tel)
+			}
+			if sc.commit && tel.CommitBurstSpans == 0 {
+				t.Errorf("shape %s never commit-burst: %+v", sc.name, tel)
+			}
+
+			p1 := sc.cfg
+			p1.NoBurstSkip = true
+			phase1, tel1 := runBurstTelemetry(t, p1, sc.prog, warmup, measure)
+			if tel1.FetchBurstSpans != 0 || tel1.CommitBurstSpans != 0 {
+				t.Errorf("NoBurstSkip still burst: %+v", tel1)
+			}
+			if !reflect.DeepEqual(full, phase1) {
+				t.Errorf("phase-2 and phase-1 diverged:\n p2: %+v\n p1: %+v", full, phase1)
+			}
+
+			poll := sc.cfg
+			poll.NoIdleSkip = true
+			pollRes, _ := runBurstTelemetry(t, poll, sc.prog, warmup, measure)
+			if !reflect.DeepEqual(full, pollRes) {
+				t.Errorf("phase-2 and poll diverged:\n p2:   %+v\n poll: %+v", full, pollRes)
+			}
+		})
+	}
+}
+
+// TestBurstDifferentialRandomPrograms: pseudo-random programs nobody
+// shaped for the bursts must also agree across phase 2, phase 1, and
+// poll, on the anchor machines plus a profiled variant (covering the
+// burst-integrated occupancy-histogram paths) and a tiny fetch queue.
+func TestBurstDifferentialRandomPrograms(t *testing.T) {
+	seeds := []uint64{7, 0xBADF00D, 0xC0FFEE}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	profiled := PUBSConfig()
+	profiled.Name = "pubs-profile"
+	profiled.Profile = true
+	tiny := BaseConfig()
+	tiny.Name = "base-tinyfq"
+	tiny.FetchWidth = 1
+	cfgs := []Config{BaseConfig(), PUBSConfig(), profiled, tiny}
+	for _, seed := range seeds {
+		for _, cfg := range cfgs {
+			cfg := cfg
+			t.Run(fmt.Sprintf("%s/seed%x", cfg.Name, seed), func(t *testing.T) {
+				t.Parallel()
+				prog := skipRandomProgram(seed)
+				p2, err := RunProgram(cfg, prog, 2_000, 8_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p1c := cfg
+				p1c.NoBurstSkip = true
+				p1, err := RunProgram(p1c, prog, 2_000, 8_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pollc := cfg
+				pollc.NoIdleSkip = true
+				poll, err := RunProgram(pollc, prog, 2_000, 8_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(p2, p1) {
+					t.Errorf("seed %#x on %s: phase-2 vs phase-1 diverged:\n p2: %+v\n p1: %+v",
+						seed, cfg.Name, p2, p1)
+				}
+				if !reflect.DeepEqual(p2, poll) {
+					t.Errorf("seed %#x on %s: phase-2 vs poll diverged:\n p2:   %+v\n poll: %+v",
+						seed, cfg.Name, p2, poll)
+				}
+			})
+		}
+	}
+}
+
+// TestBurstProgressCadence: the WithProgress hook must fire at identical
+// committed-instruction counts whether commit retires in the polled loop,
+// in phase-1 skip mode, or inside a commit-run burst — the burst replays
+// the exact per-commit bookkeeping, so the callback cadence is part of
+// the bit-identity surface.
+func TestBurstProgressCadence(t *testing.T) {
+	commitCfg := BaseConfig()
+	commitCfg.L1I = cache.Config{Name: "L1I", Sets: 1, Ways: 2, LineBytes: 64, HitLat: 0, MSHRs: 2}
+	prog := burstCommitProgram()
+
+	run := func(mut func(*Config)) []uint64 {
+		cfg := commitCfg
+		mut(&cfg)
+		var fired []uint64
+		ctx := WithProgress(context.Background(), 1_000, func(committed uint64) {
+			fired = append(fired, committed)
+		})
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetStaticCode(prog.Code)
+		if _, err := s.RunContext(ctx, Stream{M: emu.MustNew(prog)}, 1_000, 6_000); err != nil {
+			t.Fatal(err)
+		}
+		return fired
+	}
+	p2 := run(func(*Config) {})
+	p1 := run(func(c *Config) { c.NoBurstSkip = true })
+	poll := run(func(c *Config) { c.NoIdleSkip = true })
+	if len(p2) == 0 {
+		t.Fatal("progress hook never fired")
+	}
+	if !reflect.DeepEqual(p2, p1) || !reflect.DeepEqual(p2, poll) {
+		t.Errorf("progress cadence diverged:\n p2:   %v\n p1:   %v\n poll: %v", p2, p1, poll)
+	}
+}
+
+// TestBurstWatchdogLongMiss: fetch-drain bursts advance the watchdog's
+// last-commit anchor exactly as skips do — a long miss whose shadow is
+// covered by bursts plus skips must not trip a tight watchdog budget,
+// while poll mode over the same span does (pinning the same contrast as
+// the phase-1 test, now with bursts in the span).
+func TestBurstWatchdogLongMiss(t *testing.T) {
+	cfg := BaseConfig()
+	cfg.MemLatency = 50_000
+	cfg.WatchdogCycles = 10_000
+
+	if _, err := RunProgram(cfg, workload.MustProgram("treewalk"), 500, 1_500); err != nil {
+		t.Errorf("burst mode: long miss spuriously tripped the watchdog: %v", err)
+	}
+	p1 := cfg
+	p1.NoBurstSkip = true
+	if _, err := RunProgram(p1, workload.MustProgram("treewalk"), 500, 1_500); err != nil {
+		t.Errorf("phase-1 mode: long miss spuriously tripped the watchdog: %v", err)
+	}
+}

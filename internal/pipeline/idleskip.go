@@ -1,6 +1,9 @@
 package pipeline
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // Event-driven idle-cycle skipping (DESIGN.md §14).
 //
@@ -15,28 +18,35 @@ import "math"
 // Correctness rests on a null-cycle induction, not on per-structure idle
 // heuristics:
 //
-//  1. Every stage marks s.active when it mutates any persistent state:
-//     committing, granting, draining a store, decoding or dispatching,
-//     walking the wrong path, pulling from the instruction stream,
-//     requesting an I-line, or staging a fetched instruction. A cycle that
-//     ends with s.active still false mutated nothing except the recorded
-//     integrable tick (below) — machine state at the end of the cycle equals
-//     state at its start.
+//  1. Every stage ORs its bit into s.act when it mutates any persistent
+//     state: committing, granting, draining a store, decoding or
+//     dispatching, walking the wrong path, pulling from the instruction
+//     stream, requesting an I-line, or staging a fetched instruction. A
+//     cycle that ends with s.act still zero mutated nothing except the
+//     recorded integrable tick (below) — machine state at the end of the
+//     cycle equals state at its start.
 //
 //  2. Every stage predicate depends on time only through comparisons
 //     against absolute-cycle thresholds (uop completion cycles, fuBusy
 //     busy-until cycles, D-port free cycles, fetchResumeAt, lineReadyAt,
-//     fetch-queue entry age). nextWake collects every such threshold that
-//     lies in the future. If none lies in (now, T), a null cycle at `now`
-//     implies cycles now+1 .. T-1 are null too, with byte-identical state
-//     and therefore the identical per-cycle tick.
+//     fetch-queue entry age). Each threshold is pushed into the wakeHeap
+//     at the instant a stage assigns it, so the heap top bounds the next
+//     cycle at which any predicate can change truth value. If it lies at
+//     or beyond T, a null cycle at `now` implies cycles now+1 .. T-1 are
+//     null too, with byte-identical state and therefore the identical
+//     per-cycle tick.
 //
 //  3. The only state that legitimately advances during a stalled cycle is
 //     integrable: exactly one dispatch-stall counter (recorded as
 //     s.stallCtr by the stall site that fired this cycle), one xorshift
 //     draw when the failing dispatch path was the weighted §III-B3 policy
 //     (s.stallRand), and one occupancy-histogram sample under
-//     Config.Profile. skipCycles replays k of each in closed form.
+//     Config.Profile. skipCycles replays k of each in closed form — the
+//     RNG via the precomputed GF(2) jump matrices (rngjump.go), O(log k).
+//
+// Phase 2 (burst.go) extends the same induction to quasi-null spans whose
+// single set s.act bit names a provably self-contained stage: fetch-drain
+// bursts (s.act == actFetch) and commit-run bursts (s.act == actCommit).
 //
 // The skip is disabled while any fault-injection point is armed (the
 // robustness tests count per-cycle Fire calls) and after an injected hang
@@ -44,16 +54,40 @@ import "math"
 // future event — a genuine deadlock — never skips, so the watchdog retains
 // its full diagnostic power.
 
+// Stage activity bits for Sim.act. A null cycle ends with act == 0; the
+// burst detectors additionally key on single-bit values.
+const (
+	actCommit uint8 = 1 << iota
+	actIssue
+	actDrain
+	actDispatch
+	actWrongPath
+	actFetch
+)
+
 // neverWakes is nextWake's "no future event" sentinel.
 const neverWakes = int64(math.MaxInt64)
 
 // nextWake returns the earliest future cycle at which any stage predicate
-// can change its truth value, or neverWakes if no such cycle is known.
-// Thresholds that cannot matter in the current machine state may still be
-// included (a busy FU nobody waits for, a stale line-fill time): a spurious
-// wakeup only shortens the skip — the landing cycle is simulated normally
-// and re-enters the skip if it too is null.
+// can change its truth value, or neverWakes if no such cycle is known. It
+// reads the event heap that stages feed as they create thresholds, so a
+// skip attempt costs the lazy stale-drain at the top rather than a rescan
+// of every uop, function unit, and port (nextWakeScan, kept below, is that
+// rescan — the audit tests and the microbenchmark compare against it).
+// The heap may hold thresholds that cannot matter in the current machine
+// state (a busy FU nobody waits for, an overwritten line-fill time): a
+// spurious wakeup only shortens the skip — the landing cycle is simulated
+// normally and re-enters the skip if it too is null.
 func (s *Sim) nextWake() int64 {
+	return s.wake.next(s.now)
+}
+
+// nextWakeScan is the pre-heap threshold rescan: the ground truth the
+// event index is audited against (TestWakeHeapNeverLate) and benchmarked
+// against (BenchmarkNextWake). The heap must never report a later wake
+// than this scan — that would skip across a real threshold — while it may
+// report an earlier, spurious one.
+func (s *Sim) nextWakeScan() int64 {
 	t := neverWakes
 	consider := func(v int64) {
 		if v > s.now && v < t {
@@ -94,11 +128,12 @@ func (s *Sim) nextWake() int64 {
 // skipCycles advances the machine k cycles in one step, integrating the
 // per-cycle accumulators the skipped cycles would have produced: the
 // occupancy histogram sample, the dispatch-stall counter recorded by this
-// cycle's stall site, and the weighted-dispatch RNG draw. lastCommitAt
-// advances with the span so the watchdog keeps counting polled cycles
-// since the last commit (a proven-idle span is proven progress, not a
-// hang). Callers guarantee the current cycle was null and that no stage
-// threshold lies inside the span.
+// cycle's stall site, and the weighted-dispatch RNG draws (jumped in
+// O(log k) via the GF(2) matrices — bit-identical to k sequential draws).
+// lastCommitAt advances with the span so the watchdog keeps counting
+// polled cycles since the last commit (a proven-idle span is proven
+// progress, not a hang). Callers guarantee the current cycle was null and
+// that no stage threshold lies inside the span.
 func (s *Sim) skipCycles(k int64) {
 	if s.occHist != nil {
 		s.occHist.AddN(s.q.Occupancy(), uint64(k))
@@ -107,11 +142,7 @@ func (s *Sim) skipCycles(k int64) {
 		*s.stallCtr += uint64(k)
 	}
 	if s.stallRand {
-		for i := int64(0); i < k; i++ {
-			s.rng ^= s.rng >> 12
-			s.rng ^= s.rng << 25
-			s.rng ^= s.rng >> 27
-		}
+		s.rng = jumpRNG(s.rng, k)
 	}
 	s.lastCommitAt += k
 	s.now += k
@@ -119,10 +150,116 @@ func (s *Sim) skipCycles(k int64) {
 	s.skippedCycles += uint64(k)
 }
 
-// SkipStats reports the idle-skip telemetry for the whole run so far:
-// the number of skipped spans and the total cycles they covered. The
+// SkipStats reports the null-span idle-skip telemetry for the whole run so
+// far: the number of skipped spans and the total cycles they covered. The
 // counters live outside Result on purpose — skip on and skip off must
 // produce DeepEqual-identical Results.
 func (s *Sim) SkipStats() (spans, cycles uint64) {
 	return s.skipSpans, s.skippedCycles
+}
+
+// SkipTelemetry is the full idle-skip efficacy report: the phase-1 null
+// spans plus the phase-2 quasi-null bursts, per class. Like SkipStats it
+// is deliberately not part of Result — scheduling telemetry must never
+// leak into the bit-identity surface.
+type SkipTelemetry struct {
+	SkipSpans     uint64 `json:"skip_spans"`
+	SkippedCycles uint64 `json:"skipped_cycles"`
+
+	FetchBurstSpans  uint64 `json:"fetch_burst_spans"`
+	FetchBurstCycles uint64 `json:"fetch_burst_cycles"`
+
+	CommitBurstSpans  uint64 `json:"commit_burst_spans"`
+	CommitBurstCycles uint64 `json:"commit_burst_cycles"`
+}
+
+// add accumulates o into t.
+func (t *SkipTelemetry) add(o SkipTelemetry) {
+	t.SkipSpans += o.SkipSpans
+	t.SkippedCycles += o.SkippedCycles
+	t.FetchBurstSpans += o.FetchBurstSpans
+	t.FetchBurstCycles += o.FetchBurstCycles
+	t.CommitBurstSpans += o.CommitBurstSpans
+	t.CommitBurstCycles += o.CommitBurstCycles
+}
+
+// sub returns t - o (counter deltas; counters are monotone within a run).
+func (t SkipTelemetry) sub(o SkipTelemetry) SkipTelemetry {
+	return SkipTelemetry{
+		SkipSpans:         t.SkipSpans - o.SkipSpans,
+		SkippedCycles:     t.SkippedCycles - o.SkippedCycles,
+		FetchBurstSpans:   t.FetchBurstSpans - o.FetchBurstSpans,
+		FetchBurstCycles:  t.FetchBurstCycles - o.FetchBurstCycles,
+		CommitBurstSpans:  t.CommitBurstSpans - o.CommitBurstSpans,
+		CommitBurstCycles: t.CommitBurstCycles - o.CommitBurstCycles,
+	}
+}
+
+// SkipTelemetry returns the per-run skip/burst counters so far.
+func (s *Sim) SkipTelemetry() SkipTelemetry {
+	return SkipTelemetry{
+		SkipSpans:         s.skipSpans,
+		SkippedCycles:     s.skippedCycles,
+		FetchBurstSpans:   s.fetchBurstSpans,
+		FetchBurstCycles:  s.fetchBurstCycles,
+		CommitBurstSpans:  s.commitBurstSpans,
+		CommitBurstCycles: s.commitBurstCycles,
+	}
+}
+
+// globalSkip aggregates skip telemetry across every Sim in the process,
+// for the daemon's /metrics endpoint. Sims flush once per RunContext (not
+// per span — atomics on the skip hot path would tax exactly the cycles
+// the skip exists to cheapen).
+var globalSkip struct {
+	skipSpans     atomic.Uint64
+	skippedCycles atomic.Uint64
+
+	fetchBurstSpans  atomic.Uint64
+	fetchBurstCycles atomic.Uint64
+
+	commitBurstSpans  atomic.Uint64
+	commitBurstCycles atomic.Uint64
+}
+
+// flushSkipTelemetry publishes the counters accumulated since the last
+// flush to the process-wide totals. Called once per RunContext (deferred,
+// so error exits flush too).
+func (s *Sim) flushSkipTelemetry() {
+	d := s.SkipTelemetry().sub(s.telemetryFlushed)
+	s.telemetryFlushed = s.SkipTelemetry()
+	if d.SkipSpans|d.SkippedCycles != 0 {
+		globalSkip.skipSpans.Add(d.SkipSpans)
+		globalSkip.skippedCycles.Add(d.SkippedCycles)
+	}
+	if d.FetchBurstSpans != 0 {
+		globalSkip.fetchBurstSpans.Add(d.FetchBurstSpans)
+		globalSkip.fetchBurstCycles.Add(d.FetchBurstCycles)
+	}
+	if d.CommitBurstSpans != 0 {
+		globalSkip.commitBurstSpans.Add(d.CommitBurstSpans)
+		globalSkip.commitBurstCycles.Add(d.CommitBurstCycles)
+	}
+}
+
+// GlobalSkipTelemetry returns the process-wide totals, per burst class.
+func GlobalSkipTelemetry() SkipTelemetry {
+	return SkipTelemetry{
+		SkipSpans:         globalSkip.skipSpans.Load(),
+		SkippedCycles:     globalSkip.skippedCycles.Load(),
+		FetchBurstSpans:   globalSkip.fetchBurstSpans.Load(),
+		FetchBurstCycles:  globalSkip.fetchBurstCycles.Load(),
+		CommitBurstSpans:  globalSkip.commitBurstSpans.Load(),
+		CommitBurstCycles: globalSkip.commitBurstCycles.Load(),
+	}
+}
+
+// SkipCounters reports the process-wide skip telemetry: spans and cycles
+// covered by null skips, and by quasi-null bursts (both classes summed).
+// This is what pubsd's node-labeled pubsd_skip_* metrics export.
+func SkipCounters() (skipSpans, skippedCycles, burstSpans, burstCycles uint64) {
+	t := GlobalSkipTelemetry()
+	return t.SkipSpans, t.SkippedCycles,
+		t.FetchBurstSpans + t.CommitBurstSpans,
+		t.FetchBurstCycles + t.CommitBurstCycles
 }

@@ -1,0 +1,63 @@
+package pipeline
+
+import "testing"
+
+// TestRNGJumpMatchesLoop: jumpRNG(x, k) must equal k sequential rngStep
+// calls for every state and span length — the closed-form replay in
+// skipCycles is only correct if the GF(2) jump matrices reproduce the
+// scalar transition bit for bit. Three layers pin that:
+//
+//  1. jumps[0] is checked against rngStep directly on random states.
+//  2. Each jumps[i] is checked as the square of jumps[i-1] via apply
+//     (inductively, jumps[i] == M^(2^i) for all 64 matrices, including
+//     the ones no loop could ever reach).
+//  3. jumpRNG itself is checked against the loop exhaustively for k up
+//     to 4096 and at direct long anchors (100K, 10M steps).
+func TestRNGJumpMatchesLoop(t *testing.T) {
+	states := []uint64{1, 0xDEADBEEF, ^uint64(0), 0x9E3779B97F4A7C15}
+	rng := skipPropRNG(42)
+	for i := 0; i < 4; i++ {
+		states = append(states, rng.next())
+	}
+
+	// Layer 1: the base matrix is the scalar transition.
+	for _, x := range states {
+		if got, want := rngJumps[0].apply(x), rngStep(x); got != want {
+			t.Fatalf("jumps[0](%#x) = %#x, want rngStep = %#x", x, got, want)
+		}
+	}
+
+	// Layer 2: squaring chain. jumps[i](x) == jumps[i-1](jumps[i-1](x)).
+	for i := 1; i < 64; i++ {
+		for _, x := range states {
+			got := rngJumps[i].apply(x)
+			want := rngJumps[i-1].apply(rngJumps[i-1].apply(x))
+			if got != want {
+				t.Fatalf("jumps[%d](%#x) = %#x, want jumps[%d]² = %#x", i, x, got, i-1, want)
+			}
+		}
+	}
+
+	// Layer 3: jumpRNG against the loop. Exhaustive small spans (every
+	// decomposition of the low 12 bits) per state, walked incrementally.
+	for _, x0 := range states {
+		want := x0
+		for k := int64(0); k <= 4096; k++ {
+			if got := jumpRNG(x0, k); got != want {
+				t.Fatalf("jumpRNG(%#x, %d) = %#x, want %#x", x0, k, got, want)
+			}
+			want = rngStep(want)
+		}
+	}
+
+	// Long anchors: spans the size of real memory-bound skip totals.
+	for _, k := range []int64{100_000, 10_000_000} {
+		want := uint64(0xFEEDFACECAFEBEEF)
+		for i := int64(0); i < k; i++ {
+			want = rngStep(want)
+		}
+		if got := jumpRNG(0xFEEDFACECAFEBEEF, k); got != want {
+			t.Fatalf("jumpRNG(long %d) = %#x, want %#x", k, got, want)
+		}
+	}
+}

@@ -206,21 +206,34 @@ type Sim struct {
 	pipeTrace     io.Writer
 	pipeTraceLeft int64
 
-	// Idle-skip bookkeeping (see idleskip.go). active is reset at the top
-	// of every cycle and set by any stage that mutates persistent state;
-	// a cycle that ends with it false is provably null and eligible for
-	// fast-forward. stallCtr/stallRand record the one integrable tick a
-	// stalled dispatch produces per cycle (which stall counter fired, and
-	// whether the weighted policy consumed a rand01 draw). polled counts
-	// executed loop iterations — in poll mode it equals s.now; the
-	// invariant-check and context-poll cadences key on it so their
-	// behaviour is independent of how far each iteration advanced time.
-	active        bool
+	// Idle-skip bookkeeping (see idleskip.go). act is reset at the top of
+	// every cycle; each stage that mutates persistent state ORs in its
+	// activity bit. A cycle that ends with act == 0 is provably null and
+	// eligible for fast-forward; a cycle whose only set bit names a
+	// burstable stage is quasi-null and eligible for a burst (burst.go).
+	// stallCtr/stallRand record the one integrable tick a stalled dispatch
+	// produces per cycle (which stall counter fired, and whether the
+	// weighted policy consumed a rand01 draw). polled counts executed loop
+	// iterations — in poll mode it equals s.now; the invariant-check and
+	// context-poll cadences key on it so their behaviour is independent of
+	// how far each iteration advanced time. wake is the event-heap index
+	// nextWake reads instead of rescanning every threshold.
+	act           uint8
 	stallCtr      *uint64
 	stallRand     bool
 	polled        int64
+	wake          wakeHeap
 	skipSpans     uint64
 	skippedCycles uint64
+
+	// Per-class burst telemetry (burst.go); like skipSpans/skippedCycles,
+	// deliberately outside Result — burst on and burst off must produce
+	// DeepEqual-identical Results.
+	fetchBurstSpans   uint64
+	fetchBurstCycles  uint64
+	commitBurstSpans  uint64
+	commitBurstCycles uint64
+	telemetryFlushed  SkipTelemetry // portion already flushed to the package counters
 
 	st             stats.Sim
 	occHist        *stats.Histogram
@@ -303,6 +316,9 @@ func New(cfg Config) (*Sim, error) {
 	s.storeBuf = make([]uint64, cfg.StoreBufferSize)
 	s.readyFn = s.opReady
 	s.fuFn = s.fuTryAlloc
+	// Sized so the steady-state live-threshold population (bounded by the
+	// ROB plus the fixed structures) never forces a reallocation.
+	s.wake.init(4*cfg.ROBSize + 64)
 	if cfg.Profile {
 		s.occHist = stats.NewHistogram(cfg.IQSize + 1)
 		s.brProf = newBranchProfile()
@@ -413,7 +429,7 @@ func (s *Sim) peek() (emu.DynInst, bool) {
 	if !s.hasPending {
 		// Pulling from the stream steps the emulator (or trace cursor) —
 		// a one-time mutation, as is the done transition.
-		s.active = true
+		s.act |= actFetch
 		di, ok := s.stream.Next()
 		if !ok {
 			s.streamDone = true
@@ -464,10 +480,11 @@ func (s *Sim) opReady(h int) bool {
 func (s *Sim) lineReady(pc uint64) bool {
 	line := pc &^ 63
 	if !s.haveLine || line != s.lastLine {
-		s.active = true // new line request mutates the I-cache
+		s.act |= actFetch // new line request mutates the I-cache
 		done := s.l1i.Access(pc, s.now, false)
 		s.lastLine, s.haveLine = line, true
 		s.lineReadyAt = done
+		s.wake.push(done, s.now) // fill arrival unblocks fetch
 	}
 	return s.lineReadyAt <= s.now
 }
@@ -509,6 +526,7 @@ func (s *Sim) fetchControl(f *fqEntry) (stop bool) {
 			if tgt, hit := s.btb.Lookup(di.PC); !hit || tgt != di.Target {
 				s.st.BTBMisses++
 				s.fetchResumeAt = s.now + s.cfg.BTBMissPenalty
+				s.wake.push(s.fetchResumeAt, s.now) // redirect-bubble end
 			}
 			stop = true // taken branch ends the fetch group
 		}
@@ -517,6 +535,7 @@ func (s *Sim) fetchControl(f *fqEntry) (stop bool) {
 		if tgt, hit := s.btb.Lookup(di.PC); !hit || tgt != di.Target {
 			s.st.BTBMisses++
 			s.fetchResumeAt = s.now + s.cfg.BTBMissPenalty
+			s.wake.push(s.fetchResumeAt, s.now) // redirect-bubble end
 		}
 		s.btb.Insert(di.PC, di.Target)
 		if di.Inst.Op == isa.Jal {
@@ -586,7 +605,10 @@ func (s *Sim) fetch() {
 		}
 		stop := s.fetchControl(f)
 		s.fqLen++
-		s.active = true
+		s.act |= actFetch
+		// The staged entry matures for dispatch once it clears the
+		// front-end pipeline.
+		s.wake.push(s.now+s.cfg.FrontEndDepth, s.now)
 		if stop {
 			break
 		}
@@ -611,7 +633,7 @@ func (s *Sim) dispatch() {
 				f.unconf = s.pubs.Decode(f.di.PC, f.di.Inst)
 			}
 			f.decoded = true
-			s.active = true // one-time PUBS table update + decoded mark
+			s.act |= actDispatch // one-time PUBS table update + decoded mark
 		}
 
 		// Structural hazards (checked oldest-first; dispatch is in-order).
@@ -703,7 +725,7 @@ func (s *Sim) dispatch() {
 			}
 		}
 		s.freeU = s.freeU[:len(s.freeU)-1]
-		s.active = true
+		s.act |= actDispatch
 
 		u := &s.uops[h]
 		*u = uop{
@@ -755,6 +777,7 @@ func (s *Sim) dispatch() {
 			// Nop/Halt/direct jumps need no FU: complete next cycle.
 			u.scheduled = true
 			u.completeCycle = s.now + 1
+			s.wake.push(u.completeCycle, s.now) // commit-head unblock
 		}
 		s.fqHead = (s.fqHead + 1) % len(s.fetchQ)
 		s.fqLen--
@@ -775,7 +798,7 @@ func (s *Sim) issue() {
 	}
 	granted := s.q.Select(s.cfg.IssueWidth, s.readyFn, s.fuFn)
 	if len(granted) > 0 {
-		s.active = true // a zero-grant Select mutates nothing
+		s.act |= actIssue // a zero-grant Select mutates nothing
 	}
 	for _, g := range granted {
 		s.schedule(g.Handle)
@@ -845,9 +868,12 @@ func (s *Sim) schedule(h int) {
 		}
 	}
 	s.st.Issued++
+	// The completion wakes IQ dependents and unblocks the ROB head.
+	s.wake.push(u.completeCycle, s.now)
 
 	if u.mispredict && s.blockedOnSeq == u.di.Seq {
 		s.fetchResumeAt = u.completeCycle + s.cfg.RecoveryPenalty
+		s.wake.push(s.fetchResumeAt, s.now) // redirect arrival restarts fetch
 		s.blockedOnSeq = noSeq
 		s.wrongPathIdx = -1 // squash: stop polluting the tables
 		s.st.MisspecPenaltyCycles += u.completeCycle - u.fetchCycle
@@ -868,7 +894,7 @@ func (s *Sim) decodeWrongPath() {
 	if s.wrongPathIdx < 0 || s.pubs == nil || s.blockedOnSeq == noSeq {
 		return
 	}
-	s.active = true // every pass advances or parks the walk
+	s.act |= actWrongPath // every pass advances or parks the walk
 	for n := 0; n < s.cfg.FetchWidth; n++ {
 		if s.wrongPathLeft <= 0 {
 			s.wrongPathIdx = -1
@@ -908,6 +934,7 @@ func (s *Sim) allocDPort(at int64) int64 {
 		start = s.dports[best]
 	}
 	s.dports[best] = start + 1
+	s.wake.push(start+1, s.now) // port free lets a committed store drain
 	return start
 }
 
@@ -917,6 +944,7 @@ func (s *Sim) blockUnit(p int, lat int64) {
 	for i := range units {
 		if units[i] <= s.now {
 			units[i] = s.now + lat
+			s.wake.push(s.now+lat, s.now) // unit free can turn Select granting
 			return
 		}
 	}
@@ -931,8 +959,9 @@ func (s *Sim) drainStores() {
 	// One committed store drains per cycle when a D-port is idle.
 	for i := range s.dports {
 		if s.dports[i] <= s.now {
-			s.active = true
+			s.act |= actDrain
 			s.dports[i] = s.now + 1
+			s.wake.push(s.now+1, s.now)
 			s.l1d.Access(s.storeBuf[s.sbHead], s.now, true)
 			s.sbHead = (s.sbHead + 1) % len(s.storeBuf)
 			s.sbLen--
@@ -961,7 +990,7 @@ func (s *Sim) commit() {
 			s.storeBuf[(s.sbHead+s.sbLen)%len(s.storeBuf)] = u.di.Addr
 			s.sbLen++
 		}
-		s.active = true // the instruction retires this cycle
+		s.act |= actCommit // the instruction retires this cycle
 		if in.IsMem() {
 			s.lsq.Pop(h)
 		}
@@ -1089,19 +1118,24 @@ func (s *Sim) RunContext(ctx context.Context, stream InstStream, warmup, measure
 	if tr, ok := stream.(*Replay); ok && tr.Pre != nil && tr.Decode != nil && tr.pos < tr.Pre.Len() && tr.live == nil {
 		s.trace = tr
 	}
-	target := warmup + measure
-	warmedUp := warmup == 0
-	if warmedUp {
+	rs := runState{
+		warmup:   warmup,
+		target:   warmup + measure,
+		warmedUp: warmup == 0,
+		hook:     progressFrom(ctx),
+	}
+	rs.nextProgress = rs.hook.every
+	if rs.warmedUp {
 		s.resetMeasurement()
 	}
-	hook := progressFrom(ctx)
-	nextProgress := hook.every
 
 	skipEnabled := !s.cfg.NoIdleSkip
+	burstEnabled := skipEnabled && !s.cfg.NoBurstSkip
 	nextCtxCheck := s.now + ctxCheckEvery
+	defer s.flushSkipTelemetry()
 
 	for {
-		s.active = false
+		s.act = 0
 		s.stallCtr = nil
 		s.stallRand = false
 		if s.hangInjected {
@@ -1112,20 +1146,7 @@ func (s *Sim) RunContext(ctx context.Context, stream InstStream, warmup, measure
 		} else {
 			s.commit()
 		}
-		if !warmedUp && s.committedTotal >= warmup {
-			s.resetMeasurement()
-			warmedUp = true
-		}
-		if hook.fn != nil && s.committedTotal >= nextProgress {
-			hook.fn(s.committedTotal)
-			for nextProgress <= s.committedTotal {
-				nextProgress += hook.every
-			}
-		}
-		if s.committedTotal >= target || s.halted {
-			break
-		}
-		if s.streamDone && !s.hasPending && s.fqLen == 0 && s.rob.Empty() {
+		if s.afterCommit(&rs) {
 			break
 		}
 		s.issue()
@@ -1136,14 +1157,31 @@ func (s *Sim) RunContext(ctx context.Context, stream InstStream, warmup, measure
 		if s.occHist != nil {
 			s.occHist.Add(s.q.Occupancy())
 		}
-		// Idle skip: if this cycle mutated nothing, fast-forward to just
+		// Null and quasi-null fast-forwarding, gated on what this cycle
+		// actually touched. A cycle that mutated nothing skips to just
 		// before the next wakeup event (idleskip.go) so the s.now++ below
-		// lands exactly on it. Disabled while fault injection is armed
-		// (robustness tests count per-cycle Fire calls) and after an
-		// injected hang (the watchdog diagnoses it on the polled path).
-		if skipEnabled && !s.active && !s.hangInjected && !faultinject.Armed() {
-			if t := s.nextWake(); t > s.now+1 {
-				s.skipCycles(t - s.now - 1)
+		// lands exactly on it; a cycle whose only activity was fetch
+		// staging or commit retirement extends into a burst that simulates
+		// only that stage until a foreign threshold intervenes (burst.go).
+		// All of it is disabled while fault injection is armed (robustness
+		// tests count per-cycle Fire calls) and after an injected hang
+		// (the watchdog diagnoses it on the polled path).
+		if skipEnabled && !s.hangInjected && !faultinject.Armed() {
+			switch {
+			case s.act == 0:
+				if t := s.nextWake(); t > s.now+1 {
+					s.skipCycles(t - s.now - 1)
+				}
+			case burstEnabled && s.act == actFetch:
+				s.fetchDrainBurst()
+			case burstEnabled && s.act == actCommit:
+				if s.commitRunBurst(&rs) {
+					// The burst's last commit hit the target, halted, or
+					// emptied a finished machine — the same conditions the
+					// afterCommit above breaks on, at the same cycle a
+					// polled run would have.
+					return s.finishRun(stream)
+				}
 			}
 		}
 		s.now++
@@ -1173,6 +1211,49 @@ func (s *Sim) RunContext(ctx context.Context, stream InstStream, warmup, measure
 		}
 	}
 
+	return s.finishRun(stream)
+}
+
+// runState carries the per-run control state the commit path consults
+// every cycle: the warm-up boundary, the progress hook, and the
+// measurement target. It is threaded to the commit-run burst so a burst
+// cycle observes the identical cadence a polled cycle would.
+type runState struct {
+	warmup, target uint64
+	warmedUp       bool
+	hook           progressHook
+	nextProgress   uint64
+}
+
+// afterCommit performs the bookkeeping that follows the commit stage in
+// every simulated cycle — the warm-up boundary reset, the progress hook,
+// and the termination checks — and reports whether the run is done. It is
+// the single definition of that cadence: the main loop and the commit-run
+// burst both call it, so results, hook firings, and the measurement
+// window boundary are bit-identical whether a cycle was polled or bursted.
+func (s *Sim) afterCommit(rs *runState) (done bool) {
+	if !rs.warmedUp && s.committedTotal >= rs.warmup {
+		s.resetMeasurement()
+		rs.warmedUp = true
+	}
+	if rs.hook.fn != nil && s.committedTotal >= rs.nextProgress {
+		rs.hook.fn(s.committedTotal)
+		for rs.nextProgress <= s.committedTotal {
+			rs.nextProgress += rs.hook.every
+		}
+	}
+	if s.committedTotal >= rs.target || s.halted {
+		return true
+	}
+	if s.streamDone && !s.hasPending && s.fqLen == 0 && s.rob.Empty() {
+		return true
+	}
+	return false
+}
+
+// finishRun closes out a completed run: trace-replay error check, cycle
+// accounting, and Result assembly.
+func (s *Sim) finishRun(stream InstStream) (Result, error) {
 	if tr, ok := stream.(*Replay); ok {
 		if err := tr.Err(); err != nil {
 			return Result{}, fmt.Errorf("pipeline %s: trace replay: %w", s.cfg.Name, err)

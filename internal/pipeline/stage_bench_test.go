@@ -141,3 +141,56 @@ func BenchmarkStoreBufferFillDrain(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkNextWake contrasts the event-heap wakeup index against the
+// pre-heap threshold rescan it replaced. One op is one nextWake query on a
+// live steady-state machine (treewalk: in-flight misses, busy units, and
+// queued fetches keep the threshold population realistic). The heap's cost
+// is the lazy stale-drain at the top; the scan's is a walk over every uop,
+// function-unit slot, and port — the gap is the per-skip-attempt saving.
+func BenchmarkNextWake(b *testing.B) {
+	setup := func(b *testing.B) *Sim {
+		s, err := New(PUBSConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := recordStreamRaw("treewalk", 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.stream = m
+		for i := 0; i < 50_000; i++ {
+			stepCycle(s)
+		}
+		return s
+	}
+	b.Run("heap", func(b *testing.B) {
+		s := setup(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			sink += s.nextWake()
+			if i&63 == 63 {
+				stepCycle(s) // refresh the threshold population
+			}
+		}
+		benchSink = sink
+	})
+	b.Run("scan", func(b *testing.B) {
+		s := setup(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			sink += s.nextWakeScan()
+			if i&63 == 63 {
+				stepCycle(s)
+			}
+		}
+		benchSink = sink
+	})
+}
+
+// benchSink defeats dead-code elimination of the benchmarked queries.
+var benchSink int64

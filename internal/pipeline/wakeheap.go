@@ -1,0 +1,101 @@
+package pipeline
+
+// wakeHeap is the event index behind nextWake (DESIGN.md §14, phase 2): a
+// binary min-heap of absolute-cycle thresholds. Stages push a threshold at
+// the moment they create it — a completion cycle, a busy-until cycle, a
+// port free cycle, a redirect or line-fill arrival, a fetch-queue maturity
+// — and nextWake reads the minimum instead of rescanning every uop,
+// function unit, and port on each skip attempt.
+//
+// Invariants the correctness argument rests on:
+//
+//   - Superset: every threshold a stage predicate compares against s.now is
+//     pushed when assigned. The heap may additionally hold thresholds that
+//     no longer matter (an overwritten fetchResumeAt, a completion of a
+//     recycled handle): a spurious wakeup only shortens a skip, which is
+//     always safe.
+//
+//   - Monotone staleness: every predicate is of the form `threshold ≤ now`
+//     (or its negation), so once a threshold falls to ≤ now its comparison
+//     outcome is fixed for the rest of the run unless the slot is
+//     reassigned — and a reassignment pushes a fresh entry. Entries ≤ now
+//     are therefore dead and can be dropped lazily whenever they surface
+//     at the top.
+//
+//   - Bounded occupancy without nextWake: on an always-active workload the
+//     skip path never runs, so lazy top-pruning alone would let the heap
+//     grow without bound. push therefore prunes up to two stale tops per
+//     insertion: with pushes bounded per cycle and thresholds bounded by
+//     the machine's latency horizon, the heap's steady-state size is
+//     bounded by the live-threshold population and append stops
+//     allocating (the zero-allocation regression tests cover this).
+type wakeHeap struct {
+	a []int64
+}
+
+// init sizes the backing array so steady state never reallocates.
+func (h *wakeHeap) init(capHint int) {
+	h.a = make([]int64, 0, capHint)
+}
+
+// clear empties the heap, keeping the backing array (Reset path).
+func (h *wakeHeap) clear() { h.a = h.a[:0] }
+
+// push inserts threshold v, dropping it outright if it is not in the
+// future, after pruning up to two stale tops.
+func (h *wakeHeap) push(v, now int64) {
+	if len(h.a) > 0 && h.a[0] <= now {
+		h.pop()
+		if len(h.a) > 0 && h.a[0] <= now {
+			h.pop()
+		}
+	}
+	if v <= now {
+		return
+	}
+	h.a = append(h.a, v)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+// pop removes the minimum.
+func (h *wakeHeap) pop() {
+	n := len(h.a) - 1
+	h.a[0] = h.a[n]
+	h.a = h.a[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.a[l] < h.a[m] {
+			m = l
+		}
+		if r < n && h.a[r] < h.a[m] {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.a[i], h.a[m] = h.a[m], h.a[i]
+		i = m
+	}
+}
+
+// next drains stale entries and returns the earliest future threshold, or
+// neverWakes if none is indexed.
+func (h *wakeHeap) next(now int64) int64 {
+	for len(h.a) > 0 && h.a[0] <= now {
+		h.pop()
+	}
+	if len(h.a) == 0 {
+		return neverWakes
+	}
+	return h.a[0]
+}

@@ -395,6 +395,10 @@ func TestMetricsText(t *testing.T) {
 		"pubsd_cells_completed_total{node=\"local\"} 1",
 		"pubsd_sims_executed_total{node=\"local\"} 1",
 		"pubsd_workers{node=\"local\"} 2",
+		"pubsd_skip_spans_total{node=\"local\"}",
+		"pubsd_skipped_cycles_total{node=\"local\"}",
+		"pubsd_skip_burst_spans_total{node=\"local\"}",
+		"pubsd_skip_burst_cycles_total{node=\"local\"}",
 		"pubsd_job_latency_count{node=\"local\"} 1",
 		"pubsd_job_latency_ms{node=\"local\",quantile=\"0.5\"}",
 	} {

@@ -85,6 +85,10 @@ type (
 	Runner = experiments.Runner
 	// RunnerStats counts simulations run vs answered from cache/checkpoint.
 	RunnerStats = experiments.RunnerStats
+	// SkipTelemetry reports idle-skip efficacy: null spans and quasi-null
+	// bursts (DESIGN.md §14). Deliberately not part of Result — scheduling
+	// telemetry never enters the bit-identity surface.
+	SkipTelemetry = pipeline.SkipTelemetry
 	// Table renders aligned text tables.
 	Table = stats.Table
 )
@@ -244,11 +248,27 @@ func R(i int) Reg { return isa.R(i) }
 // F returns the i-th floating-point register.
 func F(i int) Reg { return isa.F(i) }
 
+// RZero is the hardwired zero register.
+const RZero = isa.RZero
+
 // Speedup converts an IPC pair into a percentage speedup.
 func Speedup(baseIPC, newIPC float64) float64 { return stats.Speedup(baseIPC, newIPC) }
 
 // Geomean returns the geometric mean of positive values.
 func Geomean(xs []float64) float64 { return stats.Geomean(xs) }
+
+// SkipCounters reports the process-wide idle-skip telemetry: spans and
+// cycles covered by null skips, and by quasi-null bursts (both classes
+// summed). pubsd exports these as the node-labeled pubsd_skip_* metrics;
+// pubsim -skip-stats prints the same counters for a single run.
+func SkipCounters() (skipSpans, skippedCycles, burstSpans, burstCycles uint64) {
+	return pipeline.SkipCounters()
+}
+
+// GlobalSkipTelemetry returns the process-wide counters as one struct —
+// for a single-run process (the pubsim CLI) this is exactly that run's
+// telemetry.
+func GlobalSkipTelemetry() SkipTelemetry { return pipeline.GlobalSkipTelemetry() }
 
 // --- experiment harness ---
 
