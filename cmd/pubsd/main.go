@@ -98,7 +98,7 @@ func usage() {
                  [-warmup N] [-insts N] [-out FILE]
   pubsd clusterbench [-jobs N] [-concurrency N] [-worker-queue N]
                  [-worker-active N] [-warmup N] [-insts N] [-out FILE]
-                 [-min-speedup X] [-baseline FILE]`)
+                 [-min-speedup X] [-baseline FILE] [-sampling]`)
 }
 
 // serviceFlags registers the flags shared by both subcommands that size
@@ -130,6 +130,7 @@ func serve(args []string) error {
 	coordinator := fs.Bool("coordinator", false, "run as cluster coordinator: shard cells across joined workers instead of simulating locally")
 	peersFlag := fs.String("peers", "", "coordinator only: static worker list, node=URL[,node=URL...]")
 	join := fs.String("join", "", "run as cluster worker: announce to this coordinator URL at boot")
+	noShare := fs.Bool("no-share", false, "worker only: disable sampling-plan sharing and proactive replication (serving endpoints stay up; A/B and diagnostics)")
 	nodeID := fs.String("node-id", "", "stable cluster node identity (default: the bound listen address)")
 	advertise := fs.String("advertise", "", "base URL peers reach this node at (default: http://<bound address>; set it when binding a wildcard address)")
 	cfg := serviceFlags(fs)
@@ -159,6 +160,10 @@ func serve(args []string) error {
 	if *coordinator {
 		coord = cluster.NewCoordinator()
 		cfg.Remote = coord.Remote
+		// Window-major sampled sweeps go out as one batch per owning node,
+		// with a designated planner so the fleet pays one functional pass
+		// per workload window set.
+		cfg.RemoteSweep = coord.RemoteSweep
 	}
 	s, err := service.New(*cfg)
 	if err != nil {
@@ -183,16 +188,19 @@ func serve(args []string) error {
 		}
 	case *join != "":
 		wk := cluster.NewWorker(s)
+		if *noShare {
+			wk.DisableReplication()
+		}
 		handler = wk.Handler(handler)
 		role = "worker"
 		// Join after the listener is serving, retrying briefly so worker
 		// and coordinator boot order doesn't matter in scripts.
 		go func() {
-			hc := &http.Client{}
+			hc := cluster.SharedClient()
 			for attempt := 0; ; attempt++ {
-				peers, err := cluster.Join(context.Background(), hc, *join, *nodeID, *advertise)
+				peers, epoch, err := cluster.Join(context.Background(), hc, *join, *nodeID, *advertise)
 				if err == nil {
-					wk.SetPeers(peers)
+					wk.ApplyPeers(peers, epoch)
 					fmt.Fprintf(os.Stderr, "pubsd: joined %s as %q (%d peers)\n", *join, *nodeID, len(peers))
 					return
 				}
@@ -333,15 +341,25 @@ func clusterbench(args []string) error {
 	wb := fs.Int("worker-burst", 4, "per-worker admission token-bucket burst")
 	warmup := fs.Uint64("warmup", 2_000, "per-cell warm-up instructions")
 	insts := fs.Uint64("insts", 8_000, "per-cell measured instructions")
-	out := fs.String("out", "", "write the pubsd-cluster/1 JSON report here (default stdout)")
-	minSpeedup := fs.Float64("min-speedup", 1.8, "fail when the 3-worker geomean speedup is below this floor")
-	baseline := fs.String("baseline", "", "compare against this committed BENCH_7 report; fail on a >20% geomean regression")
+	out := fs.String("out", "", "write the JSON report here (default stdout)")
+	sampling := fs.Bool("sampling", false, "run the BENCH_9 sampled-sweep benchmark (plan sharing + batched dispatch vs off) instead of BENCH_7")
+	minSpeedup := fs.Float64("min-speedup", 0, "fail when the geomean speedup is below this floor (0 = the mode's default: 1.8 for BENCH_7, 1.5 for -sampling)")
+	baseline := fs.String("baseline", "", "compare against this committed report; fail on a >20% geomean regression")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *sampling {
+		if *minSpeedup == 0 {
+			*minSpeedup = 1.5
+		}
+		return samplingBench(ctx, *out, *minSpeedup, *baseline)
+	}
+	if *minSpeedup == 0 {
+		*minSpeedup = 1.8
+	}
 	rep, err := cluster.RunBench(ctx, cluster.BenchConfig{
 		Jobs: *jobs, Concurrency: *conc,
 		Warmup: *warmup, Measure: *insts,
@@ -389,6 +407,65 @@ func clusterbench(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "pubsd: clusterbench within %.0f%% of baseline %s (geomean %.2fx vs %.2fx)\n",
 			clusterbenchTolerance*100, *baseline, rep.GeomeanSpeedup, base.GeomeanSpeedup)
+	}
+	return nil
+}
+
+// samplingBench runs BENCH_9 — the cluster-shared sampling-plan benchmark —
+// and applies its gates: bit-identical results across modes, fleet-wide
+// functional passes == workloads with sharing on, the speedup floor, and
+// the baseline regression check.
+func samplingBench(ctx context.Context, out string, minSpeedup float64, baseline string) error {
+	rep, err := cluster.RunSamplingBench(ctx, cluster.SamplingBenchConfig{Log: os.Stderr})
+	if err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "pubsd: sampling bench report written to %s (geomean speedup %.2fx)\n",
+			out, rep.GeomeanSpeedup)
+	}
+
+	if !rep.BitIdentical {
+		return errors.New("sampling bench: plan sharing changed results — the modes are no longer bit-identical")
+	}
+	for _, sc := range rep.Scenarios {
+		if want := uint64(sc.Workloads); sc.On.Plans != want {
+			return fmt.Errorf("sampling bench %s: fleet paid %d functional passes with sharing on, want exactly %d (one per workload)",
+				sc.Name, sc.On.Plans, want)
+		}
+	}
+	if rep.GeomeanSpeedup < minSpeedup {
+		return fmt.Errorf("sampling bench: geomean speedup %.2fx is below the %.2fx floor — plan sharing no longer pays",
+			rep.GeomeanSpeedup, minSpeedup)
+	}
+	if baseline != "" {
+		raw, err := os.ReadFile(baseline)
+		if err != nil {
+			return fmt.Errorf("sampling bench baseline: %w", err)
+		}
+		var base cluster.SamplingBenchReport
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("sampling bench baseline %s: %w", baseline, err)
+		}
+		if base.GeomeanSpeedup > 0 && rep.GeomeanSpeedup < base.GeomeanSpeedup*(1-clusterbenchTolerance) {
+			return fmt.Errorf("sampling bench: geomean speedup %.2fx is a %.0f%% regression from baseline %.2fx",
+				rep.GeomeanSpeedup, (1-rep.GeomeanSpeedup/base.GeomeanSpeedup)*100, base.GeomeanSpeedup)
+		}
+		fmt.Fprintf(os.Stderr, "pubsd: sampling bench within %.0f%% of baseline %s (geomean %.2fx vs %.2fx)\n",
+			clusterbenchTolerance*100, baseline, rep.GeomeanSpeedup, base.GeomeanSpeedup)
 	}
 	return nil
 }

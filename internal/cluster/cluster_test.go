@@ -451,11 +451,14 @@ func TestJoinEndpoint(t *testing.T) {
 	t.Cleanup(srv.Close)
 
 	w2 := startWorker(t, "w2", service.Config{}, nil)
-	peers, err := Join(context.Background(), http.DefaultClient, srv.URL, "w2", w2.srv.URL)
+	peers, epoch, err := Join(context.Background(), http.DefaultClient, srv.URL, "w2", w2.srv.URL)
 	if err != nil {
 		t.Fatalf("Join: %v", err)
 	}
-	w2.wk.SetPeers(peers)
+	if epoch == 0 {
+		t.Fatal("join response carried no membership epoch")
+	}
+	w2.wk.ApplyPeers(peers, epoch)
 	if len(peers) != 2 || peers["w1"] == "" || peers["w2"] != w2.srv.URL {
 		t.Fatalf("join returned wrong member map: %v", peers)
 	}

@@ -11,14 +11,25 @@ import (
 // to the public pubsd API:
 //
 //	POST /v1/cluster/execute      coordinator -> worker: run one cell
+//	POST /v1/cluster/sweep        coordinator -> worker: run one workload's
+//	                              machine batch; streaming NDJSON response,
+//	                              one sweepLine per cell as it completes
 //	GET  /v1/cluster/result/{key} peer -> peer: cache-only fetch by hash
+//	POST /v1/cluster/result       peer -> peer: proactive result replication
+//	GET  /v1/cluster/plan/{key}   peer -> peer: cache-only serialized
+//	                              sampling plan by plan key (?wait=1 long-
+//	                              polls while the serving node is planning)
+//	POST /v1/cluster/plan/{key}   peer -> peer: proactive plan replication
 //	POST /v1/cluster/peers        coordinator -> worker: membership push
 //	POST /v1/cluster/join         worker -> coordinator: announce self
 //	GET  /v1/cluster/nodes        anyone -> coordinator: member map
 //
 // The execute body is a service.RemoteCell and every result payload is the
 // service.CellResult schema — the same record the public API serves, which
-// is what makes cluster bit-identity checkable byte for byte.
+// is what makes cluster bit-identity checkable byte for byte. Plan
+// payloads are the sampling package's sealed envelope (sampling.EncodePlan):
+// flate-compressed windows behind a SHA-256 content hash, so a corrupt or
+// truncated plan is rejected at decode, never replayed.
 
 // executeResponse is the 200 body of POST /v1/cluster/execute. Source says
 // which cache tier answered: "cache" (the worker's own store), "peer" (a
@@ -40,15 +51,46 @@ type joinRequest struct {
 	URL  string `json:"url"`
 }
 
-// peersMsg carries the full member map (node ID -> base URL): the join
-// response, the membership push, and the nodes listing all share it.
+// peersMsg carries the full member map (node ID -> base URL) plus the
+// coordinator's membership epoch, a strictly increasing stamp workers use
+// to discard snapshots delivered out of order (broadcasts are async, so two
+// rapid joins can land reversed). The join response, the membership push,
+// and the nodes listing all share it; epoch 0 means unversioned.
 type peersMsg struct {
 	Peers map[string]string `json:"peers"`
+	Epoch uint64            `json:"epoch,omitempty"`
+}
+
+// sweepRequest is the body of POST /v1/cluster/sweep: every still-unresolved
+// cell of one workload's machine sweep owned by the receiving node, plus the
+// sampling-plan coordinates. PlanKey is the plan content address all cells
+// share; Planner is the node ID the coordinator designated to pay the
+// workload's one functional pass — the receiver plans immediately if that is
+// itself, and otherwise long-polls the planner's plan endpoint before
+// falling back to a local pass.
+type sweepRequest struct {
+	Cells   []service.RemoteCell `json:"cells"`
+	PlanKey string               `json:"plan_key,omitempty"`
+	Planner string               `json:"planner,omitempty"`
+}
+
+// sweepLine is one NDJSON line of the sweep response: executeResponse plus
+// the content key it settles, written as the cell completes.
+type sweepLine struct {
+	Key    string             `json:"key"`
+	Result service.CellResult `json:"result,omitempty"`
+	Source string             `json:"source"`
+	Error  string             `json:"error,omitempty"`
 }
 
 // maxWireBytes bounds every cluster request body; a RemoteCell is a few
-// hundred bytes and a member map a few KB.
-const maxWireBytes = 1 << 20
+// hundred bytes and a member map a few KB. Serialized sampling plans are
+// the exception — dirty pages plus ~17 B/instruction of predecoded trace —
+// and get their own, far larger bound.
+const (
+	maxWireBytes     = 1 << 20
+	maxPlanWireBytes = 1 << 28
+)
 
 type wireError struct {
 	Error string `json:"error"`

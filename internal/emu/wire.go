@@ -1,0 +1,274 @@
+package emu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/isa"
+)
+
+// Binary wire codec for Snapshot and Predecode — the building blocks of a
+// serialized sampling plan (sampling.EncodePlan). The format is
+// little-endian and position-defined, with just enough redundancy to
+// reject structurally impossible inputs before they can panic a consumer;
+// end-to-end integrity is the caller's job (the plan envelope carries a
+// content hash over the whole payload).
+//
+// Snapshot layout:
+//
+//	u64   register count (must equal isa.NumLogicalRegs)
+//	u64×R registers
+//	u64   pc (static instruction index)
+//	u64   seq
+//	u8    done
+//	u64   memLen
+//	u64   progLen
+//	u64   dirty word count, then the bitset words
+//	u64   page count, then page count × pageSize raw page bytes
+//
+// Predecode layout:
+//
+//	u64   startSeq
+//	u8    halted
+//	u64   record count N
+//	i32×N idx, i32×N next, u8×N flags, u64×N addr (columnar, in that order)
+
+// wireReader is a bounds-checked cursor over an encoded buffer. Decoding
+// never allocates proportionally to a length field before validating it
+// against the bytes actually present.
+type wireReader struct {
+	b   []byte
+	err error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *wireReader) u64(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.fail("emu: truncated %s", what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *wireReader) u8(what string) uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 1 {
+		r.fail("emu: truncated %s", what)
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+// count reads a u64 length field and rejects values that cannot fit in the
+// remaining buffer at width bytes per element, making huge fabricated
+// lengths fail before any allocation.
+func (r *wireReader) count(what string, width int) int {
+	n := r.u64(what)
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(len(r.b))/uint64(width) {
+		r.fail("emu: %s count %d exceeds remaining payload", what, n)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *wireReader) bytes(what string, n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.fail("emu: truncated %s", what)
+		return nil
+	}
+	v := r.b[:n:n]
+	r.b = r.b[n:]
+	return v
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// WireBytes returns the exact encoded size of the snapshot, for
+// presizing destination buffers.
+func (s *Snapshot) WireBytes() int {
+	return 8 + isa.NumLogicalRegs*8 + 8 + 8 + 1 + 8 + 8 +
+		8 + len(s.dirty)*8 + 8 + len(s.pages)*pageSize
+}
+
+// AppendBinary appends the snapshot's wire encoding to b.
+func (s *Snapshot) AppendBinary(b []byte) []byte {
+	b = appendU64(b, uint64(isa.NumLogicalRegs))
+	for _, v := range s.regs {
+		b = appendU64(b, v)
+	}
+	b = appendU64(b, uint64(s.pc))
+	b = appendU64(b, s.seq)
+	b = append(b, boolByte(s.done))
+	b = appendU64(b, uint64(s.memLen))
+	b = appendU64(b, uint64(s.progLen))
+	b = appendU64(b, uint64(len(s.dirty)))
+	for _, w := range s.dirty {
+		b = appendU64(b, w)
+	}
+	b = appendU64(b, uint64(len(s.pages)))
+	for _, p := range s.pages {
+		b = append(b, p...)
+	}
+	return b
+}
+
+// DecodeSnapshot decodes one snapshot from the front of b and returns the
+// unconsumed remainder. The decoded snapshot satisfies every structural
+// invariant Restore relies on: the dirty bitset is sized exactly for
+// memLen, the page list matches the bitset's population count, and every
+// page is exactly pageSize bytes.
+func DecodeSnapshot(b []byte) (*Snapshot, []byte, error) {
+	r := &wireReader{b: b}
+	if n := r.u64("snapshot register count"); r.err == nil && n != isa.NumLogicalRegs {
+		return nil, nil, fmt.Errorf("emu: snapshot has %d registers, want %d", n, isa.NumLogicalRegs)
+	}
+	s := &Snapshot{}
+	for i := range s.regs {
+		s.regs[i] = r.u64("snapshot registers")
+	}
+	s.pc = int(r.u64("snapshot pc"))
+	s.seq = r.u64("snapshot seq")
+	s.done = r.u8("snapshot done flag") != 0
+	s.memLen = int(r.u64("snapshot memLen"))
+	s.progLen = int(r.u64("snapshot progLen"))
+	if r.err == nil && (s.memLen < 0 || s.progLen < 0 || s.pc < 0) {
+		return nil, nil, fmt.Errorf("emu: snapshot with negative geometry (pc %d, mem %d, code %d)", s.pc, s.memLen, s.progLen)
+	}
+	nDirty := r.count("snapshot dirty bitset", 8)
+	if r.err == nil {
+		if want := (numPages(s.memLen) + 63) / 64; nDirty != want {
+			return nil, nil, fmt.Errorf("emu: snapshot dirty bitset has %d words, want %d for %d bytes of memory", nDirty, want, s.memLen)
+		}
+		// Empty slices stay nil so a decoded snapshot is DeepEqual to the
+		// one encoded — decode(encode(s)) is an identity, not merely an
+		// equivalence.
+		if nDirty > 0 {
+			s.dirty = make([]uint64, nDirty)
+		}
+		popcount := 0
+		for i := range s.dirty {
+			s.dirty[i] = r.u64("snapshot dirty bitset")
+			popcount += bits.OnesCount64(s.dirty[i])
+		}
+		if nPages := r.count("snapshot pages", pageSize); r.err == nil {
+			if nPages != popcount {
+				return nil, nil, fmt.Errorf("emu: snapshot carries %d pages but marks %d dirty", nPages, popcount)
+			}
+			if nPages > numPages(s.memLen) {
+				return nil, nil, fmt.Errorf("emu: snapshot carries %d pages for %d bytes of memory", nPages, s.memLen)
+			}
+			if nPages > 0 {
+				s.pages = make([][]byte, 0, nPages)
+			}
+			for i := 0; i < nPages; i++ {
+				page := r.bytes("snapshot page", pageSize)
+				if r.err != nil {
+					break
+				}
+				// Copy so the snapshot does not alias the (possibly pooled
+				// or reused) transport buffer.
+				s.pages = append(s.pages, append([]byte(nil), page...))
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	return s, r.b, nil
+}
+
+// WireBytes returns the exact encoded size of the predecode buffer.
+func (p *Predecode) WireBytes() int {
+	return 8 + 1 + 8 + len(p.idx)*(4+4+1+8)
+}
+
+// AppendBinary appends the predecode buffer's wire encoding to b.
+func (p *Predecode) AppendBinary(b []byte) []byte {
+	b = appendU64(b, p.startSeq)
+	b = append(b, boolByte(p.halted))
+	b = appendU64(b, uint64(len(p.idx)))
+	for _, v := range p.idx {
+		b = binary.LittleEndian.AppendUint32(b, uint32(v))
+	}
+	for _, v := range p.next {
+		b = binary.LittleEndian.AppendUint32(b, uint32(v))
+	}
+	b = append(b, p.flags...)
+	for _, v := range p.addr {
+		b = appendU64(b, v)
+	}
+	return b
+}
+
+// DecodePredecode decodes one predecode buffer from the front of b and
+// returns the unconsumed remainder. Decoded slices are sized exactly (no
+// append slack), so Bytes() reports the true resident footprint.
+func DecodePredecode(b []byte) (*Predecode, []byte, error) {
+	r := &wireReader{b: b}
+	p := &Predecode{}
+	p.startSeq = r.u64("predecode startSeq")
+	p.halted = r.u8("predecode halted flag") != 0
+	n := r.count("predecode records", 4+4+1+8)
+	if r.err == nil {
+		p.idx = make([]int32, n)
+		p.next = make([]int32, n)
+		p.flags = make([]uint8, n)
+		p.addr = make([]uint64, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			if len(r.b) < 4 {
+				r.fail("emu: truncated predecode idx")
+				break
+			}
+			p.idx[i] = int32(binary.LittleEndian.Uint32(r.b))
+			r.b = r.b[4:]
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			if len(r.b) < 4 {
+				r.fail("emu: truncated predecode next")
+				break
+			}
+			p.next[i] = int32(binary.LittleEndian.Uint32(r.b))
+			r.b = r.b[4:]
+		}
+		if fl := r.bytes("predecode flags", n); r.err == nil {
+			copy(p.flags, fl)
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			p.addr[i] = r.u64("predecode addr")
+		}
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	return p, r.b, nil
+}

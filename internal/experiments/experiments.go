@@ -78,6 +78,15 @@ type Options struct {
 	TraceBudgetBytes int64
 	WindowObserve    func(time.Duration)
 
+	// Cluster plan-exchange seams, threaded into the runner's window
+	// store (sampling.Store.WithPlanExchange). PlanSource is consulted on
+	// every plan miss before the functional pass; PlanPlanned fires after
+	// each successful local pass. Both are result-neutral — an adopted
+	// plan is content-hash-verified and bit-identical to a local one — and
+	// therefore excluded from memo and checkpoint keys like WindowObserve.
+	PlanSource  sampling.PlanSource
+	PlanPlanned func(key string, ws []sampling.Window)
+
 	// NoIdleSkip forces every simulation onto the per-cycle polling loop
 	// (pipeline.Config.NoIdleSkip). The event-driven idle skip is
 	// bit-identical (DESIGN.md §14), so this is a diagnostic control like
@@ -88,6 +97,17 @@ type Options struct {
 
 // Sampled reports whether runs use the sampled path.
 func (o Options) Sampled() bool { return o.SampleWindows > 0 }
+
+// PlanKey returns the sampling-plan content key every machine variant of
+// a sweep over wl shares under these options — the address plans are
+// exchanged under in a cluster. Fails if wl is not a known workload.
+func (o Options) PlanKey(wl string) (string, error) {
+	prog, err := workload.Program(wl)
+	if err != nil {
+		return "", err
+	}
+	return sampling.PlanKey(prog, o.samplingPlan()), nil
+}
 
 // samplingPlan maps the options onto a sampling plan.
 func (o Options) samplingPlan() sampling.Config {
@@ -173,7 +193,7 @@ func NewRunner(o Options) *Runner {
 		opts:  o,
 		cache: make(map[string]pipeline.Result),
 		sem:   make(chan struct{}, o.Parallelism),
-		snaps: sampling.NewStoreBudget(o.TraceBudgetBytes),
+		snaps: sampling.NewStoreBudget(o.TraceBudgetBytes).WithPlanExchange(o.PlanSource, o.PlanPlanned),
 	}
 }
 
@@ -258,6 +278,13 @@ func (r *Runner) Stats() RunnerStats {
 // functional fast-forward passes a sampled campaign actually paid for
 // versus answered from shared snapshots.
 func (r *Runner) SnapshotStats() sampling.StoreStats { return r.snaps.Stats() }
+
+// EncodedPlan serializes the runner's resident plan for key, if complete
+// — the local tier of the cluster's cache-only plan answer path.
+func (r *Runner) EncodedPlan(key string) ([]byte, bool) { return r.snaps.Encoded(key) }
+
+// HasPlan reports residency without serializing — the cheap pre-check.
+func (r *Runner) HasPlan(key string) bool { return r.snaps.Has(key) }
 
 func cfgKey(cfg pipeline.Config, wl string, o Options) string {
 	// ParallelWindows (like Parallelism) changes scheduling, never results,

@@ -153,12 +153,21 @@ func planKey(prog *isa.Program, plan Config) string {
 
 // StoreStats counts what a Store actually computed, shared, and holds.
 type StoreStats struct {
-	Plans         uint64 // fast-forward passes executed
+	Plans         uint64 // fast-forward passes executed locally
+	PeerPlans     uint64 // plans adopted from a PlanSource instead of computed
 	Hits          uint64 // requests answered from an existing (or in-flight) plan
 	Evictions     uint64 // completed plans dropped to stay within the byte budget
 	ResidentBytes int64  // snapshot + predecode bytes currently held
 	ResidentPlans int    // completed plans currently held
 }
+
+// PlanSource is the store's remote-plan seam: given a plan content key it
+// returns ready-made windows (for example decoded from a peer's serialized
+// plan) or reports a miss. It is called inside the store's singleflight
+// critical section for the key — concurrent requests for the same plan
+// share one fetch exactly as they share one functional pass — so it must
+// not call back into the same store.
+type PlanSource func(ctx context.Context, key string) ([]Window, bool)
 
 // Store is a content-addressed cache of placed windows with singleflight
 // deduplication: concurrent requests for the same (program, plan geometry)
@@ -182,10 +191,18 @@ type Store struct {
 	budget    int64 // max resident bytes; 0 = unbounded
 	resident  int64
 	plans     uint64
+	peerPlans uint64
 	hits      uint64
 	evictions uint64
 	// Intrusive LRU list over completed entries; lruHead is most recent.
 	lruHead, lruTail *storeEntry
+
+	// Plan-exchange seams (WithPlanExchange). fetch is tried on a miss
+	// before paying the functional pass; planned fires after a successful
+	// *local* pass (never for adopted plans, so plans cannot echo around a
+	// ring). Both are read without the lock — set them before first use.
+	fetch   PlanSource
+	planned func(key string, ws []Window)
 }
 
 type storeEntry struct {
@@ -209,6 +226,17 @@ func NewStore() *Store {
 func NewStoreBudget(maxBytes int64) *Store {
 	s := NewStore()
 	s.budget = maxBytes
+	return s
+}
+
+// WithPlanExchange installs the store's cluster seams and returns the
+// store. fetch (may be nil) is consulted on every miss before planning
+// locally; planned (may be nil) is invoked — outside the store lock, after
+// waiters are released — with the key and windows of every successful
+// local pass. Call before the store is shared between goroutines.
+func (s *Store) WithPlanExchange(fetch PlanSource, planned func(key string, ws []Window)) *Store {
+	s.fetch = fetch
+	s.planned = planned
 	return s
 }
 
@@ -297,13 +325,29 @@ func (s *Store) Windows(ctx context.Context, prog *isa.Program, plan Config) ([]
 		if !ok {
 			e = &storeEntry{key: key, done: make(chan struct{})}
 			s.entries[key] = e
-			s.plans++
 			s.mu.Unlock()
-			e.windows, e.err = PlanWindows(ctx, prog, plan)
+			// Inside the singleflight critical section: try to adopt the
+			// plan from a peer before paying the functional pass. Everything
+			// queued behind e.done shares whichever path wins.
+			adopted := false
+			if s.fetch != nil {
+				if ws, hit := s.fetch(ctx, key); hit {
+					e.windows, adopted = ws, true
+				}
+			}
+			if !adopted {
+				s.mu.Lock()
+				s.plans++ // local passes only — adopted plans cost no fast-forward
+				s.mu.Unlock()
+				e.windows, e.err = PlanWindows(ctx, prog, plan)
+			}
 			s.mu.Lock()
 			if e.err != nil {
 				delete(s.entries, key)
 			} else {
+				if adopted {
+					s.peerPlans++
+				}
 				// The plan becomes evictable only now that it is complete;
 				// waiters blocked on done still hold e and its windows.
 				e.bytes = windowsBytes(e.windows)
@@ -313,6 +357,11 @@ func (s *Store) Windows(ctx context.Context, prog *isa.Program, plan Config) ([]
 			}
 			s.mu.Unlock()
 			close(e.done)
+			if e.err == nil && !adopted && s.planned != nil {
+				// Announce the fresh local plan (proactive push) after
+				// waiters are released; adopted plans are never re-announced.
+				s.planned(key, e.windows)
+			}
 			return e.windows, e.err
 		}
 		if e.inLRU {
@@ -343,6 +392,7 @@ func (s *Store) Stats() StoreStats {
 	defer s.mu.Unlock()
 	st := StoreStats{
 		Plans:         s.plans,
+		PeerPlans:     s.peerPlans,
 		Hits:          s.hits,
 		Evictions:     s.evictions,
 		ResidentBytes: s.resident,
@@ -358,4 +408,52 @@ func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.entries)
+}
+
+// Encoded serializes the resident plan for key, if one has completed.
+// In-flight plans report a miss rather than block — the peer answer path
+// is cache-only by design (a fetch that could trigger planning on the
+// serving node would let two nodes plan for each other in a loop).
+// Serving a plan counts as a use for LRU purposes.
+func (s *Store) Encoded(key string) ([]byte, bool) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if ok {
+		select {
+		case <-e.done:
+		default:
+			ok = false // still planning
+		}
+	}
+	if !ok || e.err != nil {
+		s.mu.Unlock()
+		return nil, false
+	}
+	if e.inLRU {
+		s.touch(e)
+	}
+	ws := e.windows
+	s.mu.Unlock()
+	data, err := EncodePlan(ws)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Has reports whether a completed plan for key is resident, without
+// serializing it or counting a use.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.done:
+		return e.err == nil
+	default:
+		return false
+	}
 }

@@ -1,0 +1,266 @@
+package sampling
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// wireTestPlan is the plan geometry the exchange tests share — the same
+// windows/fast-forward shape the golden-variant tests pin, so a planned
+// chess program carries several dirty-page snapshots and a real predecode
+// trace through the codec.
+func wireTestPlan() Config {
+	return Config{Windows: 3, FastForward: 30_000, Warmup: 5_000, Measure: 10_000}
+}
+
+// TestPlanCodecRoundTrip: encode → decode must reproduce the planned
+// windows exactly — snapshots, predecode traces, placement — and encoding
+// the decoded plan must reproduce the original wire bytes, so a plan can
+// hop any number of nodes without drifting.
+func TestPlanCodecRoundTrip(t *testing.T) {
+	for _, wl := range []string{"chess", "goplay"} {
+		t.Run(wl, func(t *testing.T) {
+			prog := workload.MustProgram(wl)
+			ws, err := PlanWindows(context.Background(), prog, wireTestPlan())
+			if err != nil {
+				t.Fatalf("PlanWindows: %v", err)
+			}
+			if len(ws) == 0 {
+				t.Fatal("plan placed no windows")
+			}
+			enc, err := EncodePlan(ws)
+			if err != nil {
+				t.Fatalf("EncodePlan: %v", err)
+			}
+			dec, err := DecodePlan(enc)
+			if err != nil {
+				t.Fatalf("DecodePlan: %v", err)
+			}
+			if !reflect.DeepEqual(dec, ws) {
+				t.Fatal("decoded plan differs from the planned windows")
+			}
+			if PlanBytes(dec) != PlanBytes(ws) {
+				t.Fatalf("decoded plan accounts %d bytes, original %d", PlanBytes(dec), PlanBytes(ws))
+			}
+			reenc, err := EncodePlan(dec)
+			if err != nil {
+				t.Fatalf("re-encoding decoded plan: %v", err)
+			}
+			if !bytes.Equal(reenc, enc) {
+				t.Fatal("re-encoded plan is not byte-identical to the original wire form")
+			}
+		})
+	}
+}
+
+// TestPlanDecodeRejectsCorruption: the envelope's content hash (plus the
+// framing checks in front of it) must turn any damaged payload into a hard
+// error — a flipped bit anywhere, truncation at any point, a wrong magic
+// or version — never into a silently wrong plan.
+func TestPlanDecodeRejectsCorruption(t *testing.T) {
+	prog := workload.MustProgram("chess")
+	ws, err := PlanWindows(context.Background(), prog, wireTestPlan())
+	if err != nil {
+		t.Fatalf("PlanWindows: %v", err)
+	}
+	enc, err := EncodePlan(ws)
+	if err != nil {
+		t.Fatalf("EncodePlan: %v", err)
+	}
+	if _, err := DecodePlan(enc); err != nil {
+		t.Fatalf("pristine payload must decode: %v", err)
+	}
+
+	// Single-byte corruption, swept across the envelope: magic, version,
+	// hash, and a spread of offsets through the compressed body.
+	offsets := []int{0, 7, 8, 9, 24, 40, 41, 100, len(enc) / 2, len(enc) - 1}
+	for _, off := range offsets {
+		if off >= len(enc) {
+			continue
+		}
+		mut := append([]byte(nil), enc...)
+		mut[off] ^= 0x5a
+		if _, err := DecodePlan(mut); err == nil {
+			t.Errorf("flipping byte %d of %d went undetected", off, len(enc))
+		}
+	}
+
+	// Truncation at every region boundary and a few interior points.
+	for _, n := range []int{0, 4, 8, 9, 20, 40, 41, 41 + (len(enc)-41)/2, len(enc) - 1} {
+		if n >= len(enc) {
+			continue
+		}
+		if _, err := DecodePlan(enc[:n]); err == nil {
+			t.Errorf("truncation to %d of %d bytes went undetected", n, len(enc))
+		}
+	}
+
+	// Wrong magic and unsupported version are rejected by name, before any
+	// inflation work.
+	mut := append([]byte(nil), enc...)
+	copy(mut, "notaplan")
+	if _, err := DecodePlan(mut); err == nil {
+		t.Error("bad magic accepted")
+	}
+	mut = append([]byte(nil), enc...)
+	mut[8] = 99
+	if _, err := DecodePlan(mut); err == nil {
+		t.Error("unsupported version accepted")
+	}
+}
+
+// TestPeerPlanBitIdenticalAllVariants is the exchange's differential
+// contract, run over the full golden-variant set: a sweep fed by a
+// peer-fetched (encode → wire → decode) plan must produce results
+// bit-identical to a self-planned serial run, for every issue-queue
+// organisation and PUBS mode — and the adopting store must pay zero
+// functional passes of its own.
+func TestPeerPlanBitIdenticalAllVariants(t *testing.T) {
+	ctx := context.Background()
+	plan := wireTestPlan()
+
+	// One "planner node": plans each workload once and serves the wire
+	// form, exactly like a worker answering GET /v1/cluster/plan/{key}.
+	planner := NewStore()
+	encoded := make(map[string][]byte)
+	serve := func(prog string) []byte {
+		if data, ok := encoded[prog]; ok {
+			return data
+		}
+		ws, err := planner.Windows(ctx, workload.MustProgram(prog), plan)
+		if err != nil {
+			t.Fatalf("planner windows(%s): %v", prog, err)
+		}
+		data, err := EncodePlan(ws)
+		if err != nil {
+			t.Fatalf("EncodePlan(%s): %v", prog, err)
+		}
+		encoded[prog] = data
+		return data
+	}
+
+	for _, vc := range variantCases() {
+		vc := vc
+		t.Run(vc.name, func(t *testing.T) {
+			prog := workload.MustProgram(vc.workload)
+			wire := serve(vc.workload)
+
+			// A fresh "worker node" whose only plan source is the peer's
+			// serialized plan.
+			adopter := NewStore().WithPlanExchange(
+				func(ctx context.Context, key string) ([]Window, bool) {
+					if key != PlanKey(prog, plan) {
+						t.Errorf("fetch for unexpected key %s", key)
+						return nil, false
+					}
+					ws, err := DecodePlan(wire)
+					if err != nil {
+						t.Errorf("decoding served plan: %v", err)
+						return nil, false
+					}
+					return ws, true
+				}, nil)
+
+			windows, err := adopter.Windows(ctx, prog, plan)
+			if err != nil {
+				t.Fatalf("adopter windows: %v", err)
+			}
+			got, err := RunWindows(ctx, vc.cfg, prog, plan, windows)
+			if err != nil {
+				t.Fatalf("RunWindows: %v", err)
+			}
+			want, err := Run(vc.cfg, prog, plan)
+			if err != nil {
+				t.Fatalf("serial reference: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("peer-planned result diverged from self-planned serial run:\n got %+v\nwant %+v", got, want)
+			}
+			st := adopter.Stats()
+			if st.Plans != 0 || st.PeerPlans != 1 {
+				t.Fatalf("adopter paid %d local passes, adopted %d plans; want 0 and 1", st.Plans, st.PeerPlans)
+			}
+		})
+	}
+}
+
+// TestAdoptedPlanEvictionKeepsHandedOutWindows: under a byte budget far
+// below one plan, a store cycling through peer-adopted plans evicts freely
+// — but windows already handed to callers stay valid and keep producing
+// bit-identical results, and the in-budget invariant (MRU always resident)
+// holds. Eviction is a cost knob, never a correctness boundary.
+func TestAdoptedPlanEvictionKeepsHandedOutWindows(t *testing.T) {
+	ctx := context.Background()
+	plan := wireTestPlan()
+	workloads := []string{"chess", "goplay", "matmul"}
+
+	wires := make(map[string][]byte)
+	for _, wl := range workloads {
+		ws, err := PlanWindows(ctx, workload.MustProgram(wl), plan)
+		if err != nil {
+			t.Fatalf("PlanWindows(%s): %v", wl, err)
+		}
+		data, err := EncodePlan(ws)
+		if err != nil {
+			t.Fatalf("EncodePlan(%s): %v", wl, err)
+		}
+		wires[PlanKey(workload.MustProgram(wl), plan)] = data
+	}
+
+	// Budget of one byte: every adopted plan exceeds it, so each new key
+	// evicts the previous plan the moment it completes.
+	store := NewStoreBudget(1).WithPlanExchange(
+		func(ctx context.Context, key string) ([]Window, bool) {
+			data, ok := wires[key]
+			if !ok {
+				return nil, false
+			}
+			ws, err := DecodePlan(data)
+			if err != nil {
+				return nil, false
+			}
+			return ws, true
+		}, nil)
+
+	held := make(map[string][]Window)
+	for _, wl := range workloads {
+		ws, err := store.Windows(ctx, workload.MustProgram(wl), plan)
+		if err != nil {
+			t.Fatalf("store windows(%s): %v", wl, err)
+		}
+		held[wl] = ws
+		if n := store.Len(); n != 1 {
+			t.Fatalf("after %s: %d resident plans, want 1 (MRU only)", wl, n)
+		}
+	}
+	st := store.Stats()
+	if st.PeerPlans != uint64(len(workloads)) || st.Plans != 0 {
+		t.Fatalf("stats: %d peer plans, %d local passes; want %d and 0", st.PeerPlans, st.Plans, len(workloads))
+	}
+	if st.Evictions != uint64(len(workloads)-1) {
+		t.Fatalf("stats: %d evictions, want %d", st.Evictions, len(workloads)-1)
+	}
+
+	// Every held plan — including the evicted ones — still drives a sweep
+	// to the same result as a self-planned run.
+	for _, wl := range workloads {
+		prog := workload.MustProgram(wl)
+		cfg := pipeline.PUBSConfig()
+		got, err := RunWindows(ctx, cfg, prog, plan, held[wl])
+		if err != nil {
+			t.Fatalf("RunWindows(%s) on evicted plan: %v", wl, err)
+		}
+		want, err := Run(cfg, prog, plan)
+		if err != nil {
+			t.Fatalf("serial reference(%s): %v", wl, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: evicted-plan result diverged from self-planned run", wl)
+		}
+	}
+}

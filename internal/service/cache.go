@@ -91,6 +91,54 @@ func (c *resultCache) Do(key string, build func() (CellResult, error)) (CellResu
 	return f.res, outcomeRun, f.err
 }
 
+// claimState is the outcome of Claim: a completed hit, a merge onto a
+// flight another claimant owns, or ownership of a fresh flight the caller
+// must Resolve.
+type claimState int
+
+const (
+	claimHit claimState = iota
+	claimMerged
+	claimOwned
+)
+
+// Claim is the two-phase form of Do for callers that resolve many keys
+// from one batched execution (the cluster's sweep dispatch): it returns a
+// completed result (claimHit), a flight to wait on (claimMerged), or
+// registers and returns a flight the caller now owns (claimOwned). Every
+// owned flight must eventually be passed to Resolve, or merged waiters
+// block forever.
+func (c *resultCache) Claim(key string) (CellResult, *flight, claimState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if res, ok := c.done[key]; ok {
+		return res, nil, claimHit
+	}
+	if f, ok := c.inflight[key]; ok {
+		return CellResult{}, f, claimMerged
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	return CellResult{}, f, claimOwned
+}
+
+// Resolve completes a flight obtained from Claim with claimOwned,
+// mirroring Do's landing: failures are never cached, successes are stored
+// (subject to the same chaos point), and every merged waiter is released.
+func (c *resultCache) Resolve(key string, f *flight, res CellResult, err error) {
+	f.res, f.err = res, err
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil {
+		c.done[key] = res
+		if faultinject.Fire(faultinject.CacheEvict, key) {
+			delete(c.done, key)
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+}
+
 // Adopt installs a result computed elsewhere (a cluster peer) under its own
 // content key. An existing local entry wins: by the bit-identity contract
 // the two are equal, and the local one may already be serving readers.

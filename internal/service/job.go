@@ -215,6 +215,12 @@ func (j *Job) eventsSince(from int) ([]Event, JobState) {
 	return out, j.state
 }
 
+// EventsSince is the exported form of eventsSince for cross-package
+// pollers — the cluster worker's batched sweep handler streams cell
+// completions from it. The next poll's from is the previous from plus the
+// number of events returned.
+func (j *Job) EventsSince(from int) ([]Event, JobState) { return j.eventsSince(from) }
+
 // latency returns submit-to-finish wall time (zero until terminal).
 func (j *Job) latency() time.Duration {
 	j.mu.Lock()

@@ -28,6 +28,18 @@ type RemoteCell struct {
 // cell's failure, not a reason to retry locally.
 type RemoteFunc func(ctx context.Context, rc RemoteCell) (res CellResult, handled bool, err error)
 
+// RemoteSweepFunc is the batched companion to RemoteFunc, installed via
+// Config.RemoteSweep and used for window-major sampled jobs: one call
+// carries a whole workload sweep's unresolved cells (each already claimed
+// in the singleflight table, so the exactly-once contract is preserved at
+// batch granularity). planKey is the sampling-plan content address every
+// cell of the batch shares — the fabric uses it to designate exactly one
+// plan-computing node per workload window set. The maps carry per-key
+// outcomes; a key absent from both was declined (no live peers, ring
+// churn) and falls back to the local window-major sweep. handled=false
+// declines the whole batch.
+type RemoteSweepFunc func(ctx context.Context, planKey string, cells []RemoteCell) (res map[string]CellResult, errs map[string]error, handled bool)
+
 // remoteSpec builds the single-cell CampaignSpec for cell idx: its machine
 // and workload plus the job's resolved simulation windows. ok is false for
 // jobs whose grid could not be reconstructed (a recovery-failed job).
@@ -49,6 +61,7 @@ func (j *Job) remoteSpec(idx int) (CampaignSpec, bool) {
 		// the cell the way the submitter asked, but they never enter keys.
 		ParallelWindows: j.opts.ParallelWindows,
 		LiveDecode:      j.opts.LiveDecode,
+		WindowMajor:     j.opts.WindowMajor,
 		Tenant:          j.spec.Tenant,
 		Priority:        j.spec.Priority,
 	}, true
@@ -76,6 +89,7 @@ type ClusterCounters struct {
 	peerHits     atomic.Uint64 // cells answered by a peer-cache fetch
 	remoteCells  atomic.Uint64 // cells dispatched to (or served by) the fabric
 	nodeFailures atomic.Uint64 // nodes dropped from the ring after transport failures
+	resultPushes atomic.Uint64 // completed cells proactively replicated to the ring successor
 }
 
 // SetPeers records the live-peer gauge.
@@ -111,6 +125,14 @@ func (c *ClusterCounters) AddRemoteCell() {
 func (c *ClusterCounters) AddNodeFailure() {
 	if c != nil {
 		c.nodeFailures.Add(1)
+	}
+}
+
+// AddResultPush counts a completed cell proactively replicated to the
+// node's ring successor.
+func (c *ClusterCounters) AddResultPush() {
+	if c != nil {
+		c.resultPushes.Add(1)
 	}
 }
 

@@ -89,6 +89,11 @@ type Config struct {
 	// section, so each unique cell is offered once) before falling back to
 	// the local worker pool. See RemoteFunc.
 	Remote RemoteFunc
+	// RemoteSweep, when set alongside Remote, dispatches window-major
+	// sampled jobs as one batch per (workload, owner node) instead of one
+	// request per cell, keeping each worker's predecoded trace hot across
+	// its whole machine group. See RemoteSweepFunc.
+	RemoteSweep RemoteSweepFunc
 }
 
 func (c Config) normalized() Config {
@@ -158,6 +163,10 @@ type Service struct {
 	draining bool
 	seq      uint64
 
+	// plans is the cluster plan-exchange state: the fetch/push seams and
+	// the replica cache of proactively pushed plans (see plans.go).
+	plans planExchange
+
 	q     *jobQueue
 	tasks chan task
 
@@ -210,6 +219,9 @@ func New(cfg Config) (*Service, error) {
 		q:       newJobQueue(),
 		tasks:   make(chan task, cfg.Workers*2),
 	}
+	s.plans.replicas = make(map[string][]sampling.Window)
+	s.plans.encoded = make(map[string][]byte)
+	s.plans.budget = cfg.TraceBudgetBytes
 
 	// Recover the journal before opening it for appending: the compaction
 	// rename must land before the append handle exists, or appends would
@@ -282,8 +294,13 @@ func (s *Service) runnerFor(o experiments.Options) (*experiments.Runner, error) 
 		return r, nil
 	}
 	// Every runner feeds the daemon-wide replay-latency histogram and is
-	// gated by the daemon-wide breaker.
+	// gated by the daemon-wide breaker. The plan seams are bound to the
+	// Service methods, not the current hooks: SetPlanExchange may be called
+	// after runners exist (the cluster worker attaches post-New), and the
+	// methods read the live hooks on every miss.
 	o.WindowObserve = s.m.observeWindow
+	o.PlanSource = s.planSource
+	o.PlanPlanned = s.planPlanned
 	r := experiments.NewRunner(o).WithAdmit(s.admitSim)
 	if s.cfg.CheckpointDir != "" {
 		var err error
@@ -451,7 +468,12 @@ func (s *Service) runJob(j *Job) {
 	defer s.m.activeJobs.Add(-1)
 	j.start()
 	j.cellWG.Add(len(j.cells))
-	for _, t := range j.tasks(s.cfg.Remote != nil) {
+	// The cluster dispatcher shards per cell — except window-major sampled
+	// jobs when the fabric supports batched sweep dispatch, which keep
+	// their per-workload group shape end to end.
+	perCell := s.cfg.Remote != nil &&
+		!(s.cfg.RemoteSweep != nil && j.opts.WindowMajor && j.opts.Sampled())
+	for _, t := range j.tasks(perCell) {
 		select {
 		case s.tasks <- t:
 		case <-s.rootCtx.Done():
@@ -540,6 +562,10 @@ func (j *Job) tasks(perCell bool) []task {
 // execute runs one task — a cell, or a window-major sweep of cells.
 func (s *Service) execute(t task) {
 	if t.group != nil {
+		if s.cfg.RemoteSweep != nil {
+			s.executeSweepRemote(t)
+			return
+		}
 		s.executeSweep(t)
 		return
 	}
@@ -672,6 +698,160 @@ func (s *Service) executeSweep(t task) {
 	}
 }
 
+// executeSweepRemote runs one workload's machine sweep through the
+// cluster's batched dispatch seam. Every cell is first claimed in the
+// singleflight table — hits land immediately, concurrent duplicates merge —
+// and only the owned remainder travels, as one batch sharing one plan key.
+// Cells the fabric declines (no live peers, ring churn mid-batch) fall
+// back to the local window-major sweep, so the job completes regardless.
+func (s *Service) executeSweepRemote(t task) {
+	j := t.job
+	wl := j.cells[t.group[0]].Workload
+	if faultinject.Fire(faultinject.ServicePanic, wl) {
+		panic(fmt.Sprintf("injected service worker panic on %s", wl))
+	}
+	failAll := func(err error) {
+		for _, i := range t.group {
+			s.m.cellsFailed.Add(1)
+			j.cellDone(i, CellResult{}, outcomeRun, err)
+		}
+	}
+	if err := s.rootCtx.Err(); err != nil {
+		failAll(err)
+		return
+	}
+	runner, err := s.runnerFor(j.opts)
+	if err != nil {
+		failAll(err)
+		return
+	}
+	opts := runner.Options()
+
+	type ownedCell struct {
+		idx  int
+		key  string
+		f    *flight
+		done bool
+	}
+	var owned []*ownedCell
+	var mergedIdx []int
+	var mergedF []*flight
+	var rcs []RemoteCell
+	// A panic below must not leave owned flights unresolved — merged
+	// waiters on other jobs would block forever. Resolve them with the
+	// panic and re-raise for executeRecover's idempotent cell sweep.
+	defer func() {
+		if v := recover(); v != nil {
+			perr := &simerr.PanicError{Value: v, Stack: debug.Stack()}
+			for _, o := range owned {
+				if !o.done {
+					s.cache.Resolve(o.key, o.f, CellResult{}, perr)
+				}
+			}
+			panic(v)
+		}
+	}()
+	finish := func(o *ownedCell, res CellResult, err error) {
+		o.done = true
+		s.cache.Resolve(o.key, o.f, res, err)
+		s.m.cacheMisses.Add(1)
+		if err != nil {
+			s.m.cellsFailed.Add(1)
+		} else {
+			s.m.cellsCompleted.Add(1)
+		}
+		j.cellDone(o.idx, res, outcomeRun, err)
+	}
+
+	for _, i := range t.group {
+		key := j.cells[i].Key(opts)
+		res, f, st := s.cache.Claim(key)
+		switch st {
+		case claimHit:
+			s.m.cacheHits.Add(1)
+			s.m.cellsCompleted.Add(1)
+			j.cellDone(i, res, outcomeHit, nil)
+		case claimMerged:
+			mergedIdx = append(mergedIdx, i)
+			mergedF = append(mergedF, f)
+		default:
+			o := &ownedCell{idx: i, key: key, f: f}
+			owned = append(owned, o)
+			if spec, ok := j.remoteSpec(i); ok {
+				rcs = append(rcs, RemoteCell{Key: key, Spec: spec})
+			}
+			// !ok (an unreconstructable recovered grid) leaves the cell to
+			// the local sweep below.
+		}
+	}
+
+	var remoteRes map[string]CellResult
+	var remoteErrs map[string]error
+	if len(rcs) > 0 {
+		planKey, kerr := opts.PlanKey(wl)
+		if kerr != nil {
+			planKey = ""
+		}
+		if res, errs, handled := s.cfg.RemoteSweep(s.rootCtx, planKey, rcs); handled {
+			remoteRes, remoteErrs = res, errs
+		}
+	}
+	var local []*ownedCell
+	for _, o := range owned {
+		if res, ok := remoteRes[o.key]; ok {
+			finish(o, res, nil)
+		} else if rerr, ok := remoteErrs[o.key]; ok {
+			finish(o, CellResult{}, rerr)
+		} else {
+			local = append(local, o)
+		}
+	}
+
+	if len(local) > 0 {
+		cfgs := make([]pipeline.Config, len(local))
+		for k, o := range local {
+			cfgs[k] = j.cells[o.idx].Config
+		}
+		results, serr := runner.RunSweepContext(s.rootCtx, cfgs, wl)
+		var ce *experiments.CampaignError
+		switch {
+		case serr == nil || errors.As(serr, &ce):
+			failed := make(map[string]error)
+			if ce != nil {
+				for _, f := range ce.Failures {
+					failed[f.Config] = f
+				}
+			}
+			for k, o := range local {
+				cell := j.cells[o.idx]
+				if ferr, ok := failed[cell.Config.Name]; ok {
+					finish(o, CellResult{}, ferr)
+					continue
+				}
+				finish(o, NewCellResult(cell, opts, results[k]), nil)
+			}
+		default:
+			for _, o := range local {
+				finish(o, CellResult{}, serr)
+			}
+		}
+	}
+
+	// Merged waiters last: their flights belong to other tasks and may
+	// resolve at any time; everything this task owned is settled above.
+	for k, i := range mergedIdx {
+		f := mergedF[k]
+		<-f.done
+		s.m.merged.Add(1)
+		if f.err != nil {
+			s.m.cellsFailed.Add(1)
+		} else {
+			s.m.cellsCompleted.Add(1)
+		}
+		j.cellDone(i, f.res, outcomeMerged, f.err)
+	}
+}
+
 // runnerStats sums the campaign and snapshot counters across all runners.
 func (s *Service) runnerStats() (experiments.RunnerStats, sampling.StoreStats) {
 	s.mu.Lock()
@@ -692,6 +872,7 @@ func (s *Service) runnerStats() (experiments.RunnerStats, sampling.StoreStats) {
 		sum.CheckpointErrors += st.CheckpointErrors
 		ss := r.SnapshotStats()
 		snaps.Plans += ss.Plans
+		snaps.PeerPlans += ss.PeerPlans
 		snaps.Hits += ss.Hits
 		snaps.Evictions += ss.Evictions
 		snaps.ResidentBytes += ss.ResidentBytes
@@ -784,22 +965,26 @@ func (s *Service) DefaultOptions() experiments.Options { return s.cfg.DefaultOpt
 func (s *Service) MetricsText() string {
 	rs, snaps := s.runnerStats()
 	brkState, brkTrips := s.brk.State()
+	replicas, replicaBytes := s.planGauges()
 	return s.m.render(s.cfg.NodeID, snapshotGauges{
-		queueDepth:    s.QueueDepth(),
-		workers:       s.cfg.Workers,
-		cacheEntries:  s.cache.Len(),
-		simulated:     rs.Simulated,
-		memoHits:      rs.MemoHits,
-		ckptHits:      rs.CheckpointHits,
-		retries:       rs.Retries,
-		snapPlans:     snaps.Plans,
-		snapHits:      snaps.Hits,
-		snapEvictions: snaps.Evictions,
-		traceResident: snaps.ResidentBytes,
-		traceBudget:   s.cfg.TraceBudgetBytes,
-		draining:      s.Draining(),
-		breakerState:  brkState,
-		breakerTrips:  brkTrips,
+		queueDepth:       s.QueueDepth(),
+		workers:          s.cfg.Workers,
+		cacheEntries:     s.cache.Len(),
+		simulated:        rs.Simulated,
+		memoHits:         rs.MemoHits,
+		ckptHits:         rs.CheckpointHits,
+		retries:          rs.Retries,
+		snapPlans:        snaps.Plans,
+		snapPeerPlans:    snaps.PeerPlans,
+		snapHits:         snaps.Hits,
+		snapEvictions:    snaps.Evictions,
+		traceResident:    snaps.ResidentBytes,
+		traceBudget:      s.cfg.TraceBudgetBytes,
+		planReplicas:     replicas,
+		planReplicaBytes: replicaBytes,
+		draining:         s.Draining(),
+		breakerState:     brkState,
+		breakerTrips:     brkTrips,
 	})
 }
 

@@ -10,6 +10,10 @@
 #   3. Two-tier cache — a fresh coordinator over a re-sharded ring answers
 #      from the old owner's store via peer fetch (pubsd_cluster_peer_cache_
 #      hits_total > 0) instead of re-simulating.
+#   4. Shared sampling plans — a sampled window-major sweep, submitted
+#      twice, costs exactly one functional planning pass per workload
+#      across the whole fleet (summed pubsd_snapshot_plans_total), however
+#      many nodes hold its cells.
 #
 # All daemons listen on kernel-chosen ports. Usage:
 #   scripts/cluster_smoke.sh [path-to-pubsd-binary]
@@ -149,6 +153,30 @@ PEER_HITS=$(( $(metric "$W1" pubsd_cluster_peer_cache_hits_total) \
             + $(metric "$W3" pubsd_cluster_peer_cache_hits_total) ))
 [[ "$PEER_HITS" -gt 0 ]] || { echo "no peer cache hits — the second tier never engaged"; exit 1; }
 
+# --- Shared sampling plans: one functional pass per workload, fleet-wide. --
+# A sampled window-major sweep over fresh workloads, submitted twice. The
+# coordinator batches each (node, workload) group into one sweep dispatch
+# and designates one planner per plan key; every other node adopts the
+# serialized plan instead of paying its own fast-forward pass. The local
+# pass counter (pubsd_snapshot_plans_total) never counts adopted plans, so
+# its fleet-wide sum must equal the workload count exactly — and the
+# duplicate submission must add nothing anywhere.
+SPEC3='{"machines":[{"machine":"base"},{"machine":"pubs"},{"machine":"age"},{"machine":"pubs+age"}],"workloads":["parser","compress"],"warmup":2000,"measure":4000,"windows":2,"fast_forward":200000,"window_major":true}'
+S1JOB=$(submit "$COORD" "$SPEC3")
+wait_done "$COORD" "$S1JOB"
+S2JOB=$(submit "$COORD" "$SPEC3")
+wait_done "$COORD" "$S2JOB"
+[[ "$(results "$COORD" "$S1JOB")" == "$(results "$COORD" "$S2JOB")" ]] || { echo "duplicated sampled sweeps disagree"; exit 1; }
+[[ $(results "$COORD" "$S1JOB" | jq length) == 8 ]] || { echo "sampled sweep incomplete"; exit 1; }
+PLANS=$(( $(metric "$W1" pubsd_snapshot_plans_total) \
+        + $(metric "$W2" pubsd_snapshot_plans_total) \
+        + $(metric "$W3" pubsd_snapshot_plans_total) ))
+[[ "$PLANS" == 2 ]] || { echo "fleet paid $PLANS functional plans for 2 workloads — plan sharing is not exactly-once"; exit 1; }
+TOTAL_SIMS3=$(( $(metric "$W1" pubsd_sims_executed_total) \
+              + $(metric "$W2" pubsd_sims_executed_total) \
+              + $(metric "$W3" pubsd_sims_executed_total) ))
+[[ "$TOTAL_SIMS3" == $((TOTAL_SIMS + 8)) ]] || { echo "sampled sweep re-simulated: $TOTAL_SIMS3 sims, want $((TOTAL_SIMS + 8))"; exit 1; }
+
 # --- Graceful drain everywhere. -------------------------------------------
 kill -TERM "${PIDS[@]}" 2>/dev/null || true
 for pid in "${PIDS[@]}"; do
@@ -156,4 +184,4 @@ for pid in "${PIDS[@]}"; do
 done
 PIDS=()
 
-echo "cluster smoke OK: cluster == single-node bit-identical, $TOTAL_SIMS sims for 16 unique cells across 3 workers, 0 duplicate sims, $PEER_HITS peer cache hits"
+echo "cluster smoke OK: cluster == single-node bit-identical, $TOTAL_SIMS3 sims for 24 unique cells across 3 workers, 0 duplicate sims, $PEER_HITS peer cache hits, $PLANS functional plans for 2 sampled workloads"
